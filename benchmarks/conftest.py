@@ -1,0 +1,2 @@
+"""Pytest configuration for the benchmark harness (adds no fixtures; the
+shared helpers live in bench_utils.py)."""

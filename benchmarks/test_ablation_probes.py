@@ -1,0 +1,105 @@
+"""E12 (ablation): standalone probes vs piggybacked collect TPPs (§2.2).
+
+The paper allows either: the rate controller queries "using the flow's
+packets, or using additional probe packets".  This ablation runs the
+identical 3-flow RCP* scenario both ways and compares:
+
+- control quality (bottleneck register vs ideal C/3, per-flow goodput);
+- measurement overhead (extra probe *packets* on the bottleneck vs TPP
+  *bytes* displacing payload inside data packets).
+
+Expected shape: both converge to roughly the fair share; standalone pays
+in additional packets on the bottleneck, piggyback pays by carrying the
+TPP inside its own packets (plus a trickle of keepalives when paced
+down).
+"""
+
+from __future__ import annotations
+
+from bench_utils import banner, run_once
+
+from repro import units
+from repro.analysis.reporting import format_table
+from repro.apps.rcp import RCPStarFlow, RCPStarTask
+from repro.control.agent import ControlPlaneAgent
+from repro.core.memory_map import MemoryMap
+from repro.net.routing import install_shortest_path_routes
+from repro.net.topology import TopologyBuilder
+
+CAPACITY = 10 * units.MEGABITS_PER_SEC
+DURATION_S = 8.0
+
+
+def run_variant(piggyback_every):
+    builder = TopologyBuilder(rate_bps=10 * CAPACITY,
+                              delay_ns=units.milliseconds(1),
+                              trace_enabled=False)
+    net = builder.dumbbell(n_pairs=3, bottleneck_bps=CAPACITY)
+    install_shortest_path_routes(net)
+    for switch in net.switches.values():
+        switch.start_stats(interval_ns=units.milliseconds(5))
+    agent = ControlPlaneAgent(list(net.switches.values()),
+                              memory_map=MemoryMap.standard())
+    task = RCPStarTask(agent)
+    flows = [RCPStarFlow(task, i, net.host(f"h{i}"), net.host(f"h{i + 3}"),
+                         net.host(f"h{i + 3}").mac, capacity_bps=CAPACITY,
+                         rtt_s=0.02, max_hops=3,
+                         piggyback_every=piggyback_every)
+             for i in range(3)]
+    for flow in flows:
+        flow.start()
+    net.run(until_seconds=DURATION_S)
+
+    register = task.rate_register_bps(net.switch("swL"), 0)
+    goodputs = [f.sink.goodput_bps(units.seconds(DURATION_S - 2),
+                                   units.seconds(DURATION_S))
+                for f in flows]
+    probe_packets = sum(f.endpoint.probes_sent for f in flows)
+    responses = sum(f.endpoint.responses_received for f in flows)
+    return {
+        "register_ratio": register / CAPACITY,
+        "goodputs_mbps": [g / 1e6 for g in goodputs],
+        "probe_packets": probe_packets,
+        "responses": responses,
+    }
+
+
+def run_experiment():
+    return {
+        "standalone": run_variant(None),
+        "piggyback": run_variant(4),
+    }
+
+
+def test_ablation_probe_transport(benchmark):
+    result = run_once(benchmark, run_experiment)
+
+    banner("Ablation E12: standalone probe packets vs piggybacked "
+           "collect TPPs")
+    rows = []
+    for name, data in result.items():
+        rows.append([
+            name,
+            f"{data['register_ratio']:.3f}",
+            " / ".join(f"{g:.2f}" for g in data["goodputs_mbps"]),
+            data["probe_packets"],
+            data["responses"],
+        ])
+    print(format_table(
+        ["collect transport", "R/C (ideal 0.333)",
+         "goodputs (Mb/s)", "standalone probes sent", "samples"],
+        rows))
+
+    standalone = result["standalone"]
+    piggyback = result["piggyback"]
+    # Both reach roughly the fair share...
+    assert abs(standalone["register_ratio"] - 1 / 3) < 0.12
+    assert abs(piggyback["register_ratio"] - 1 / 3) < 0.12
+    # ... and deliver comparable goodput.
+    assert abs(sum(piggyback["goodputs_mbps"])
+               - sum(standalone["goodputs_mbps"])) < 2.0
+    # Piggyback drastically reduces standalone probe packets (only the
+    # keepalive trickle remains)...
+    assert piggyback["probe_packets"] < 0.5 * standalone["probe_packets"]
+    # ... while still collecting plenty of samples via trimmed echoes.
+    assert piggyback["responses"] > 0.5 * standalone["responses"]

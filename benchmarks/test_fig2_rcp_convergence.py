@@ -1,0 +1,156 @@
+"""E2 / Figure 2: RCP (in-network, ns-2 equivalent) vs RCP* (TPP+endhost).
+
+The paper's setup: a 10 Mb/s bottleneck shared by three flows starting at
+t = 0 s, 10 s and 20 s; the figure plots the bottleneck fair-share rate
+R(t)/C for both implementations, with alpha = 0.5 and beta = 1.  The
+claim is qualitative similarity: both converge quickly to ~1, ~1/2 and
+~1/3 after each arrival.
+
+We reproduce both curves in the same simulator.  Absolute convergence
+times differ from the paper's Linux-router testbed, but the shape — fast
+convergence to the fair share after each flow joins — must hold.
+"""
+
+from __future__ import annotations
+
+from bench_utils import banner, run_once
+
+from repro import units
+from repro.analysis.convergence import convergence_time_ns
+from repro.analysis.reporting import ascii_plot, format_table
+from repro.analysis.timeseries import TimeSeries
+from repro.apps.rcp import RCPStarFlow, RCPStarTask
+from repro.apps.rcp_router import RCPBaselineFlow, RCPRouterNetwork
+from repro.control.agent import ControlPlaneAgent
+from repro.core.memory_map import MemoryMap
+from repro.net.routing import install_shortest_path_routes
+from repro.net.topology import TopologyBuilder
+from repro.sim.timers import PeriodicTimer
+
+CAPACITY = 10 * units.MEGABITS_PER_SEC     # the paper's 10 Mb/s bottleneck
+RTT_S = 0.02
+ALPHA, BETA = 0.5, 1.0                      # the paper's parameters
+FLOW_STARTS_S = (0.0, 10.0, 20.0)           # the paper's arrival times
+DURATION_S = 30.0
+SAMPLE_INTERVAL_NS = units.milliseconds(50)
+
+
+def build_net():
+    builder = TopologyBuilder(rate_bps=10 * CAPACITY,
+                              delay_ns=units.milliseconds(1))
+    net = builder.dumbbell(n_pairs=3, bottleneck_bps=CAPACITY)
+    install_shortest_path_routes(net)
+    return net
+
+
+def sample_rate(net, read_rate):
+    series = TimeSeries("R(t)/C")
+    timer = PeriodicTimer(net.sim, SAMPLE_INTERVAL_NS,
+                          lambda: series.append(net.sim.now_ns,
+                                                read_rate() / CAPACITY))
+    timer.start()
+    return series
+
+
+def run_rcp_star():
+    net = build_net()
+    for switch in net.switches.values():
+        switch.start_stats(interval_ns=units.milliseconds(5))
+    agent = ControlPlaneAgent(list(net.switches.values()),
+                              memory_map=MemoryMap.standard())
+    task = RCPStarTask(agent)
+    flows = [RCPStarFlow(task, i, net.host(f"h{i}"), net.host(f"h{i + 3}"),
+                         net.host(f"h{i + 3}").mac, capacity_bps=CAPACITY,
+                         rtt_s=RTT_S, alpha=ALPHA, beta=BETA, max_hops=3)
+             for i in range(3)]
+    swL = net.switch("swL")
+    series = sample_rate(net, lambda: task.rate_register_bps(swL, 0))
+    for start_s, flow in zip(FLOW_STARTS_S, flows):
+        if start_s == 0.0:
+            flow.start()
+        else:
+            net.sim.schedule(units.seconds(start_s), flow.start)
+    net.run(until_seconds=DURATION_S)
+    goodputs = [f.sink.goodput_bps(units.seconds(28), units.seconds(30))
+                for f in flows]
+    return series, goodputs
+
+
+def run_rcp_baseline():
+    net = build_net()
+    routers = RCPRouterNetwork(list(net.switches.values()), rtt_s=RTT_S,
+                               alpha=ALPHA, beta=BETA)
+    routers.start()
+    flows = [RCPBaselineFlow(i, net.host(f"h{i}"), net.host(f"h{i + 3}"),
+                             net.host(f"h{i + 3}").mac,
+                             net.host(f"h{i}").mac, capacity_bps=CAPACITY,
+                             rtt_ns=int(RTT_S * 1e9))
+             for i in range(3)]
+    agent = routers.agent("swL", 0)
+    series = sample_rate(net, lambda: agent.rate_bps)
+    for start_s, flow in zip(FLOW_STARTS_S, flows):
+        if start_s == 0.0:
+            flow.start()
+        else:
+            net.sim.schedule(units.seconds(start_s), flow.start)
+    net.run(until_seconds=DURATION_S)
+    goodputs = [f.sink.goodput_bps(units.seconds(28), units.seconds(30))
+                for f in flows]
+    return series, goodputs
+
+
+def phase_mean(series, start_s, end_s):
+    return series.window(units.seconds(start_s),
+                         units.seconds(end_s)).mean()
+
+
+def report(name, series, goodputs):
+    print()
+    print(ascii_plot(series, title=f"{name}: R(t)/C on the bottleneck",
+                     y_min=0.0, y_max=1.1, width=66, height=12))
+    rows = []
+    for index, (lo, hi, target) in enumerate(
+            [(5, 10, 1.0), (15, 20, 0.5), (25, 30, 1 / 3)], start=1):
+        rows.append([f"{index} flow(s)", f"{target:.3f}",
+                     f"{phase_mean(series, lo, hi):.3f}"])
+    print(format_table(["phase", "ideal R/C", f"{name} measured"], rows))
+    print(f"steady-state per-flow goodputs (Mb/s): "
+          f"{[round(g / 1e6, 2) for g in goodputs]}")
+
+
+def test_fig2_rcp_vs_rcp_star(benchmark):
+    def experiment():
+        return run_rcp_star(), run_rcp_baseline()
+
+    (star_series, star_goodputs), (base_series, base_goodputs) = run_once(
+        benchmark, experiment)
+
+    banner("Figure 2: RCP (simulation) vs RCP* (TPP + endhost)")
+    report("RCP (in-network)", base_series, base_goodputs)
+    report("RCP* (TPP+endhost)", star_series, star_goodputs)
+
+    # --- shape assertions ------------------------------------------------
+    # Phase means near the ideal fair share for both implementations.
+    for series, tolerance in ((base_series, 0.10), (star_series, 0.25)):
+        assert abs(phase_mean(series, 5, 10) - 1.0) < tolerance
+        assert abs(phase_mean(series, 15, 20) - 0.5) < tolerance * 0.6
+        assert abs(phase_mean(series, 25, 30) - 1 / 3) < tolerance * 0.5
+
+    # Quick convergence after each arrival (well under one phase).
+    for series in (base_series, star_series):
+        for start_s, target in ((10.0, 0.5), (20.0, 1 / 3)):
+            settle = convergence_time_ns(
+                series.window(units.seconds(start_s),
+                              units.seconds(start_s + 10)),
+                target=target, tolerance=0.3)
+            assert settle is not None
+            assert settle - units.seconds(start_s) < units.seconds(5)
+
+    # Qualitative similarity: both curves end in the same band.
+    assert abs(phase_mean(base_series, 25, 30)
+               - phase_mean(star_series, 25, 30)) < 0.12
+
+    # Flows actually received their shares.
+    for goodputs in (base_goodputs, star_goodputs):
+        for goodput in goodputs:
+            assert goodput > 0.15 * CAPACITY

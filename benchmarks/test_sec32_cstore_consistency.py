@@ -1,0 +1,117 @@
+"""E8 / §2.2 + §3.2.3: CSTORE gives linearizable shared-state updates.
+
+"With multiple concurrent writers to a shared switch memory, one might
+wonder if there could be race conditions ... we support a conditional
+store instruction to provide a stronger (linearizable) notion of
+consistency for memory updates."
+
+Several end-hosts concurrently increment one shared SRAM word through
+read-modify-write TPP round trips.  With plain STOREs, interleavings lose
+updates; with CSTORE (conditioned on the value read, old value returned
+in the packet) every successful increment is accounted for exactly once.
+"""
+
+from __future__ import annotations
+
+from bench_utils import banner, run_once
+
+from repro import units
+from repro.analysis.reporting import format_table
+from repro.core.assembler import assemble
+from repro.endhost.client import TPPEndpoint
+from repro.net.routing import install_shortest_path_routes
+from repro.net.topology import TopologyBuilder
+
+N_WRITERS = 6
+INCREMENTS_PER_WRITER = 25
+
+
+class Incrementer:
+    """Read-modify-write increments of Sram:Word0 on the shared switch."""
+
+    def __init__(self, host, peer_mac, use_cstore):
+        self.host = host
+        self.peer_mac = peer_mac
+        self.use_cstore = use_cstore
+        self.remaining = INCREMENTS_PER_WRITER
+        self.retries = 0
+
+    def start(self):
+        self._read()
+
+    def _read(self):
+        if self.remaining <= 0:
+            return
+        self.host.tpp.send(assemble("PUSH [Sram:Word0]"),
+                           dst_mac=self.peer_mac,
+                           on_response=self._on_read)
+
+    def _on_read(self, result):
+        seen = result.word(0)
+        if self.use_cstore:
+            program = assemble("CSTORE [Sram:Word0], $seen, $next",
+                               symbols={"seen": seen, "next": seen + 1})
+            self.host.tpp.send(
+                program, dst_mac=self.peer_mac,
+                on_response=lambda r, s=seen: self._on_cstore(r, s))
+        else:
+            program = assemble(
+                ".memory 1\n.data 0 $next\nSTORE [Sram:Word0], [Packet:0]",
+                symbols={"next": seen + 1})
+            self.host.tpp.send(program, dst_mac=self.peer_mac,
+                               on_response=self._on_plain_store)
+
+    def _on_cstore(self, result, seen):
+        if result.word(0) == seen:  # old value equals cond: our write won
+            self.remaining -= 1
+        else:
+            self.retries += 1
+        self._read()
+
+    def _on_plain_store(self, result):
+        self.remaining -= 1
+        self._read()
+
+
+def run_variant(use_cstore):
+    net = TopologyBuilder(rate_bps=units.GIGABITS_PER_SEC).star(
+        N_WRITERS + 1)
+    install_shortest_path_routes(net)
+    for host in net.hosts.values():
+        host.tpp = TPPEndpoint(host)
+    peer = net.host(f"h{N_WRITERS}")
+    writers = [Incrementer(net.host(f"h{i}"), peer.mac, use_cstore)
+               for i in range(N_WRITERS)]
+    for writer in writers:
+        writer.start()
+    net.run(until_seconds=10.0)
+    assert all(w.remaining == 0 for w in writers), "writers did not finish"
+    final = net.switch("sw0").mmu.peek_sram(0)
+    return final, sum(w.retries for w in writers)
+
+
+def run_experiment():
+    return {"store": run_variant(False), "cstore": run_variant(True)}
+
+
+def test_sec32_cstore_linearizability(benchmark):
+    result = run_once(benchmark, run_experiment)
+    expected = N_WRITERS * INCREMENTS_PER_WRITER
+    store_final, _ = result["store"]
+    cstore_final, cstore_retries = result["cstore"]
+
+    banner("§3.2.3: shared-register updates — plain STORE vs CSTORE")
+    rows = [
+        ["plain STORE", expected, store_final,
+         expected - store_final, "-"],
+        ["CSTORE", expected, cstore_final, expected - cstore_final,
+         cstore_retries],
+    ]
+    print(format_table(
+        ["method", "increments issued", "final counter", "lost updates",
+         "retries"], rows))
+
+    # --- shape assertions ------------------------------------------------
+    assert store_final < expected          # racing STOREs lose updates
+    assert cstore_final == expected        # CSTORE is exact
+    assert cstore_retries > 0              # there was real contention

@@ -1,0 +1,130 @@
+"""E5 / §3.2.3 + §3.3: TPP overheads and TCPU feasibility arithmetic.
+
+Reproduces every number the paper's feasibility argument rests on,
+*measured from real encoded bytes and the pipeline model*, not asserted:
+
+- "Restricting TPPs to (say) five instructions per-packet requires only
+  20 bytes of instruction overhead and up to 60 bytes of output space"
+  (abstract) / "if each instruction accesses 8-byte values in the packet,
+  we require only 40 bytes of packet memory per hop" (§3.3).
+- "a 64-port 10GbE switch has to process about a billion 64-byte-packets/
+  second" (§1 footnote 2).
+- "Low-latency ASICs today can switch minimum sized packets with a
+  cut-through latency of 300ns, which is 300 clock cycles for a 1GHz
+  ASIC" and execution fits in a packet's transmission time (§3.3).
+"""
+
+from __future__ import annotations
+
+from bench_utils import banner, run_once
+
+from repro.analysis.reporting import format_table
+from repro.core.assembler import assemble
+from repro.core.tcpu import PipelineModel, pipeline_cycles
+from repro.core.tpp import TPP_HEADER_BYTES
+
+
+def five_instruction_program(word_size):
+    return assemble(f"""
+        .word {word_size}
+        PUSH [Switch:SwitchID]
+        PUSH [Queue:QueueSize]
+        PUSH [Link:RX-Utilization]
+        PUSH [Link:BytesReceived]
+        PUSH [Queue:BytesDropped]
+    """, hops=1)
+
+
+def run_experiment():
+    model = PipelineModel(clock_ghz=1.0)
+    program4 = five_instruction_program(4)
+    program8 = five_instruction_program(8)
+    tpp8 = program8.build()
+    return {
+        "instruction_bytes": program4.instruction_bytes,
+        "memory_per_hop_w4": program4.perhop_len_bytes,
+        "memory_per_hop_w8": program8.perhop_len_bytes,
+        "encoded_bytes_w8": len(tpp8.encode()),
+        "pps_billion": PipelineModel.line_rate_packets_per_second(
+            64, 10.0, 64) / 1e9,
+        "cycles_5": pipeline_cycles(5),
+        "exec_ns_5": model.execution_time_ns(5),
+        "tx_ns_min_packet": model.transmission_time_ns(64, 10.0),
+        "fits": model.fits_in_transmission_time(5, 64, 10.0),
+        "budget_cycles": model.cut_through_budget_cycles(300.0),
+    }
+
+
+def test_sec3_overhead_numbers(benchmark):
+    measured = run_once(benchmark, run_experiment)
+
+    banner("§3 overheads: paper's numbers vs this implementation")
+    rows = [
+        ["5-instruction overhead", "20 B",
+         f"{measured['instruction_bytes']} B (measured on wire encoding)"],
+        ["packet memory per hop, 8 B values", "40 B",
+         f"{measured['memory_per_hop_w8']} B"],
+        ["packet memory per hop, 4 B values", "20 B",
+         f"{measured['memory_per_hop_w4']} B"],
+        ["64-port 10GbE packet rate", "~1e9 pkt/s",
+         f"{measured['pps_billion']:.2f}e9 pkt/s"],
+        ["TCPU cycles for 5 instructions", "pipelined, 1/cycle",
+         f"{measured['cycles_5']} cycles "
+         f"({measured['exec_ns_5']:.0f} ns @ 1 GHz)"],
+        ["min-packet tx time at 10 GbE", "-",
+         f"{measured['tx_ns_min_packet']:.1f} ns"],
+        ["execution < transmission time", "yes",
+         "yes" if measured["fits"] else "NO"],
+        ["cut-through budget @300 ns, 1 GHz", "300 cycles",
+         f"{measured['budget_cycles']} cycles"],
+    ]
+    print(format_table(["quantity", "paper", "measured"], rows))
+
+    # --- assertions: the paper's arithmetic holds exactly -----------------
+    assert measured["instruction_bytes"] == 20
+    assert measured["memory_per_hop_w8"] == 40
+    assert measured["memory_per_hop_w4"] == 20
+    assert 0.9 < measured["pps_billion"] < 1.1
+    assert measured["cycles_5"] == 5 + 3            # latency 4, 1/cycle
+    assert measured["fits"]
+    assert measured["budget_cycles"] == 300
+    # Whole-TPP wire size: header + code + one hop of 8-byte values.
+    assert measured["encoded_bytes_w8"] == TPP_HEADER_BYTES + 20 + 40
+
+
+def test_tcpu_interpreter_throughput(benchmark):
+    """Micro-benchmark of the simulator's TCPU interpreter itself
+    (instructions per second of *simulation*, not of the modeled ASIC)."""
+    from repro.asic.metadata import PacketMetadata
+    from repro.core.mmu import MMU, ExecutionContext
+    from repro.core.tcpu import TCPU
+
+    class FakeQueue:
+        occupancy_bytes = 100
+
+    class FakePort:
+        index = 0
+        queue = FakeQueue()
+
+    mmu = MMU()
+    mmu.bind_reader("Switch:SwitchID", lambda ctx: 1)
+    mmu.bind_reader("Queue:QueueSize",
+                    lambda ctx: ctx.queue.occupancy_bytes)
+    tcpu = TCPU(mmu)
+    program = assemble("""
+        PUSH [Switch:SwitchID]
+        PUSH [Queue:QueueSize]
+        PUSH [Switch:SwitchID]
+        PUSH [Queue:QueueSize]
+        PUSH [Switch:SwitchID]
+    """, hops=1)
+    ctx = ExecutionContext(metadata=PacketMetadata(),
+                           egress_port=FakePort())
+
+    def execute_once():
+        tpp = program.build()
+        return tcpu.execute(tpp, ctx)
+
+    report = benchmark(execute_once)
+    assert report.ok
+    assert report.executed == 5

@@ -1,0 +1,96 @@
+"""Simulator engineering benchmarks (not a paper figure).
+
+These measure the reproduction substrate itself with real
+pytest-benchmark timing loops: event-loop throughput, end-to-end packet
+forwarding rate through the full switch pipeline, TPP execution cost on
+the pipeline, and wire-format encode/decode throughput.  They are the
+numbers a user needs to size experiments ("how many simulated
+packet-hops per wall second do I get?").
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.core.assembler import assemble
+from repro.net import wire
+from repro.net.packet import Datagram, EthernetFrame, RawPayload
+from repro.net.routing import install_shortest_path_routes
+from repro.net.topology import TopologyBuilder
+from repro.sim.simulator import Simulator
+
+
+def test_event_loop_throughput(benchmark):
+    """Events per second of the bare engine."""
+
+    def run_10k_events():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule(10, tick)
+
+        sim.schedule(0, tick)
+        sim.run()
+        return count[0]
+
+    processed = benchmark(run_10k_events)
+    assert processed == 10_000
+
+
+def test_packet_forwarding_rate(benchmark):
+    """Full-pipeline packet-hops per second: 3 switches, paced flow."""
+    from repro.endhost.flows import Flow, FlowSink
+
+    def run_burst():
+        builder = TopologyBuilder(rate_bps=units.GIGABITS_PER_SEC,
+                                  trace_enabled=False)
+        net = builder.linear(n_switches=3)
+        install_shortest_path_routes(net)
+        h0, h1 = net.host("h0"), net.host("h1")
+        sink = FlowSink(h1, 99)
+        flow = Flow(h0, h1, h1.mac, 99,
+                    rate_bps=800 * units.MEGABITS_PER_SEC)
+        flow.start()
+        net.run(until_seconds=0.02)  # ~2000 packets x 3 hops
+        return sink.packets_received
+
+    received = benchmark(run_burst)
+    assert received > 1000
+
+
+def test_tpp_execution_through_pipeline(benchmark):
+    """Cost of a TPP probe round trip (execute on 3 switches + echo)."""
+    from repro import quickstart_network
+
+    net = quickstart_network(n_switches=3, stats_interval_ns=None)
+    h0, h1 = net.host("h0"), net.host("h1")
+    program = assemble("""
+        PUSH [Switch:SwitchID]
+        PUSH [Queue:QueueSize]
+    """)
+
+    def round_trip():
+        results = []
+        h0.tpp.send(program, dst_mac=h1.mac, on_response=results.append)
+        net.run(until_seconds=net.sim.now_seconds + 0.001)
+        return results
+
+    results = benchmark(round_trip)
+    assert results[0].hops() == 3
+
+
+def test_wire_encode_decode(benchmark):
+    """Serialize + parse a TPP-in-IPv4 frame (checksums verified)."""
+    program = assemble("PUSH [Queue:QueueSize]", hops=5)
+    inner = Datagram(0x0A000001, 0x0A000002, 1000, 2000,
+                     RawPayload(256, data=b"x" * 256))
+    frame = EthernetFrame(dst=0xA, src=0xB, ethertype=0x9999,
+                          payload=program.build(payload=inner))
+
+    def round_trip():
+        return wire.decode_frame(wire.encode_frame(frame))
+
+    decoded = benchmark(round_trip)
+    assert decoded.payload.payload.dst_port == 2000

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Micro-burst monitoring (paper §2.1).
+
+A datacenter-style incast: two 1 Gb/s senders fire sub-millisecond bursts
+at a host behind a 100 Mb/s link.  An end-host probes the path every
+100 µs with ``PUSH [Switch:SwitchID]; PUSH [Queue:QueueSize]`` and
+characterizes every queue excursion — while a 1-second control-plane
+poller watching the very same queue sees nothing.
+
+Run:  python examples/microburst_monitor.py
+"""
+
+from repro import units
+from repro.analysis.reporting import ascii_plot
+from repro.apps.microburst import (
+    BurstDetector,
+    BurstyTrafficGenerator,
+    CoarsePoller,
+    TelemetryStream,
+)
+from repro.endhost.client import TPPEndpoint
+from repro.endhost.flows import Flow, FlowSink
+from repro.net.routing import install_shortest_path_routes
+from repro.net.topology import Network
+
+FAST = units.GIGABITS_PER_SEC
+SLOW = 100 * units.MEGABITS_PER_SEC
+
+# --- topology: h0 (monitor), h1/h3 (bursty) -> h2 behind a slow link ---
+net = Network(seed=3)
+switch = net.add_switch()
+for name in ("h0", "h1", "h2", "h3"):
+    host = net.add_host(name)
+    net.link(host, switch, SLOW if name == "h2" else FAST, delay_ns=5_000)
+install_shortest_path_routes(net)
+h0, h2 = net.host("h0"), net.host("h2")
+
+# --- bursty cross traffic -----------------------------------------------
+FlowSink(h2, 99)
+for index, name in enumerate(("h1", "h3")):
+    flow = Flow(net.host(name), h2, h2.mac, 99, rate_bps=0,
+                packet_bytes=1000)
+    BurstyTrafficGenerator(
+        flow, burst_rate_bps=FAST,
+        on_mean_ns=units.microseconds(400),
+        off_mean_ns=units.milliseconds(25),
+        rng=net.rng.stream(f"burst{index}"),
+    ).start()
+
+# --- the two observers ----------------------------------------------------
+stream = TelemetryStream(h0, h2.mac, interval_ns=units.microseconds(100))
+TPPEndpoint(h2)
+stream.start(first_delay_ns=1)
+
+port_to_h2 = [p for p in switch.ports if p.link.name.endswith("h2")][0]
+coarse = CoarsePoller(net.sim, port_to_h2, interval_ns=units.seconds(1))
+coarse.start()
+
+net.run(until_seconds=2.0)
+
+# --- report ----------------------------------------------------------------
+series = stream.series_for(switch.switch_id)
+print(ascii_plot(series.resample_mean(units.milliseconds(2)),
+                 title="queue occupancy at sw0 -> h2 (bytes, 2 ms bins, "
+                       "seen via TPPs)",
+                 width=70, height=12))
+
+detector = BurstDetector(threshold_bytes=8_000)
+bursts = detector.detect(series)
+print(f"\nTPP telemetry: {len(series)} samples, "
+      f"{len(bursts)} micro-bursts detected")
+for burst in bursts[:8]:
+    print(f"  t={burst.start_ns / 1e6:8.2f} ms  "
+          f"duration={burst.duration_ns / 1e3:7.0f} us  "
+          f"peak={burst.peak_bytes / 1024:5.1f} KiB")
+if len(bursts) > 8:
+    print(f"  ... and {len(bursts) - 8} more")
+
+coarse_bursts = detector.detect(coarse.series)
+print(f"\n1-second control-plane poller on the same queue: "
+      f"{len(coarse.series)} samples, {len(coarse_bursts)} bursts seen")
+print("=> per-RTT dataplane visibility is what makes micro-bursts "
+      "observable at all (paper §2.1).")

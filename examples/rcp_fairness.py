@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""RCP* — congestion control from the end of the network (paper §2.2).
+
+Reproduces the Figure 2 scenario: three flows arrive at t = 0, 4 and 8
+seconds on a shared 10 Mb/s bottleneck.  Each flow runs the three-phase
+RCP* loop (collect TPP / compute / CEXEC-targeted update TPP); the
+switches only ever execute reads and writes.
+
+Run:  python examples/rcp_fairness.py
+"""
+
+from repro import units
+from repro.analysis.convergence import jain_fairness
+from repro.analysis.reporting import ascii_plot
+from repro.analysis.timeseries import TimeSeries
+from repro.apps.rcp import RCPStarFlow, RCPStarTask
+from repro.control.agent import ControlPlaneAgent
+from repro.core.memory_map import MemoryMap
+from repro.net.routing import install_shortest_path_routes
+from repro.net.topology import TopologyBuilder
+from repro.sim.timers import PeriodicTimer
+
+CAPACITY = 10 * units.MEGABITS_PER_SEC
+DURATION_S = 12.0
+STARTS_S = (0.0, 4.0, 8.0)
+
+# --- network ---------------------------------------------------------------
+builder = TopologyBuilder(rate_bps=10 * CAPACITY,
+                          delay_ns=units.milliseconds(1))
+net = builder.dumbbell(n_pairs=3, bottleneck_bps=CAPACITY)
+install_shortest_path_routes(net)
+for switch in net.switches.values():
+    switch.start_stats(interval_ns=units.milliseconds(5))
+
+# --- control plane: allocate the RCP registers network-wide ----------------
+agent = ControlPlaneAgent(list(net.switches.values()),
+                          memory_map=MemoryMap.standard())
+task = RCPStarTask(agent)
+
+# --- three RCP* flows -------------------------------------------------------
+flows = []
+for index, start_s in enumerate(STARTS_S):
+    flow = RCPStarFlow(task, index, net.host(f"h{index}"),
+                       net.host(f"h{index + 3}"),
+                       net.host(f"h{index + 3}").mac,
+                       capacity_bps=CAPACITY, rtt_s=0.02, max_hops=3)
+    flows.append(flow)
+    if start_s == 0.0:
+        flow.start()
+    else:
+        net.sim.schedule(units.seconds(start_s), flow.start)
+
+# --- sample R(t)/C on the bottleneck ----------------------------------------
+swL = net.switch("swL")
+ratio = TimeSeries("R/C")
+PeriodicTimer(net.sim, units.milliseconds(50),
+              lambda: ratio.append(net.sim.now_ns,
+                                   task.rate_register_bps(swL, 0)
+                                   / CAPACITY)).start()
+
+net.run(until_seconds=DURATION_S)
+
+# --- report ------------------------------------------------------------------
+print(ascii_plot(ratio, title="RCP*: bottleneck fair-share R(t)/C "
+                              "(flows join at t=0, 4, 8 s)",
+                 y_min=0.0, y_max=1.1, width=70, height=14))
+
+goodputs = [flow.sink.goodput_bps(units.seconds(10), units.seconds(12))
+            for flow in flows]
+print("\nsteady state with 3 flows:")
+for index, goodput in enumerate(goodputs):
+    print(f"  flow {index}: {goodput / 1e6:5.2f} Mb/s "
+          f"(ideal {CAPACITY / 3 / 1e6:.2f})")
+print(f"  Jain fairness index: {jain_fairness(goodputs):.4f}")
+print(f"  rate-register updates written via TPPs: "
+      f"{sum(f.updates_sent for f in flows)}")
+print("\nThe switches executed nothing but LOAD/PUSH/CSTORE/CEXEC/STORE —"
+      "\nthe whole RCP control law lives in end-host userspace (§2.2).")

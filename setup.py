@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Exists so `pip install -e .` works in offline environments without the
+`wheel` package (pip's legacy editable path needs a setup.py). All real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

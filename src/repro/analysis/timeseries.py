@@ -1,0 +1,127 @@
+"""A minimal time-series container tuned for simulation output."""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Tuple
+
+
+class TimeSeries:
+    """Append-only (time_ns, value) samples with window queries.
+
+    Times must be appended in non-decreasing order (simulation time only
+    moves forward), which keeps every query a binary search.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: List[int] = []
+        self._values: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def append(self, time_ns: int, value: float) -> None:
+        """Add one sample (time must not go backwards)."""
+        if self._times and time_ns < self._times[-1]:
+            raise ValueError(
+                f"time went backwards: {time_ns} < {self._times[-1]}")
+        self._times.append(time_ns)
+        self._values.append(float(value))
+
+    def times(self) -> List[int]:
+        """All sample times."""
+        return list(self._times)
+
+    def values(self) -> List[float]:
+        """All sample values."""
+        return list(self._values)
+
+    def samples(self) -> List[Tuple[int, float]]:
+        """All (time, value) pairs."""
+        return list(zip(self._times, self._values))
+
+    def window(self, start_ns: int, end_ns: int) -> "TimeSeries":
+        """Samples with ``start_ns <= t < end_ns``."""
+        lo = bisect.bisect_left(self._times, start_ns)
+        hi = bisect.bisect_left(self._times, end_ns)
+        result = TimeSeries(self.name)
+        result._times = self._times[lo:hi]
+        result._values = self._values[lo:hi]
+        return result
+
+    def mean(self) -> float:
+        """Arithmetic mean of the values (0.0 when empty)."""
+        if not self._values:
+            return 0.0
+        return sum(self._values) / len(self._values)
+
+    def max(self) -> float:
+        """Largest value (0.0 when empty)."""
+        return max(self._values) if self._values else 0.0
+
+    def min(self) -> float:
+        """Smallest value (0.0 when empty)."""
+        return min(self._values) if self._values else 0.0
+
+    def last(self) -> Optional[float]:
+        """Most recent value, or ``None`` when empty."""
+        return self._values[-1] if self._values else None
+
+    def value_at(self, time_ns: int) -> Optional[float]:
+        """Most recent value at or before ``time_ns`` (zero-order hold)."""
+        index = bisect.bisect_right(self._times, time_ns) - 1
+        if index < 0:
+            return None
+        return self._values[index]
+
+    def percentile(self, fraction: float) -> float:
+        """Value at a quantile in [0, 1] (nearest-rank; 0.0 when empty).
+
+        Latency reporting wants p50/p99; nearest-rank keeps the result an
+        actually-observed value.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1]: {fraction}")
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        rank = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[rank]
+
+    def ewma(self, alpha: float) -> "TimeSeries":
+        """Exponentially smoothed copy."""
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        result = TimeSeries(f"{self.name}.ewma")
+        smoothed: Optional[float] = None
+        for time_ns, value in zip(self._times, self._values):
+            smoothed = value if smoothed is None else (
+                smoothed + alpha * (value - smoothed))
+            result.append(time_ns, smoothed)
+        return result
+
+    def resample_mean(self, bucket_ns: int) -> "TimeSeries":
+        """Mean per fixed-width time bucket (bucket timestamped at its
+        start); empty buckets are skipped."""
+        if bucket_ns <= 0:
+            raise ValueError(f"bucket must be positive: {bucket_ns}")
+        result = TimeSeries(f"{self.name}.resampled")
+        if not self._times:
+            return result
+        bucket_start = (self._times[0] // bucket_ns) * bucket_ns
+        total = 0.0
+        count = 0
+        for time_ns, value in zip(self._times, self._values):
+            if time_ns >= bucket_start + bucket_ns:
+                if count:
+                    result.append(bucket_start, total / count)
+                # Jump straight to the sample's bucket (gaps between
+                # samples may span millions of empty buckets).
+                bucket_start = (time_ns // bucket_ns) * bucket_ns
+                total, count = 0.0, 0
+            total += value
+            count += 1
+        if count:
+            result.append(bucket_start, total / count)
+        return result

@@ -1,0 +1,69 @@
+"""The paper's three network tasks, plus baselines.
+
+- :mod:`repro.apps.microburst` -- Section 2.1: per-packet queue-size
+  telemetry and micro-burst detection, with the coarse control-plane
+  poller it beats.
+- :mod:`repro.apps.rcp` -- Section 2.2: RCP*, the end-host RCP built from
+  collect/compute/update TPP phases.
+- :mod:`repro.apps.rcp_router` -- the in-network RCP baseline (equivalent
+  of the paper's ns-2 simulation) used as Figure 2's reference curve.
+- :mod:`repro.apps.aimd` -- a simple AIMD end-host controller for context.
+- :mod:`repro.apps.ndb` -- Section 2.3: the forwarding-plane debugger:
+  per-packet path/rule traces, reassembly, and policy verification.
+"""
+
+from repro.apps.microburst import (
+    BurstDetector,
+    BurstyTrafficGenerator,
+    CoarsePoller,
+    TelemetryStream,
+)
+from repro.apps.rcp import RCPStarFlow, RCPStarTask
+from repro.apps.rcp_common import RCPHeader, rcp_rate_update
+from repro.apps.rcp_router import (
+    RCPBaselineFlow,
+    RCPLinkAgent,
+    RCPRouterNetwork,
+)
+from repro.apps.aimd import AIMDFlow
+from repro.apps.ndb import NdbCollector, NdbTagger, PathVerifier
+from repro.apps.inband_baselines import (
+    ECNFlow,
+    install_ecn,
+    install_record_route,
+)
+from repro.apps.accounting import (
+    LedgerAuditor,
+    LedgerPublisher,
+    TrafficLedger,
+)
+from repro.apps.latency import LatencyProfiler, PathProfile
+from repro.apps.pathprobe import PathBottleneckProbe, SwitchInventory
+
+__all__ = [
+    "BurstDetector",
+    "BurstyTrafficGenerator",
+    "CoarsePoller",
+    "TelemetryStream",
+    "RCPStarFlow",
+    "RCPStarTask",
+    "RCPHeader",
+    "rcp_rate_update",
+    "RCPLinkAgent",
+    "RCPRouterNetwork",
+    "RCPBaselineFlow",
+    "AIMDFlow",
+    "NdbCollector",
+    "NdbTagger",
+    "PathVerifier",
+    "ECNFlow",
+    "install_ecn",
+    "install_record_route",
+    "LedgerAuditor",
+    "LedgerPublisher",
+    "TrafficLedger",
+    "LatencyProfiler",
+    "PathProfile",
+    "PathBottleneckProbe",
+    "SwitchInventory",
+]

@@ -1,0 +1,90 @@
+"""An AIMD end-host controller — context baseline for the RCP experiments.
+
+Not part of the paper's claims; included so the benchmark harness can show
+what the same TPP telemetry looks like when driven by a TCP-like additive-
+increase/multiplicative-decrease policy instead of RCP's explicit rates.
+It reuses the *collect* phase only (no switch state is written), which also
+demonstrates that multiple control algorithms can share the same read-only
+telemetry TPP.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.timeseries import TimeSeries
+from repro.core.assembler import assemble
+from repro.core.memory_map import MemoryMap
+from repro.endhost.client import TPPEndpoint, TPPResultView
+from repro.endhost.flows import Flow, FlowSink
+from repro.endhost.probes import PeriodicProber
+from repro.net.host import Host
+
+COLLECT_PROGRAM = """
+PUSH [Switch:SwitchID]
+PUSH [Queue:QueueSize]
+"""
+
+
+class AIMDFlow:
+    """Probe-driven AIMD: back off when any path queue exceeds a threshold."""
+
+    def __init__(self, index: int, src: Host, dst: Host, dst_mac: int,
+                 capacity_bps: float,
+                 probe_interval_ns: int = 5_000_000,
+                 queue_threshold_bytes: int = 30_000,
+                 increase_fraction: float = 0.02,
+                 decrease_factor: float = 0.5,
+                 packet_bytes: int = 1000,
+                 memory_map: Optional[MemoryMap] = None) -> None:
+        self.index = index
+        self.src = src
+        self.capacity_bps = capacity_bps
+        self.queue_threshold_bytes = queue_threshold_bytes
+        self.increase_bps = increase_fraction * capacity_bps
+        self.decrease_factor = decrease_factor
+
+        data_port = 43000 + index
+        self.flow = Flow(src, dst, dst_mac, data_port,
+                         rate_bps=max(1, int(0.05 * capacity_bps)),
+                         packet_bytes=packet_bytes)
+        self.sink = FlowSink(dst, data_port)
+        endpoint = getattr(src, "tpp", None)
+        if endpoint is None:
+            endpoint = TPPEndpoint(src)
+            src.tpp = endpoint
+        if getattr(dst, "tpp", None) is None:
+            dst.tpp = TPPEndpoint(dst)
+        self.endpoint = endpoint
+        program = assemble(COLLECT_PROGRAM, memory_map=memory_map)
+        self.prober = PeriodicProber(endpoint, program, probe_interval_ns,
+                                     self._on_probe, dst_mac=dst_mac)
+        self.rate_series = TimeSeries(f"aimd-flow{index}.rate")
+        self.backoffs = 0
+
+    def start(self) -> None:
+        """Start the flow and its probe loop."""
+        self.flow.start()
+        self.prober.start(first_delay_ns=1)
+
+    def stop(self) -> None:
+        """Stop the flow and its probe loop."""
+        self.prober.stop()
+        self.flow.stop()
+
+    def _on_probe(self, result: TPPResultView) -> None:
+        if not result.ok:
+            return
+        hops = result.per_hop_words()
+        if not hops:
+            return
+        worst_queue = max(queue for _, queue in hops)
+        rate = self.flow.rate_bps
+        if worst_queue > self.queue_threshold_bytes:
+            rate = rate * self.decrease_factor
+            self.backoffs += 1
+        else:
+            rate = rate + self.increase_bps
+        rate = min(self.capacity_bps, max(0.01 * self.capacity_bps, rate))
+        self.flow.set_rate(int(rate))
+        self.rate_series.append(self.src.sim.now_ns, rate)

@@ -1,0 +1,63 @@
+r"""Shared pieces of both RCP implementations.
+
+The Rate Control Protocol maintains one fair-share rate R(t) per link,
+updated every T seconds by the control equation of §2.2::
+
+                    /      T   alpha (y(t) - C) + beta q(t)/d \
+    R(t + T) = R(t) | 1 - ---  ------------------------------ |
+                    \      d                C                 /
+
+where y(t) is average offered load into the link, q(t) the average queue
+(in bits here, so q/d is a rate), d the average round-trip time of the
+flows on the link, and alpha/beta configurable gains (the paper uses
+alpha = 0.5, beta = 1 in Figure 2).
+
+:func:`rcp_rate_update` evaluates one step of that equation and is shared
+verbatim by the in-network baseline (:mod:`repro.apps.rcp_router`) and the
+end-host RCP* (:mod:`repro.apps.rcp`) — the point of the reproduction is
+that only *where* it runs differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Figure 2's parameters.
+DEFAULT_ALPHA = 0.5
+DEFAULT_BETA = 1.0
+
+#: Rates are clamped into [MIN_RATE_FRACTION * C, C].
+MIN_RATE_FRACTION = 0.01
+
+
+@dataclass
+class RCPHeader:
+    """The congestion shim header RCP adds between IP and transport.
+
+    Used only by the in-network baseline: data packets advertise the
+    sender's current ``rate_bps`` and ``rtt_ns``; each router lowers
+    ``rate_bps`` to its link's fair share if that is smaller; the receiver
+    feeds the surviving value back to the sender.
+    """
+
+    rate_bps: float
+    rtt_ns: int
+    size_bytes: int = 12  # 8 B rate + 4 B RTT, as a real shim would carry
+
+
+def rcp_rate_update(rate_bps: float, capacity_bps: float,
+                    offered_bps: float, queue_bits: float,
+                    interval_s: float, rtt_s: float,
+                    alpha: float = DEFAULT_ALPHA,
+                    beta: float = DEFAULT_BETA) -> float:
+    """One step of the RCP control equation, clamped to [1% C, C]."""
+    if capacity_bps <= 0:
+        raise ValueError(f"capacity must be positive: {capacity_bps}")
+    if rtt_s <= 0:
+        raise ValueError(f"rtt must be positive: {rtt_s}")
+    pressure = (alpha * (offered_bps - capacity_bps)
+                + beta * queue_bits / rtt_s)
+    factor = 1.0 - (interval_s / rtt_s) * pressure / capacity_bps
+    new_rate = rate_bps * factor
+    return min(capacity_bps,
+               max(MIN_RATE_FRACTION * capacity_bps, new_rate))

@@ -1,0 +1,46 @@
+"""The switch ASIC dataplane pipeline (paper Figure 3).
+
+A packet entering a :class:`~repro.asic.switch.TPPSwitch` flows through the
+same simplified block diagram the paper draws:
+
+1. RX accounting (the PHY / ingress dataplane module);
+2. the header parser (:mod:`repro.asic.parser`);
+3. the forwarding lookup — TCAM, then L2 exact match, then L3 LPM
+   (:mod:`repro.asic.tables`), which stamps per-packet metadata
+   (:mod:`repro.asic.metadata`);
+4. the TCPU (:mod:`repro.core.tcpu`), placed after the lookup stages and
+   before the packet is stored in switch memory;
+5. the egress queue and scheduler (:mod:`repro.net.port`).
+
+Per-port statistics (utilization EWMAs, queue averages — Table 2) are
+maintained by :mod:`repro.asic.stats` and exposed to TPPs through the MMU.
+"""
+
+from repro.asic.metadata import PacketMetadata
+from repro.asic.parser import ParsedHeaders, parse_frame
+from repro.asic.tables import (
+    EntryAllocator,
+    L2Table,
+    L3Table,
+    LookupResult,
+    Tcam,
+    TcamRule,
+)
+from repro.asic.stats import QueueAverager, SwitchStats, UtilizationMeter
+from repro.asic.switch import TPPSwitch
+
+__all__ = [
+    "PacketMetadata",
+    "ParsedHeaders",
+    "parse_frame",
+    "EntryAllocator",
+    "L2Table",
+    "L3Table",
+    "LookupResult",
+    "Tcam",
+    "TcamRule",
+    "QueueAverager",
+    "SwitchStats",
+    "UtilizationMeter",
+    "TPPSwitch",
+]

@@ -1,0 +1,25 @@
+"""Per-packet metadata registers (paper Table 2, "Per-Packet").
+
+"In its registers, the ASIC keeps metadata such as input port, the selected
+route, etc. for every packet" (§3.2.1).  The pipeline fills one of these in
+for every packet; the MMU maps the ``PacketMetadata:`` namespace onto it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PacketMetadata:
+    """Registers describing the packet currently in the pipeline."""
+
+    input_port: int = 0
+    output_port: int = 0
+    matched_entry_id: int = 0
+    matched_entry_version: int = 0
+    matched_entry_hits: int = 0
+    queue_id: int = 0
+    packet_length: int = 0
+    arrival_time_ns: int = 0
+    alternate_routes: int = 0

@@ -1,0 +1,339 @@
+"""The TPP-capable switch: Figure 3's pipeline around a TCPU.
+
+Stages on packet arrival (see package docs): RX accounting, header parsing,
+forwarding lookup (TCAM > L2 > L3), metadata stamping, TPP execution, then
+enqueue on the egress port after a fixed pipeline latency.
+
+The TCPU is deliberately placed *after* the lookup stages and *before* the
+packet is stored in switch memory, so a TPP observes the queue it is about
+to join and all packet modifications are committed before buffering —
+"all modifications to the packet are in local buffers ... committed to the
+packet before it is copied to switch memory" (§3.3).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Optional
+
+from repro.asic.metadata import PacketMetadata
+from repro.asic.parser import ParsedHeaders, parse_frame
+from repro.asic.stats import (
+    DEFAULT_EWMA_ALPHA,
+    DEFAULT_STATS_INTERVAL_NS,
+    SwitchStats,
+)
+from repro.asic.tables import (
+    DROP,
+    EntryAllocator,
+    L2Table,
+    L3Table,
+    LookupResult,
+    Tcam,
+    TcamRule,
+)
+from repro.core.memory_map import MemoryMap
+from repro.core.mmu import MMU, ExecutionContext
+from repro.core.tcpu import DEFAULT_MAX_INSTRUCTIONS, TCPU
+from repro.core.tpp import TPPSection
+from repro.net.device import Device
+from repro.net.packet import (
+    ETHERTYPE_IPV4,
+    ETHERTYPE_TPP,
+    Datagram,
+    EthernetFrame,
+)
+from repro.sim.simulator import Simulator
+from repro.sim.trace import TraceRecorder
+
+#: Fixed pipeline latency between arrival and egress enqueue.  The paper
+#: quotes ~300 ns cut-through for low-latency ASICs; we default to 500 ns
+#: for a store-and-forward pipeline.
+DEFAULT_PIPELINE_LATENCY_NS = 500
+
+
+class TPPSwitch(Device):
+    """A switch with L2/L3/TCAM forwarding and a dataplane TCPU."""
+
+    def __init__(self, sim: Simulator, name: str, switch_id: int,
+                 mac: int = 0, trace: Optional[TraceRecorder] = None,
+                 memory_map: Optional[MemoryMap] = None,
+                 max_tpp_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+                 pipeline_latency_ns: int = DEFAULT_PIPELINE_LATENCY_NS,
+                 tpp_enabled: bool = True) -> None:
+        super().__init__(sim, name, trace)
+        self.switch_id = switch_id
+        self.mac = mac
+        self.pipeline_latency_ns = pipeline_latency_ns
+        self.tpp_enabled = tpp_enabled
+
+        self.mmu = MMU(memory_map, name=name)
+        self.tcpu = TCPU(self.mmu, max_tpp_instructions, name=f"{name}.tcpu")
+
+        allocator = EntryAllocator()
+        self._allocator = allocator
+        self.l2 = L2Table(allocator)
+        self.l3 = L3Table(allocator)
+        self.tcam = Tcam(allocator)
+
+        self.stats: Optional[SwitchStats] = None
+        #: Edge security policy (see repro.control.security); ``None``
+        #: means every port is trusted.
+        self.tpp_policy: Any = None
+        #: Dataplane extension hooks invoked for every forwarded datagram
+        #: as ``hook(frame, datagram, metadata, egress_port)``.  This is
+        #: how the in-network RCP baseline stamps fair-share rates — the
+        #: kind of baked-in ASIC feature TPPs make unnecessary.
+        self.datagram_hooks: list = []
+
+        # Pipeline counters.
+        self.packets_switched = 0
+        self.packets_dropped_no_route = 0
+        self.packets_dropped_by_rule = 0
+        self.tpps_stripped = 0
+        self.tpps_dropped = 0
+
+        self._bind_memory_map()
+
+    # ------------------------------------------------------------------ #
+    # Control-plane configuration
+    # ------------------------------------------------------------------ #
+
+    def install_l2_route(self, dst_mac: int, out_port: int):
+        """Install/replace the unicast route for a MAC."""
+        return self.l2.install(dst_mac, out_port)
+
+    def install_l3_route(self, prefix: int, prefix_len: int, out_port: int):
+        """Install an IPv4 prefix route."""
+        return self.l3.install(prefix, prefix_len, out_port)
+
+    def install_tcam_rule(self, rule: TcamRule) -> TcamRule:
+        """Install a ternary override rule."""
+        return self.tcam.install(rule)
+
+    def start_stats(self, interval_ns: int = DEFAULT_STATS_INTERVAL_NS,
+                    alpha: float = DEFAULT_EWMA_ALPHA) -> SwitchStats:
+        """Start the periodic statistics sampler over the current ports."""
+        self.stats = SwitchStats(self.sim, self.ports, interval_ns, alpha)
+        self.stats.start()
+        return self.stats
+
+    # ------------------------------------------------------------------ #
+    # Dataplane
+    # ------------------------------------------------------------------ #
+
+    def receive(self, frame: EthernetFrame, in_port: int) -> None:
+        self.ports[in_port].note_rx(frame)
+        headers = parse_frame(frame)
+
+        result = self._lookup(headers, in_port)
+        if result is None:
+            self.packets_dropped_no_route += 1
+            self.trace.emit(self.sim.now_ns, self.name, "switch.no_route",
+                            frame_uid=frame.uid, dst=frame.dst)
+            return
+        if result.is_drop:
+            self.packets_dropped_by_rule += 1
+            self.trace.emit(self.sim.now_ns, self.name, "switch.rule_drop",
+                            frame_uid=frame.uid, entry_id=result.entry_id)
+            return
+
+        queue_id = self._classify_queue(headers, result)
+        metadata = PacketMetadata(
+            input_port=in_port,
+            output_port=result.out_port,
+            matched_entry_id=result.entry_id,
+            matched_entry_version=result.version,
+            matched_entry_hits=self._entry_hits(result),
+            queue_id=queue_id,
+            packet_length=frame.size_bytes,
+            arrival_time_ns=self.sim.now_ns,
+            alternate_routes=result.alternate_routes,
+        )
+
+        if headers.tpp is not None:
+            frame = self._handle_tpp(frame, headers.tpp, metadata, in_port)
+            if frame is None:
+                return
+
+        if self.datagram_hooks:
+            datagram = self._find_datagram(frame)
+            if datagram is not None:
+                egress_port = self.ports[result.out_port]
+                for hook in self.datagram_hooks:
+                    hook(frame, datagram, metadata, egress_port)
+
+        self.packets_switched += 1
+        frame.hops.append(self.name)
+        egress = self.ports[result.out_port]
+        self.sim.schedule(self.pipeline_latency_ns, egress.enqueue, frame,
+                          metadata.queue_id)
+
+    def _classify_queue(self, headers: ParsedHeaders, result) -> int:
+        """Egress queue selection: a TCAM set-queue action wins, else the
+        packet's IP traffic class, clamped to the port's queue count."""
+        queue_id = (result.queue_id if result.queue_id is not None
+                    else headers.tos)
+        egress = self.ports[result.out_port]
+        return min(queue_id, egress.n_queues - 1)
+
+    def _entry_hits(self, result) -> int:
+        """Match counter of the entry that just forwarded the packet."""
+        table = {"l2": self.l2, "l3": self.l3, "tcam": self.tcam}.get(
+            result.table)
+        if table is None:
+            return 0
+        return table.hit_counts.get(result.entry_id, 0)
+
+    @staticmethod
+    def _find_datagram(frame: EthernetFrame) -> Optional[Datagram]:
+        payload = frame.payload
+        if isinstance(payload, TPPSection):
+            payload = payload.payload
+        return payload if isinstance(payload, Datagram) else None
+
+    def _lookup(self, headers: ParsedHeaders,
+                in_port: int) -> Optional[LookupResult]:
+        """TCAM first, then L2 exact match, then L3 LPM (Figure 3)."""
+        result = self.tcam.lookup(headers, in_port)
+        if result is not None:
+            return result
+        result = self.l2.lookup(headers.dst_mac,
+                                flow_hash=self._flow_hash(headers))
+        if result is not None:
+            return result
+        return self.l3.lookup(headers.dst_ip)
+
+    @staticmethod
+    def _flow_hash(headers: ParsedHeaders) -> int:
+        """Stable 5-tuple hash for ECMP next-hop selection."""
+        key = (f"{headers.src_mac}|{headers.dst_mac}|{headers.src_ip}|"
+               f"{headers.dst_ip}|{headers.ip_protocol}|"
+               f"{headers.src_port}|{headers.dst_port}").encode()
+        return zlib.crc32(key)
+
+    def _handle_tpp(self, frame: EthernetFrame, tpp: TPPSection,
+                    metadata: PacketMetadata,
+                    in_port: int) -> Optional[EthernetFrame]:
+        """Apply edge policy, then execute the TPP on the TCPU."""
+        action = "execute"
+        if self.tpp_policy is not None:
+            action = self.tpp_policy.action_for(self, in_port, tpp)
+
+        if action == "drop":
+            self.tpps_dropped += 1
+            self.trace.emit(self.sim.now_ns, self.name, "tpp.dropped",
+                            frame_uid=frame.uid, port=in_port)
+            return None
+        if action == "strip":
+            self.tpps_stripped += 1
+            self.trace.emit(self.sim.now_ns, self.name, "tpp.stripped",
+                            frame_uid=frame.uid, port=in_port)
+            inner = tpp.payload
+            if isinstance(inner, Datagram):
+                frame.payload = inner
+                frame.ethertype = ETHERTYPE_IPV4
+                return frame
+            return None  # nothing forwardable inside
+        if action == "forward":
+            return frame  # forward without executing
+
+        if not self.tpp_enabled:
+            return frame
+
+        ctx = ExecutionContext(metadata=metadata,
+                               egress_port=self.ports[metadata.output_port],
+                               time_ns=self.sim.now_ns,
+                               task_id=tpp.task_id)
+        report = self.tcpu.execute(tpp, ctx)
+        self.trace.emit(
+            self.sim.now_ns, self.name, "tpp.exec",
+            frame_uid=frame.uid, seq=tpp.seq, task=tpp.task_id,
+            executed=report.executed, skipped=report.skipped,
+            fault=int(report.fault), cycles=report.cycles,
+            sp_or_hop=tpp.hop_or_sp, memory_words=tpp.words(),
+        )
+        return frame
+
+    # ------------------------------------------------------------------ #
+    # Memory map bindings
+    # ------------------------------------------------------------------ #
+
+    def _bind_memory_map(self) -> None:
+        bind = self.mmu.bind_reader
+
+        # Switch: global registers.
+        bind("Switch:SwitchID", lambda ctx: self.switch_id)
+        bind("Switch:NumPorts", lambda ctx: len(self.ports))
+        bind("Switch:ClockLo", lambda ctx: ctx.time_ns & 0xFFFF_FFFF)
+        bind("Switch:ClockHi", lambda ctx: ctx.time_ns >> 32)
+        bind("Switch:L2TableVersion", lambda ctx: self.l2.table_version)
+        bind("Switch:L2TableEntries", lambda ctx: len(self.l2))
+        bind("Switch:L3TableEntries", lambda ctx: len(self.l3))
+        bind("Switch:TCAMEntries", lambda ctx: len(self.tcam))
+        bind("Switch:TPPsExecuted", lambda ctx: self.tcpu.tpps_executed)
+        bind("Switch:PacketsSwitched", lambda ctx: self.packets_switched)
+
+        # PacketMetadata: the packet in the pipeline.
+        meta = lambda attr: (lambda ctx: getattr(ctx.metadata, attr))
+        bind("PacketMetadata:InputPort", meta("input_port"))
+        bind("PacketMetadata:OutputPort", meta("output_port"))
+        bind("PacketMetadata:MatchedEntryID", meta("matched_entry_id"))
+        bind("PacketMetadata:MatchedEntryVersion",
+             meta("matched_entry_version"))
+        bind("PacketMetadata:QueueID", meta("queue_id"))
+        bind("PacketMetadata:PacketLength", meta("packet_length"))
+        bind("PacketMetadata:ArrivalTimeLo",
+             lambda ctx: ctx.metadata.arrival_time_ns & 0xFFFF_FFFF)
+        bind("PacketMetadata:ArrivalTimeHi",
+             lambda ctx: ctx.metadata.arrival_time_ns >> 32)
+        bind("PacketMetadata:AlternateRoutes", meta("alternate_routes"))
+        bind("PacketMetadata:MatchedEntryHits", meta("matched_entry_hits"))
+
+        # Queue: the packet's egress queue.  QueueSize is the backlog
+        # awaiting transmission (the packet currently on the wire has left
+        # the buffer from the memory manager's point of view).
+        bind("Queue:QueueSize", lambda ctx: ctx.queue.backlog_bytes)
+        bind("Queue:QueueSizePackets", lambda ctx: len(ctx.queue))
+        bind("Queue:BytesEnqueued",
+             lambda ctx: ctx.queue.stats.bytes_enqueued)
+        bind("Queue:BytesDropped", lambda ctx: ctx.queue.stats.bytes_dropped)
+        bind("Queue:PacketsEnqueued",
+             lambda ctx: ctx.queue.stats.packets_enqueued)
+        bind("Queue:PacketsDropped",
+             lambda ctx: ctx.queue.stats.packets_dropped)
+        bind("Queue:AvgQueueSize", self._avg_queue_size)
+
+        # Link: the packet's egress port.
+        bind("Link:RX-Utilization",
+             self._port_stat(lambda s: s.rx_utilization.utilization_milli))
+        bind("Link:TX-Utilization",
+             self._port_stat(lambda s: s.tx_utilization.utilization_milli))
+        bind("Link:BytesReceived", lambda ctx: ctx.egress_port.rx_bytes)
+        bind("Link:BytesTransmitted", lambda ctx: ctx.egress_port.tx_bytes)
+        bind("Link:FramesReceived", lambda ctx: ctx.egress_port.rx_frames)
+        bind("Link:FramesTransmitted", lambda ctx: ctx.egress_port.tx_frames)
+        bind("Link:CapacityMbps",
+             lambda ctx: ctx.egress_port.rate_bps // 1_000_000)
+        bind("Link:SNR-MilliDb", self._snr_milli_db)
+
+    def _avg_queue_size(self, ctx: ExecutionContext) -> int:
+        if self.stats is None:
+            return ctx.queue.occupancy_bytes
+        port_stats = self.stats.port(ctx.egress_port_index)
+        return port_stats.avg_queue_for(
+            ctx.metadata.queue_id).average_bytes
+
+    def _port_stat(self, extract):
+        def reader(ctx: ExecutionContext) -> int:
+            if self.stats is None:
+                return 0
+            return extract(self.stats.port(ctx.egress_port_index))
+        return reader
+
+    @staticmethod
+    def _snr_milli_db(ctx: ExecutionContext) -> int:
+        channel = getattr(ctx.egress_port, "wireless_channel", None)
+        if channel is None:
+            return 0
+        return channel.current_snr_milli_db

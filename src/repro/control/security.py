@@ -1,0 +1,81 @@
+"""Edge security policy for TPPs (paper §4).
+
+"In multi-tenant or untrusted environments such as public cloud
+datacenters, the ingress switches at the network edge (the virtual switch,
+or the border routers) can strip TPPs injected by VMs, or those TPPs
+received from the Internet."
+
+A policy is attached to a switch (``switch.tpp_policy = policy``) and
+consulted once per TPP arrival; it answers one of:
+
+- ``"execute"`` — trusted source, run the TPP on the TCPU;
+- ``"forward"`` — carry the TPP but do not execute it here;
+- ``"strip"``   — remove the TPP section, forward the encapsulated packet;
+- ``"drop"``    — discard the whole packet.
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+from repro.core.tpp import TPPSection
+
+VALID_ACTIONS = ("execute", "forward", "strip", "drop")
+
+
+class EdgeTPPPolicy:
+    """Port-granular trust: untrusted ingress ports get their TPPs
+    stripped (default) or dropped."""
+
+    def __init__(self, untrusted_action: str = "strip") -> None:
+        if untrusted_action not in ("strip", "drop"):
+            raise ValueError(
+                f"untrusted_action must be strip or drop, "
+                f"got {untrusted_action!r}")
+        self.untrusted_action = untrusted_action
+        self._untrusted: Set[Tuple[str, int]] = set()
+
+    def mark_untrusted(self, switch_name: str, port_index: int) -> None:
+        """Declare an edge port untrusted (e.g. it faces a tenant VM)."""
+        self._untrusted.add((switch_name, port_index))
+
+    def mark_trusted(self, switch_name: str, port_index: int) -> None:
+        """Re-trust a port (no-op if it was never untrusted)."""
+        self._untrusted.discard((switch_name, port_index))
+
+    def is_untrusted(self, switch_name: str, port_index: int) -> bool:
+        """Whether a port is currently untrusted."""
+        return (switch_name, port_index) in self._untrusted
+
+    def action_for(self, switch, in_port: int, tpp: TPPSection) -> str:
+        """Policy decision for one TPP arrival (called by the switch)."""
+        if (switch.name, in_port) in self._untrusted:
+            return self.untrusted_action
+        return "execute"
+
+
+class TaskQuotaPolicy:
+    """Executes only TPPs whose task id has been admitted.
+
+    A second, stricter policy useful when the operator wants a whitelist of
+    network tasks regardless of ingress port.
+    """
+
+    def __init__(self, default_action: str = "strip") -> None:
+        if default_action not in ("strip", "drop", "forward"):
+            raise ValueError(f"bad default action {default_action!r}")
+        self.default_action = default_action
+        self._admitted: Set[int] = set()
+
+    def admit(self, task_id: int) -> None:
+        """Allow TPPs carrying this task id to execute."""
+        self._admitted.add(task_id)
+
+    def revoke(self, task_id: int) -> None:
+        """Stop executing TPPs of this task id."""
+        self._admitted.discard(task_id)
+
+    def action_for(self, switch, in_port: int, tpp: TPPSection) -> str:
+        if tpp.task_id in self._admitted:
+            return "execute"
+        return self.default_action

@@ -1,0 +1,413 @@
+"""Assembler for the paper's x86-like TPP assembly language.
+
+Source syntax (everything case-insensitive except ``$symbols``)::
+
+    ; --- directives -----------------------------------------------------
+    .mode stack            ; stack | hop | absolute   (default: stack)
+    .word 4                ; word size in bytes: 4 or 8 (default: 4)
+    .hops 7                ; hops to preallocate memory for (default: 8)
+    .memory 16             ; override: packet memory words (before pool)
+    .perhop 3              ; override: words per hop (hop mode)
+    .data 2 0x1234         ; initialize packet-memory word 2
+
+    ; --- instructions (operand order follows the paper's listings) ------
+    PUSH [Queue:QueueSize]                     ; switch -> packet[SP]
+    POP  [Sram:Word3]                          ; packet[--SP] -> switch
+    LOAD [Switch:SwitchID], [Packet:Hop[1]]    ; switch -> packet memory
+    STORE [Link:RCP-RateRegister], [Packet:0]  ; packet memory -> switch
+    CSTORE [Sram:Word0], [Packet:0], [Packet:1]
+    CEXEC [Switch:SwitchID], 0xFFFFFFFF, $BottleneckSwitchID
+    ADD [Packet:2], [Queue:QueueSize]          ; packet[2] += queue size
+    MIN [Packet:0], [Link:Reg0]                ; packet[0] = min(., reg)
+
+Operand kinds:
+
+- ``[Namespace:Statistic]`` — a switch virtual address resolved against the
+  network-wide :class:`~repro.core.memory_map.MemoryMap` at compile time
+  (exactly the paper's "[Queue:QueueSize] will be compiled to a virtual
+  memory address (say) 0xb000").  A raw ``[0xB000]`` is also accepted.
+- ``[Packet:N]`` / ``[Packet:Hop[N]]`` — packet-memory word offset ``N``
+  (both spellings encode identically; the TPP header's addressing mode
+  decides whether it is hop-relative at run time).
+- immediates — ``0x1F``, ``42``, or ``$name`` resolved from the ``symbols``
+  mapping.  Immediates are materialized into a *literal pool* at the end of
+  packet memory ("packet memory can contain initialized values to load data
+  into the ASIC", Figure 4), because instructions themselves have no room
+  for 32-bit constants in their 4-byte encoding.
+
+Memory sizing: in stack mode the assembler computes the per-hop footprint
+(one word per PUSH) and preallocates ``hops`` hops' worth, matching §2.1:
+"the end-host preallocates enough packet memory to store queue sizes".
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.exceptions import AssemblerError
+from repro.core.isa import Instruction, Opcode, PAIR_OPERAND_OPCODES
+from repro.core.memory_map import MemoryMap
+from repro.core.tpp import AddressingMode, TPPSection
+
+DEFAULT_HOPS = 8
+
+_PACKET_OPERAND = re.compile(
+    r"^\[\s*packet\s*:\s*(?:hop\s*\[\s*(\d+)\s*\]|(\d+))\s*\]$",
+    re.IGNORECASE)
+_SWITCH_OPERAND = re.compile(r"^\[\s*([^\[\]]+?)\s*\]$")
+_SYMBOL = re.compile(r"^\$([A-Za-z_][\w\-]*)$")
+
+_MODES = {
+    "stack": AddressingMode.STACK,
+    "hop": AddressingMode.HOP,
+    "absolute": AddressingMode.ABSOLUTE,
+}
+
+
+@dataclass(frozen=True)
+class _Operand:
+    """A parsed operand before encoding."""
+
+    kind: str            # "switch" | "packet" | "immediate"
+    value: int           # vaddr | word offset | literal value
+
+
+@dataclass
+class AssembledProgram:
+    """Output of :func:`assemble`; a reusable template for TPP sections."""
+
+    instructions: List[Instruction]
+    initial_memory: bytes
+    mode: AddressingMode
+    word_size: int
+    perhop_len_bytes: int
+    memory_words: int
+    pool_base_word: int
+    source: str = ""
+    symbols: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_instructions(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def instruction_bytes(self) -> int:
+        """Wire bytes of the instruction block (paper: 4 B/instruction)."""
+        return 4 * len(self.instructions)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Wire bytes of packet memory, literal pool included."""
+        return len(self.initial_memory)
+
+    def build(self, payload=None, task_id: int = 0,
+              seq: int = 0) -> TPPSection:
+        """Instantiate a fresh TPP section (new packet-memory copy)."""
+        return TPPSection(
+            instructions=list(self.instructions),
+            memory=bytearray(self.initial_memory),
+            mode=self.mode,
+            word_size=self.word_size,
+            hop_or_sp=0,
+            perhop_len_bytes=self.perhop_len_bytes,
+            task_id=task_id,
+            seq=seq,
+            payload=payload,
+        )
+
+
+def assemble(source: str, memory_map: Optional[MemoryMap] = None,
+             symbols: Optional[Dict[str, int]] = None,
+             hops: int = DEFAULT_HOPS) -> AssembledProgram:
+    """Compile TPP assembly into an :class:`AssembledProgram`."""
+    return _Assembler(memory_map, symbols, hops).assemble(source)
+
+
+class _Assembler:
+    """Single-use assembler state machine."""
+
+    def __init__(self, memory_map: Optional[MemoryMap],
+                 symbols: Optional[Dict[str, int]], hops: int) -> None:
+        self.memory_map = memory_map if memory_map else MemoryMap.standard()
+        self.symbols = {k.lower(): v for k, v in (symbols or {}).items()}
+        self.hops = hops
+        self.mode = AddressingMode.STACK
+        self.word_size = 4
+        self.memory_words: Optional[int] = None
+        self.perhop_words: Optional[int] = None
+        self.data_directives: List[Tuple[int, int]] = []
+        self.parsed: List[Tuple[Opcode, List[_Operand], int, str]] = []
+        self.used_symbols: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+
+    def assemble(self, source: str) -> AssembledProgram:
+        for number, raw_line in enumerate(source.splitlines(), start=1):
+            line = raw_line.split(";")[0].split("#")[0].strip()
+            if not line:
+                continue
+            if line.startswith("."):
+                self._directive(line, number, raw_line)
+            else:
+                self._instruction(line, number, raw_line)
+        return self._emit(source)
+
+    # ------------------------------------------------------------------ #
+    # Parsing
+    # ------------------------------------------------------------------ #
+
+    def _directive(self, line: str, number: int, raw: str) -> None:
+        parts = line.split()
+        name = parts[0].lower()
+        try:
+            if name == ".mode":
+                self.mode = _MODES[parts[1].lower()]
+            elif name == ".word":
+                self.word_size = int(parts[1])
+                if self.word_size not in (4, 8):
+                    raise AssemblerError("word size must be 4 or 8",
+                                         number, raw)
+            elif name == ".hops":
+                self.hops = self._int(parts[1], number, raw)
+            elif name == ".memory":
+                self.memory_words = self._int(parts[1], number, raw)
+            elif name == ".perhop":
+                self.perhop_words = self._int(parts[1], number, raw)
+            elif name == ".data":
+                index = self._int(parts[1], number, raw)
+                value = self._int(parts[2], number, raw)
+                self.data_directives.append((index, value))
+            else:
+                raise AssemblerError(f"unknown directive {name!r}",
+                                     number, raw)
+        except (IndexError, KeyError, ValueError) as exc:
+            raise AssemblerError(f"malformed directive: {exc}",
+                                 number, raw) from exc
+
+    def _instruction(self, line: str, number: int, raw: str) -> None:
+        mnemonic, _, rest = line.partition(" ")
+        try:
+            opcode = Opcode[mnemonic.upper()]
+        except KeyError as exc:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}",
+                                 number, raw) from exc
+        operands = [self._operand(text.strip(), number, raw)
+                    for text in _split_operands(rest)]
+        self._check_arity(opcode, operands, number, raw)
+        self.parsed.append((opcode, operands, number, raw))
+
+    @staticmethod
+    def _check_arity(opcode: Opcode, operands: List[_Operand],
+                     number: int, raw: str) -> None:
+        expected = {
+            Opcode.NOP: (0,),
+            Opcode.PUSH: (1,),
+            Opcode.POP: (1,),
+            Opcode.LOAD: (2,),
+            Opcode.STORE: (2,),
+            Opcode.CSTORE: (3,),
+            Opcode.CEXEC: (3,),
+        }.get(opcode, (2,))
+        if len(operands) not in expected:
+            raise AssemblerError(
+                f"{opcode.name} takes {expected[0]} operand(s), "
+                f"got {len(operands)}", number, raw)
+
+    def _operand(self, text: str, number: int, raw: str) -> _Operand:
+        if not text:
+            raise AssemblerError("empty operand", number, raw)
+        match = _PACKET_OPERAND.match(text)
+        if match:
+            offset = int(match.group(1) or match.group(2))
+            if offset > 0xFF:
+                raise AssemblerError(
+                    f"packet offset {offset} exceeds 255", number, raw)
+            return _Operand("packet", offset)
+        symbol = _SYMBOL.match(text)
+        if symbol:
+            key = symbol.group(1).lower()
+            if key not in self.symbols:
+                raise AssemblerError(f"undefined symbol ${symbol.group(1)}",
+                                     number, raw)
+            value = self.symbols[key]
+            self.used_symbols[symbol.group(1)] = value
+            return _Operand("immediate", value)
+        bracketed = _SWITCH_OPERAND.match(text)
+        if bracketed:
+            inner = bracketed.group(1)
+            try:
+                if inner.lower().startswith("0x"):
+                    return _Operand("switch", int(inner, 16))
+                return _Operand("switch", self.memory_map.resolve(inner))
+            except KeyError as exc:
+                raise AssemblerError(str(exc), number, raw) from exc
+        try:
+            return _Operand("immediate", self._int(text, number, raw))
+        except AssemblerError:
+            raise AssemblerError(f"cannot parse operand {text!r}",
+                                 number, raw)
+
+    def _int(self, text: str, number: int, raw: str) -> int:
+        symbol = _SYMBOL.match(text)
+        if symbol:
+            key = symbol.group(1).lower()
+            if key not in self.symbols:
+                raise AssemblerError(f"undefined symbol ${symbol.group(1)}",
+                                     number, raw)
+            self.used_symbols[symbol.group(1)] = self.symbols[key]
+            return self.symbols[key]
+        try:
+            return int(text, 0)
+        except ValueError as exc:
+            raise AssemblerError(f"bad integer {text!r}", number, raw) from exc
+
+    # ------------------------------------------------------------------ #
+    # Emission
+    # ------------------------------------------------------------------ #
+
+    def _emit(self, source: str) -> AssembledProgram:
+        pushes = sum(1 for opcode, *_ in self.parsed
+                     if opcode == Opcode.PUSH)
+        max_packet_word = self._max_packet_word()
+
+        if self.perhop_words is not None:
+            perhop_words = self.perhop_words
+        elif self.mode == AddressingMode.HOP:
+            perhop_words = max_packet_word + 1
+        else:
+            perhop_words = pushes
+
+        if self.memory_words is not None:
+            memory_words = self.memory_words
+        elif self.mode == AddressingMode.STACK:
+            memory_words = max(perhop_words * self.hops,
+                               max_packet_word + 1)
+        elif self.mode == AddressingMode.HOP:
+            memory_words = perhop_words * self.hops
+        else:
+            memory_words = max_packet_word + 1 if self.parsed else 0
+
+        pool: List[int] = []
+        pool_base = memory_words
+        instructions: List[Instruction] = []
+        for opcode, operands, number, raw in self.parsed:
+            instructions.append(
+                self._encode(opcode, operands, pool, pool_base, number, raw))
+
+        total_words = memory_words + len(pool)
+        memory = bytearray(total_words * self.word_size)
+        program = AssembledProgram(
+            instructions=instructions,
+            initial_memory=b"",
+            mode=self.mode,
+            word_size=self.word_size,
+            perhop_len_bytes=perhop_words * self.word_size,
+            memory_words=memory_words,
+            pool_base_word=pool_base,
+            source=source,
+            symbols=dict(self.used_symbols),
+        )
+        # Fill initial memory through a scratch TPPSection for bounds and
+        # masking behaviour identical to run time.
+        scratch = TPPSection(instructions=[], memory=memory,
+                             word_size=self.word_size)
+        for index, value in self.data_directives:
+            if index >= memory_words:
+                raise AssemblerError(
+                    f".data index {index} outside the {memory_words} "
+                    f"declared memory words")
+            scratch.write_word(index * self.word_size, value)
+        for slot, value in enumerate(pool):
+            scratch.write_word((pool_base + slot) * self.word_size, value)
+        program.initial_memory = bytes(memory)
+        return program
+
+    def _max_packet_word(self) -> int:
+        """Highest packet word any operand touches (pairs take two)."""
+        highest = -1
+        for opcode, operands, _, _ in self.parsed:
+            for position, operand in enumerate(operands):
+                if operand.kind != "packet":
+                    continue
+                width = 2 if (opcode in PAIR_OPERAND_OPCODES
+                              and position == 1) else 1
+                highest = max(highest, operand.value + width - 1)
+        return highest
+
+    def _encode(self, opcode: Opcode, operands: List[_Operand],
+                pool: List[int], pool_base: int,
+                number: int, raw: str) -> Instruction:
+        if opcode == Opcode.NOP:
+            return Instruction(Opcode.NOP)
+
+        if opcode in (Opcode.PUSH, Opcode.POP):
+            switch = self._expect(operands[0], "switch", number, raw)
+            return Instruction(opcode, addr=switch.value)
+
+        if opcode in (Opcode.LOAD, Opcode.STORE):
+            switch = self._expect(operands[0], "switch", number, raw)
+            packet = self._expect(operands[1], "packet", number, raw)
+            return Instruction(opcode, addr=switch.value,
+                               offset=packet.value)
+
+        if opcode in PAIR_OPERAND_OPCODES:
+            switch = self._expect(operands[0], "switch", number, raw)
+            second, third = operands[1], operands[2]
+            if second.kind == "packet" and third.kind == "packet":
+                if third.value != second.value + 1:
+                    raise AssemblerError(
+                        f"{opcode.name} packet operands must be "
+                        f"consecutive words, got {second.value} and "
+                        f"{third.value}", number, raw)
+                return Instruction(opcode, addr=switch.value,
+                                   offset=second.value)
+            if second.kind == "immediate" and third.kind == "immediate":
+                offset = pool_base + len(pool)
+                pool.extend([second.value, third.value])
+                if offset + 1 > 0xFF:
+                    raise AssemblerError(
+                        "literal pool exceeds addressable packet memory",
+                        number, raw)
+                return Instruction(opcode, addr=switch.value, offset=offset)
+            raise AssemblerError(
+                f"{opcode.name} operands 2 and 3 must both be packet "
+                f"references or both immediates", number, raw)
+
+        # Arithmetic: OP [Packet:N], [Namespace:Stat]
+        packet = self._expect(operands[0], "packet", number, raw)
+        switch = self._expect(operands[1], "switch", number, raw)
+        return Instruction(opcode, addr=switch.value, offset=packet.value)
+
+    @staticmethod
+    def _expect(operand: _Operand, kind: str, number: int,
+                raw: str) -> _Operand:
+        if operand.kind != kind:
+            raise AssemblerError(
+                f"expected a {kind} operand, got {operand.kind}",
+                number, raw)
+        return operand
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split on commas that are not inside brackets."""
+    if not text.strip():
+        return []
+    parts: List[str] = []
+    depth = 0
+    current = []
+    for char in text:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    parts.append("".join(current))
+    return [part for part in (p.strip() for p in parts) if part]

@@ -1,0 +1,58 @@
+"""Errors raised by the TPP core."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ReproError, WireFormatError
+
+
+class TPPError(ReproError):
+    """Base class for TPP-specific errors."""
+
+
+class AssemblerError(TPPError):
+    """The assembly source could not be compiled."""
+
+    def __init__(self, message: str, line_number: int = 0,
+                 line: str = "") -> None:
+        if line_number:
+            message = f"line {line_number}: {message} ({line.strip()!r})"
+        super().__init__(message)
+        self.line_number = line_number
+        self.line = line
+
+
+class TPPEncodingError(WireFormatError, TPPError):
+    """Bytes could not be parsed as a TPP section."""
+
+
+class FaultCode(enum.IntEnum):
+    """Why a TCPU stopped executing a TPP on a switch.
+
+    The code is stamped into the TPP header's flags field so the end-host
+    that receives the packet can see where and why execution failed —
+    faults travel with the packet, they do not crash the switch.
+    """
+
+    NONE = 0
+    BAD_ADDRESS = 1          # virtual address not mapped on this switch
+    WRITE_PROTECTED = 2      # STORE/CSTORE to a read-only statistic
+    MEMORY_BOUNDS = 3        # packet-memory access outside the TPP
+    STACK_OVERFLOW = 4       # PUSH past the end of packet memory
+    STACK_UNDERFLOW = 5      # POP with an empty stack
+    TOO_MANY_INSTRUCTIONS = 6  # program exceeds the switch's per-TPP limit
+    SRAM_PROTECTION = 7      # SRAM access outside the task's allocation
+    BAD_INSTRUCTION = 8      # unknown opcode
+
+
+class TCPUFault(TPPError):
+    """Internal signal used by the TCPU while executing one instruction.
+
+    Never escapes :meth:`repro.core.tcpu.TCPU.execute`; it is converted into
+    a fault code in the execution report and the TPP flags.
+    """
+
+    def __init__(self, code: FaultCode, message: str) -> None:
+        super().__init__(f"{code.name}: {message}")
+        self.code = code

@@ -1,0 +1,278 @@
+"""The tiny CPU (paper §3.3).
+
+The TCPU sits in the dataplane pipeline after the L2/L3/TCAM lookup stages
+and just before the packet is copied into switch memory (Figure 3), so by
+the time a TPP reaches it the egress port is known and ``Queue:``/``Link:``
+addresses resolve against the link the packet is about to use.
+
+Two things live here:
+
+- :class:`TCPU` — the functional interpreter: executes a TPP's instructions
+  sequentially against an :class:`~repro.core.mmu.MMU`, with the CEXEC
+  kill-switch, CSTORE's linearizable conditional update, stack/hop/absolute
+  packet-memory addressing, and per-packet fault stamping.
+- :class:`PipelineModel` — the timing model of the 5-stage RISC pipeline
+  (§3.3): instruction fetch is completed by the header parser; the
+  remaining decode/execute/memory-read/memory-write stages give a latency
+  of 4 cycles and a pipelined throughput of 1 instruction per cycle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.exceptions import FaultCode, TCPUFault
+from repro.core.isa import (
+    HOP_RELATIVE_OPCODES,
+    Instruction,
+    Opcode,
+    PAIR_OPERAND_OPCODES,
+)
+from repro.core.mmu import MMU, ExecutionContext
+from repro.core.tpp import AddressingMode, TPPSection
+
+#: Default per-TPP instruction budget: the paper's "restricting TPPs to
+#: (say) five instructions per-packet requires only 20 bytes".
+DEFAULT_MAX_INSTRUCTIONS = 5
+
+#: Pipeline stages after the header parser has fetched the instructions.
+PIPELINE_STAGES = ("decode", "execute", "memory-read", "memory-write")
+PIPELINE_LATENCY_CYCLES = len(PIPELINE_STAGES)  # 4, as in the paper
+
+
+@dataclass
+class ExecutionReport:
+    """What happened when one switch executed one TPP."""
+
+    executed: int = 0
+    skipped: int = 0
+    fault: FaultCode = FaultCode.NONE
+    cexec_disabled_at: Optional[int] = None
+    cycles: int = 0
+    switch_writes: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the whole program ran without faulting."""
+        return self.fault == FaultCode.NONE
+
+
+class TCPU:
+    """Executes TPPs against one switch's MMU."""
+
+    def __init__(self, mmu: MMU,
+                 max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+                 name: str = "tcpu") -> None:
+        self.mmu = mmu
+        self.max_instructions = max_instructions
+        self.name = name
+        self.tpps_executed = 0
+        self.instructions_executed = 0
+        self.faults = 0
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def execute(self, tpp: TPPSection, ctx: ExecutionContext) -> ExecutionReport:
+        """Run a TPP at this switch.  Never raises on program errors:
+        faults are stamped into the TPP's flags and reported."""
+        report = ExecutionReport()
+        if tpp.done:
+            return report
+
+        if len(tpp.instructions) > self.max_instructions:
+            self._fault(tpp, report, TCPUFault(
+                FaultCode.TOO_MANY_INSTRUCTIONS,
+                f"{len(tpp.instructions)} instructions > limit "
+                f"{self.max_instructions}"))
+            return report
+
+        ctx.task_id = tpp.task_id
+        enabled = True
+        for index, instruction in enumerate(tpp.instructions):
+            if not enabled:
+                report.skipped += 1
+                continue
+            try:
+                enabled = self._step(tpp, ctx, instruction, report)
+                report.executed += 1
+                if not enabled and report.cexec_disabled_at is None:
+                    report.cexec_disabled_at = index
+            except TCPUFault as fault:
+                self._fault(tpp, report, fault)
+                break
+            except IndexError as exc:
+                self._fault(tpp, report, TCPUFault(
+                    FaultCode.MEMORY_BOUNDS, str(exc)))
+                break
+
+        if tpp.mode == AddressingMode.HOP and report.fault == FaultCode.NONE:
+            tpp.hop += 1
+
+        report.cycles = pipeline_cycles(report.executed)
+        self.tpps_executed += 1
+        self.instructions_executed += report.executed
+        return report
+
+    def _fault(self, tpp: TPPSection, report: ExecutionReport,
+               fault: TCPUFault) -> None:
+        report.fault = fault.code
+        tpp.record_fault(fault.code)
+        self.faults += 1
+
+    def _step(self, tpp: TPPSection, ctx: ExecutionContext,
+              instruction: Instruction, report: ExecutionReport) -> bool:
+        """Execute one instruction; returns False when CEXEC disables the
+        rest of the program on this switch."""
+        opcode = instruction.opcode
+        word = tpp.word_size
+
+        if opcode == Opcode.NOP:
+            return True
+
+        if opcode == Opcode.PUSH:
+            value = self.mmu.read(instruction.addr, ctx)
+            if tpp.sp + word > len(tpp.memory):
+                raise TCPUFault(
+                    FaultCode.STACK_OVERFLOW,
+                    f"PUSH at SP={tpp.sp} past {len(tpp.memory)} bytes")
+            tpp.write_word(tpp.sp, value)
+            tpp.sp += word
+            return True
+
+        if opcode == Opcode.POP:
+            if tpp.sp < word:
+                raise TCPUFault(FaultCode.STACK_UNDERFLOW,
+                                f"POP with SP={tpp.sp}")
+            tpp.sp -= word
+            value = tpp.read_word(tpp.sp)
+            self._write_switch(instruction.addr, value, ctx, report)
+            return True
+
+        if opcode == Opcode.LOAD:
+            value = self.mmu.read(instruction.addr, ctx)
+            tpp.write_word(self._effective_address(tpp, instruction), value)
+            return True
+
+        if opcode == Opcode.STORE:
+            value = tpp.read_word(self._effective_address(tpp, instruction))
+            self._write_switch(instruction.addr, value, ctx, report)
+            return True
+
+        if opcode == Opcode.CSTORE:
+            # CSTORE dst, cond, src — linearizable conditional store; the
+            # old value of dst is written back over cond so the end-host
+            # can tell whether its store won.
+            cond_offset = instruction.offset * word
+            src_offset = cond_offset + word
+            cond = tpp.read_word(cond_offset)
+            src = tpp.read_word(src_offset)
+            old = self.mmu.read(instruction.addr, ctx)
+            tpp.write_word(cond_offset, old)
+            if old == cond:
+                self._write_switch(instruction.addr, src, ctx, report)
+            return True
+
+        if opcode == Opcode.CEXEC:
+            # CEXEC reg, mask, value: run the rest of the program only if
+            # (reg & mask) == value.
+            mask_offset = instruction.offset * word
+            mask = tpp.read_word(mask_offset)
+            expected = tpp.read_word(mask_offset + word)
+            register = self.mmu.read(instruction.addr, ctx)
+            return (register & mask) == expected
+
+        if opcode in _ARITHMETIC:
+            ea = self._effective_address(tpp, instruction)
+            current = tpp.read_word(ea)
+            operand = self.mmu.read(instruction.addr, ctx)
+            tpp.write_word(ea, _ARITHMETIC[opcode](current, operand))
+            return True
+
+        raise TCPUFault(FaultCode.BAD_INSTRUCTION,
+                        f"opcode {opcode!r} not implemented")
+
+    def _write_switch(self, addr: int, value: int, ctx: ExecutionContext,
+                      report: ExecutionReport) -> None:
+        self.mmu.write(addr, value, ctx)
+        report.switch_writes.append((addr, value))
+
+    @staticmethod
+    def _effective_address(tpp: TPPSection,
+                           instruction: Instruction) -> int:
+        """Byte address in packet memory for a hop-relative operand."""
+        byte_offset = instruction.offset * tpp.word_size
+        if (tpp.mode == AddressingMode.HOP
+                and instruction.opcode in HOP_RELATIVE_OPCODES):
+            return tpp.hop * tpp.perhop_len_bytes + byte_offset
+        return byte_offset
+
+
+_ARITHMETIC = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.MIN: min,
+    Opcode.MAX: max,
+}
+
+
+def pipeline_cycles(n_instructions: int) -> int:
+    """Cycles to run ``n`` instructions on the pipelined TCPU.
+
+    Latency 4 cycles for the first instruction, then one instruction
+    retires per cycle (§3.3).
+    """
+    if n_instructions <= 0:
+        return 0
+    return PIPELINE_LATENCY_CYCLES + (n_instructions - 1)
+
+
+@dataclass(frozen=True)
+class PipelineModel:
+    """Analytical timing model reproducing the paper's §3.3 arithmetic."""
+
+    clock_ghz: float = 1.0
+
+    def cycles(self, n_instructions: int) -> int:
+        """Pipelined cycle count for a program."""
+        return pipeline_cycles(n_instructions)
+
+    def execution_time_ns(self, n_instructions: int) -> float:
+        """Wall time on the TCPU for a program."""
+        return self.cycles(n_instructions) / self.clock_ghz
+
+    @staticmethod
+    def transmission_time_ns(packet_bytes: int, rate_gbps: float) -> float:
+        """Serialization time of a packet at a line rate."""
+        return packet_bytes * 8 / rate_gbps
+
+    def fits_in_transmission_time(self, n_instructions: int,
+                                  packet_bytes: int = 64,
+                                  rate_gbps: float = 10.0) -> bool:
+        """The paper's feasibility check: "execution takes less than a
+        packet's transmission time" even for minimum-size packets."""
+        return (self.execution_time_ns(n_instructions)
+                <= self.transmission_time_ns(packet_bytes, rate_gbps))
+
+    @staticmethod
+    def line_rate_packets_per_second(n_ports: int = 64,
+                                     rate_gbps: float = 10.0,
+                                     packet_bytes: int = 64) -> float:
+        """Aggregate packet rate a switch must sustain (§1 footnote 2:
+        "a 64-port 10GbE switch has to process about a billion 64-byte
+        packets/second").  Includes the 20 B inter-packet overhead
+        (preamble + inter-frame gap) a real wire imposes."""
+        wire_bytes = packet_bytes + 20
+        per_port = rate_gbps * 1e9 / (wire_bytes * 8)
+        return n_ports * per_port
+
+    def cut_through_budget_cycles(self, latency_ns: float = 300.0) -> int:
+        """Clock cycles inside a cut-through latency budget (§3.3: 300 ns
+        at 1 GHz is 300 cycles)."""
+        return math.floor(latency_ns * self.clock_ghz)

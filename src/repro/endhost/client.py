@@ -1,0 +1,216 @@
+"""TPP send/receive plumbing for one host.
+
+One :class:`TPPEndpoint` is attached per host (it claims the TPP ethertype
+handler).  It plays both roles of the paper's end-host protocol:
+
+- **sender**: :meth:`send` instantiates a program into a fresh TPP section,
+  stamps a sequence number, and records a callback; when the fully-executed
+  TPP is echoed back, the callback receives a :class:`TPPResultView`.
+- **receiver**: a TPP that arrives *not yet done* has finished executing on
+  every hop of the forward path.  "The receiver simply echos a fully
+  executed TPP back to the sender" (§2.2) — the endpoint marks it done (so
+  switches on the reverse path skip it) and sends it back.  TPPs that
+  encapsulate a data payload are instead delivered locally: their payload
+  goes to the host's normal UDP dispatch and the TPP itself is offered to
+  registered taps (how the ndb collector sees its per-packet traces).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional
+
+from repro.core.assembler import AssembledProgram
+from repro.core.exceptions import FaultCode
+from repro.core.tpp import TPPSection
+from repro.net.host import Host
+from repro.net.packet import ETHERTYPE_TPP, Datagram, EthernetFrame
+
+ResponseCallback = Callable[["TPPResultView"], None]
+TPPTap = Callable[[TPPSection, EthernetFrame], None]
+
+
+class TPPResultView:
+    """Decoded view of a TPP that came back from the network."""
+
+    def __init__(self, tpp: TPPSection, time_ns: int = 0) -> None:
+        self.tpp = tpp
+        self.time_ns = time_ns
+
+    @property
+    def seq(self) -> int:
+        """Sequence number the sender stamped on the probe."""
+        return self.tpp.seq
+
+    @property
+    def fault(self) -> FaultCode:
+        """Fault recorded during execution, if any."""
+        return self.tpp.fault
+
+    @property
+    def ok(self) -> bool:
+        """True when the TPP executed without faulting anywhere."""
+        return self.tpp.fault == FaultCode.NONE
+
+    def hops(self) -> int:
+        """Number of switches that executed the TPP."""
+        return self.tpp.hops_executed()
+
+    def per_hop_words(self) -> List[List[int]]:
+        """Collected samples as one list of words per hop.
+
+        "The end-host knows exactly how to interpret values in the packet"
+        (§2.1) — this is that interpretation, driven by the per-hop
+        footprint the assembler recorded in the header.
+        """
+        perhop = self.tpp.perhop_len_bytes
+        word = self.tpp.word_size
+        if perhop == 0:
+            return []
+        words_per_hop = perhop // word
+        # Clamp to what the packet can actually hold: a malformed or
+        # truncated TPP must not crash its reader.
+        max_hops = len(self.tpp.memory) // perhop
+        result: List[List[int]] = []
+        for hop in range(min(self.hops(), max_hops)):
+            base = hop * perhop
+            result.append([self.tpp.read_word(base + i * word)
+                           for i in range(words_per_hop)])
+        return result
+
+    def hop_words(self, hop: int) -> List[int]:
+        """Samples collected at one hop."""
+        return self.per_hop_words()[hop]
+
+    def stack_words(self) -> List[int]:
+        """All words up to the stack pointer (stack-addressed TPPs)."""
+        word = self.tpp.word_size
+        limit = min(self.tpp.sp,
+                    len(self.tpp.memory) - len(self.tpp.memory) % word)
+        return [self.tpp.read_word(i) for i in range(0, limit, word)]
+
+    def word(self, index: int) -> int:
+        """One absolute packet-memory word."""
+        return self.tpp.read_word(index * self.tpp.word_size)
+
+
+class TPPEndpoint:
+    """Per-host TPP sender, echo responder, and demultiplexer."""
+
+    def __init__(self, host: Host, default_dst_mac: Optional[int] = None,
+                 echo_probes: bool = True) -> None:
+        self.host = host
+        self.default_dst_mac = default_dst_mac
+        self.echo_probes = echo_probes
+        self._seq = itertools.count(0)
+        self._pending: Dict[int, ResponseCallback] = {}
+        self._taps: List[TPPTap] = []
+        #: Task ids whose *payload-carrying* TPPs get a trimmed echo: the
+        #: data is delivered locally and the executed TPP section alone
+        #: (no payload) is sent back to the source — how piggybacked
+        #: probes ("using the flow's packets", §2.2) report home without
+        #: re-transmitting the data.
+        self._trimmed_echo_tasks: set = set()
+        self.probes_sent = 0
+        self.responses_received = 0
+        self.tpps_echoed = 0
+        self.trimmed_echoes = 0
+        self.payloads_delivered = 0
+        host.on_ethertype(ETHERTYPE_TPP, self._on_tpp_frame)
+
+    # ------------------------------------------------------------------ #
+    # Sending
+    # ------------------------------------------------------------------ #
+
+    def send(self, program: AssembledProgram, dst_mac: Optional[int] = None,
+             payload=None, task_id: int = 0,
+             on_response: Optional[ResponseCallback] = None) -> int:
+        """Instantiate and transmit a program; returns the sequence number.
+
+        ``on_response`` fires when the echoed, fully-executed TPP returns.
+        """
+        if dst_mac is None:
+            dst_mac = self.default_dst_mac
+        if dst_mac is None:
+            raise ValueError("no destination MAC for TPP probe")
+        seq = next(self._seq) & 0xFF
+        tpp = program.build(payload=payload, task_id=task_id, seq=seq)
+        if on_response is not None:
+            self._pending[seq] = on_response
+        frame = EthernetFrame(dst=dst_mac, src=self.host.mac,
+                              ethertype=ETHERTYPE_TPP, payload=tpp)
+        self.probes_sent += 1
+        self.host.send_frame(frame)
+        return seq
+
+    def send_tpp(self, tpp: TPPSection, dst_mac: int) -> None:
+        """Transmit an already-built TPP section (used by ndb's tagger)."""
+        frame = EthernetFrame(dst=dst_mac, src=self.host.mac,
+                              ethertype=ETHERTYPE_TPP, payload=tpp)
+        self.host.send_frame(frame)
+
+    def wrap(self, program: AssembledProgram, payload,
+             task_id: int = 0,
+             on_response: Optional[ResponseCallback] = None) -> TPPSection:
+        """Build a data-carrying TPP (a piggybacked probe) and register
+        its response callback; the caller transmits the frame.
+
+        The receiving endpoint must have trimmed echoes enabled for this
+        task id (see :meth:`enable_trimmed_echo`), otherwise no response
+        comes back.
+        """
+        seq = next(self._seq) & 0xFF
+        tpp = program.build(payload=payload, task_id=task_id, seq=seq)
+        if on_response is not None:
+            self._pending[seq] = on_response
+        return tpp
+
+    def enable_trimmed_echo(self, task_id: int) -> None:
+        """Echo executed TPPs of this task back (payload stripped) even
+        when they carry data."""
+        self._trimmed_echo_tasks.add(task_id)
+
+    # ------------------------------------------------------------------ #
+    # Receiving
+    # ------------------------------------------------------------------ #
+
+    def add_tap(self, tap: TPPTap) -> None:
+        """Observe every executed TPP that terminates at this host."""
+        self._taps.append(tap)
+
+    def _on_tpp_frame(self, frame: EthernetFrame) -> None:
+        tpp = frame.payload
+        if not isinstance(tpp, TPPSection):
+            return
+        if tpp.done:
+            self._on_response(tpp)
+            return
+        for tap in self._taps:
+            tap(tpp, frame)
+        if isinstance(tpp.payload, Datagram):
+            self._deliver_payload(tpp.payload, frame)
+            if tpp.task_id in self._trimmed_echo_tasks:
+                trimmed = tpp.copy()
+                trimmed.payload = None
+                self.trimmed_echoes += 1
+                self._echo(trimmed, frame)
+        elif self.echo_probes:
+            self._echo(tpp, frame)
+
+    def _on_response(self, tpp: TPPSection) -> None:
+        self.responses_received += 1
+        callback = self._pending.pop(tpp.seq, None)
+        if callback is not None:
+            callback(TPPResultView(tpp, self.host.sim.now_ns))
+
+    def _echo(self, tpp: TPPSection, frame: EthernetFrame) -> None:
+        tpp.mark_done()
+        self.tpps_echoed += 1
+        echo = EthernetFrame(dst=frame.src, src=self.host.mac,
+                             ethertype=ETHERTYPE_TPP, payload=tpp)
+        self.host.send_frame(echo)
+
+    def _deliver_payload(self, datagram: Datagram,
+                         frame: EthernetFrame) -> None:
+        self.payloads_delivered += 1
+        self.host.deliver_datagram(datagram, frame)

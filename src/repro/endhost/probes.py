@@ -1,0 +1,70 @@
+"""Periodic TPP probing.
+
+RCP*'s rate controller "periodically (using the flow's packets, or using
+additional probe packets) queries and modifies network state" (§2.2).  This
+module is the *additional probe packets* path: a timer that fires a program
+at a fixed (optionally jittered) interval and routes each echoed result to
+a callback.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.core.assembler import AssembledProgram
+from repro.endhost.client import TPPEndpoint, TPPResultView
+from repro.sim.timers import PeriodicTimer
+
+
+class PeriodicProber:
+    """Sends a TPP program every ``interval_ns``."""
+
+    def __init__(self, endpoint: TPPEndpoint, program: AssembledProgram,
+                 interval_ns: int,
+                 on_result: Callable[[TPPResultView], None],
+                 dst_mac: Optional[int] = None, task_id: int = 0,
+                 jitter_fraction: float = 0.0,
+                 rng: Optional[random.Random] = None) -> None:
+        self.endpoint = endpoint
+        self.program = program
+        self.interval_ns = interval_ns
+        self.on_result = on_result
+        self.dst_mac = dst_mac
+        self.task_id = task_id
+        self.jitter_fraction = jitter_fraction
+        self._rng = rng
+        self._timer = PeriodicTimer(endpoint.host.sim, interval_ns,
+                                    self._fire)
+        self.probes_sent = 0
+        self.results_received = 0
+
+    def start(self, first_delay_ns: Optional[int] = None) -> None:
+        """Begin probing; the first probe defaults to one jittered
+        interval from now (jitter decorrelates concurrent flows)."""
+        if first_delay_ns is None:
+            first_delay_ns = self._jittered_interval()
+        self._timer.start(first_delay_ns)
+
+    def stop(self) -> None:
+        """Stop probing; in-flight probes may still return."""
+        self._timer.stop()
+
+    def _fire(self) -> None:
+        # Re-jitter each period by adjusting the next firing.
+        if self.jitter_fraction > 0.0:
+            self._timer.start(self._jittered_interval())
+        self.probes_sent += 1
+        self.endpoint.send(self.program, dst_mac=self.dst_mac,
+                           task_id=self.task_id, on_response=self._on_result)
+
+    def _jittered_interval(self) -> int:
+        if self.jitter_fraction <= 0.0 or self._rng is None:
+            return self.interval_ns
+        spread = self.jitter_fraction * self.interval_ns
+        return max(1, round(self.interval_ns
+                            + self._rng.uniform(-spread, spread)))
+
+    def _on_result(self, result: TPPResultView) -> None:
+        self.results_received += 1
+        self.on_result(result)

@@ -1,0 +1,129 @@
+"""Per-flow rate limiting (the enforcement half of RCP*).
+
+"The implementation consists of a rate limiter and a rate controller at
+end-hosts for every flow" (§2.2).  :class:`TokenBucket` is the classic
+token-bucket shaper; :class:`PacedSender` is the simulator-friendly packet
+pacer built on it that emits fixed-size datagrams whenever tokens allow.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.simulator import Simulator
+from repro.sim.timers import OneShotTimer
+
+
+class TokenBucket:
+    """A token bucket metered in bytes against the simulated clock."""
+
+    def __init__(self, sim: Simulator, rate_bps: int,
+                 burst_bytes: int = 3000) -> None:
+        if rate_bps < 0:
+            raise ValueError(f"rate must be >= 0, got {rate_bps}")
+        self.sim = sim
+        self._rate_bps = rate_bps
+        self.burst_bytes = burst_bytes
+        self._tokens = float(burst_bytes)
+        self._last_refill_ns = sim.now_ns
+
+    @property
+    def rate_bps(self) -> int:
+        """Current token fill rate."""
+        return self._rate_bps
+
+    def set_rate(self, rate_bps: int) -> None:
+        """Change the fill rate (refills at the old rate first)."""
+        self._refill()
+        self._rate_bps = max(0, int(rate_bps))
+
+    def _refill(self) -> None:
+        now = self.sim.now_ns
+        elapsed_s = (now - self._last_refill_ns) / 1e9
+        self._tokens = min(self.burst_bytes,
+                           self._tokens + elapsed_s * self._rate_bps / 8)
+        self._last_refill_ns = now
+
+    def try_consume(self, n_bytes: int) -> bool:
+        """Take ``n_bytes`` of tokens if available."""
+        self._refill()
+        if self._tokens >= n_bytes:
+            self._tokens -= n_bytes
+            return True
+        return False
+
+    def time_until_available_ns(self, n_bytes: int) -> int:
+        """Nanoseconds until ``n_bytes`` of tokens will exist (0 if now)."""
+        self._refill()
+        deficit = n_bytes - self._tokens
+        if deficit <= 0:
+            return 0
+        if self._rate_bps == 0:
+            return -1  # never at the current rate
+        return max(1, round(deficit * 8 / self._rate_bps * 1e9))
+
+
+class PacedSender:
+    """Emits fixed-size packets at a controllable rate.
+
+    ``send_fn(packet_bytes)`` is called for every emission; the caller
+    builds and transmits the actual datagram.  The sender self-schedules:
+    after each emission it sleeps exactly until the bucket can cover the
+    next packet, so the achieved rate tracks the configured rate without
+    busy polling.
+    """
+
+    def __init__(self, sim: Simulator, rate_bps: int, packet_bytes: int,
+                 send_fn: Callable[[int], None],
+                 burst_bytes: Optional[int] = None) -> None:
+        if packet_bytes <= 0:
+            raise ValueError(f"packet size must be positive: {packet_bytes}")
+        if burst_bytes is None:
+            burst_bytes = 2 * packet_bytes
+        self.sim = sim
+        self.packet_bytes = packet_bytes
+        self.send_fn = send_fn
+        self.bucket = TokenBucket(sim, rate_bps, burst_bytes)
+        self._timer = OneShotTimer(sim, self._pump)
+        self._running = False
+        self.packets_sent = 0
+        self.bytes_sent = 0
+
+    @property
+    def rate_bps(self) -> int:
+        """Current pacing rate."""
+        return self.bucket.rate_bps
+
+    def set_rate(self, rate_bps: int) -> None:
+        """Change the pacing rate; wakes the pump if it was starved."""
+        was_zero = self.bucket.rate_bps == 0
+        self.bucket.set_rate(rate_bps)
+        if self._running and was_zero and rate_bps > 0:
+            self._schedule_next()
+
+    def start(self) -> None:
+        """Begin emitting packets."""
+        if self._running:
+            return
+        self._running = True
+        self._pump()
+
+    def stop(self) -> None:
+        """Stop emitting packets."""
+        self._running = False
+        self._timer.cancel()
+
+    def _pump(self) -> None:
+        if not self._running:
+            return
+        while self.bucket.try_consume(self.packet_bytes):
+            self.send_fn(self.packet_bytes)
+            self.packets_sent += 1
+            self.bytes_sent += self.packet_bytes
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        wait_ns = self.bucket.time_until_available_ns(self.packet_bytes)
+        if wait_ns < 0:
+            return  # rate is zero; set_rate() will restart the pump
+        self._timer.start(max(wait_ns, 1))

@@ -1,0 +1,27 @@
+"""Exception hierarchy shared by every subsystem.
+
+All errors raised by this package derive from :class:`ReproError` so callers
+can catch everything library-specific with one ``except`` clause.  Each
+subsystem defines narrower subclasses next to the code that raises them
+(e.g. :class:`repro.core.exceptions.TCPUFault`), all rooted here.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly.
+
+    Examples: scheduling an event in the past, or running a simulator that
+    was already stopped.
+    """
+
+
+class ConfigurationError(ReproError):
+    """A device, topology or experiment was configured inconsistently."""
+
+
+class WireFormatError(ReproError):
+    """Bytes on the wire could not be parsed as the expected header."""

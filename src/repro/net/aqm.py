@@ -1,0 +1,169 @@
+"""Active queue management: RED with ECN support.
+
+The §4 ECN discussion assumes "a router stamps a bit ... whenever the
+egress queue occupancy exceeds a configurable threshold".  The simple
+threshold marker lives in :mod:`repro.apps.inband_baselines`; this module
+provides the classic full discipline — Random Early Detection (Floyd &
+Jacobson) — as a policy that can be attached to any drop-tail queue:
+
+- the *average* queue length is tracked with an EWMA updated on arrivals;
+- below ``min_threshold`` packets are admitted untouched;
+- between the thresholds packets are marked (ECN-capable traffic) or
+  dropped with probability rising linearly to ``max_probability``;
+- above ``max_threshold`` every packet is marked/dropped.
+
+Attach with :func:`install_red`; the queue consults the policy on every
+arrival before normal tail-drop admission.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.errors import ConfigurationError
+from repro.net.packet import Datagram, EthernetFrame
+from repro.net.queues import DropTailQueue
+
+ECN_ECT = 1
+ECN_CE = 3
+
+
+@dataclass
+class REDStats:
+    """Counters for one RED-managed queue."""
+
+    packets_marked: int = 0
+    packets_dropped_early: int = 0
+    packets_admitted: int = 0
+
+
+class REDPolicy:
+    """Random Early Detection over queue *bytes*."""
+
+    def __init__(self, min_threshold_bytes: int, max_threshold_bytes: int,
+                 max_probability: float = 0.1, weight: float = 0.2,
+                 rng: Optional[random.Random] = None) -> None:
+        if not 0 < min_threshold_bytes < max_threshold_bytes:
+            raise ConfigurationError(
+                f"need 0 < min < max, got {min_threshold_bytes} / "
+                f"{max_threshold_bytes}")
+        if not 0.0 < max_probability <= 1.0:
+            raise ConfigurationError(
+                f"max_probability must be in (0, 1]: {max_probability}")
+        if not 0.0 < weight <= 1.0:
+            raise ConfigurationError(f"weight must be in (0, 1]: {weight}")
+        self.min_threshold_bytes = min_threshold_bytes
+        self.max_threshold_bytes = max_threshold_bytes
+        self.max_probability = max_probability
+        self.weight = weight
+        self._rng = rng if rng is not None else random.Random(0)
+        self.average_bytes = 0.0
+        self.stats = REDStats()
+
+    def on_arrival(self, queue: DropTailQueue,
+                   frame: EthernetFrame) -> str:
+        """Policy decision for one arriving frame:
+        ``"admit"`` / ``"mark"`` / ``"drop"``."""
+        self.average_bytes += self.weight * (queue.backlog_bytes
+                                             - self.average_bytes)
+        probability = self._probability()
+        if probability == 0.0:
+            self.stats.packets_admitted += 1
+            return "admit"
+        if probability >= 1.0 or self._rng.random() < probability:
+            if _is_ect(frame):
+                self.stats.packets_marked += 1
+                return "mark"
+            self.stats.packets_dropped_early += 1
+            return "drop"
+        self.stats.packets_admitted += 1
+        return "admit"
+
+    def _probability(self) -> float:
+        if self.average_bytes < self.min_threshold_bytes:
+            return 0.0
+        if self.average_bytes >= self.max_threshold_bytes:
+            return 1.0
+        span = self.max_threshold_bytes - self.min_threshold_bytes
+        return (self.max_probability
+                * (self.average_bytes - self.min_threshold_bytes) / span)
+
+
+def _find_datagram(frame: EthernetFrame) -> Optional[Datagram]:
+    payload = frame.payload
+    inner = getattr(payload, "payload", None)
+    if isinstance(payload, Datagram):
+        return payload
+    if isinstance(inner, Datagram):
+        return inner
+    return None
+
+
+def _is_ect(frame: EthernetFrame) -> bool:
+    datagram = _find_datagram(frame)
+    return datagram is not None and datagram.ecn in (ECN_ECT, ECN_CE)
+
+
+def mark_ce(frame: EthernetFrame) -> None:
+    """Stamp congestion-experienced on the frame's datagram."""
+    datagram = _find_datagram(frame)
+    if datagram is not None:
+        datagram.ecn = ECN_CE
+
+
+def red_offer(queue: DropTailQueue, policy: REDPolicy,
+              frame: EthernetFrame) -> bool:
+    """Admission with RED in front of tail-drop; returns acceptance."""
+    action = policy.on_arrival(queue, frame)
+    if action == "drop":
+        queue.stats.bytes_dropped += frame.size_bytes
+        queue.stats.packets_dropped += 1
+        return False
+    if action == "mark":
+        mark_ce(frame)
+    return queue.offer(frame)
+
+
+class REDQueueAdapter:
+    """Wraps a port so its default queue applies RED on every enqueue.
+
+    Installed by :func:`install_red`: replaces ``port.enqueue`` with a
+    RED-checked version (composition, not subclassing, so any port
+    configuration keeps working).
+    """
+
+    def __init__(self, port, policy: REDPolicy) -> None:
+        self.port = port
+        self.policy = policy
+        self._inner_enqueue = port.enqueue
+        port.enqueue = self._enqueue
+        port.red_policy = policy
+
+    def _enqueue(self, frame: EthernetFrame, queue_id: int = 0) -> bool:
+        queue = self.port.queue_for(queue_id)
+        action = self.policy.on_arrival(queue, frame)
+        if action == "drop":
+            queue.stats.bytes_dropped += frame.size_bytes
+            queue.stats.packets_dropped += 1
+            return False
+        if action == "mark":
+            mark_ce(frame)
+        return self._inner_enqueue(frame, queue_id)
+
+
+def install_red(ports: Iterable, min_threshold_bytes: int,
+                max_threshold_bytes: int, max_probability: float = 0.1,
+                weight: float = 0.2,
+                rng: Optional[random.Random] = None) -> list:
+    """Attach an independent RED policy to each port; returns adapters."""
+    adapters = []
+    for index, port in enumerate(ports):
+        # Per-port streams derived deterministically so runs replay.
+        policy = REDPolicy(
+            min_threshold_bytes, max_threshold_bytes, max_probability,
+            weight,
+            rng=rng if rng is not None else random.Random(7919 + index))
+        adapters.append(REDQueueAdapter(port, policy))
+    return adapters

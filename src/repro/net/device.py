@@ -1,0 +1,45 @@
+"""The interface every packet-handling node implements.
+
+Links deliver frames by calling :meth:`Device.receive` with the index of the
+arrival port.  Hosts and switches both subclass :class:`Device`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.sim.simulator import Simulator
+from repro.sim.trace import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.packet import EthernetFrame
+    from repro.net.port import Port
+
+
+class Device:
+    """A named node with numbered ports attached to a simulator."""
+
+    def __init__(self, sim: Simulator, name: str,
+                 trace: Optional[TraceRecorder] = None) -> None:
+        self.sim = sim
+        self.name = name
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.ports: List["Port"] = []
+
+    def add_port(self, port: "Port") -> int:
+        """Attach a port; returns its index on this device."""
+        port.device = self
+        port.index = len(self.ports)
+        self.ports.append(port)
+        return port.index
+
+    def port(self, index: int) -> "Port":
+        """The port at ``index`` (raises ``IndexError`` if absent)."""
+        return self.ports[index]
+
+    def receive(self, frame: "EthernetFrame", in_port: int) -> None:
+        """Handle a frame arriving on ``in_port``.  Subclasses override."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,112 @@
+"""Point-to-point links: serialization plus propagation delay.
+
+A :class:`Link` is unidirectional (one transmitter, one receiver endpoint);
+:func:`connect` wires a full-duplex pair between two device ports.  The
+transmit side is driven by the :class:`~repro.net.port.Port` that owns it —
+the port dequeues a packet, occupies the link for the packet's serialization
+time, and the link delivers the frame to the far device after the
+propagation delay.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.net.packet import EthernetFrame
+from repro.sim.simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.device import Device
+    from repro.net.port import Port
+
+
+class Link:
+    """One direction of a wire: ``rate_bps`` and ``delay_ns`` to the peer."""
+
+    def __init__(self, sim: Simulator, rate_bps: int, delay_ns: int = 1_000,
+                 name: str = "") -> None:
+        if rate_bps <= 0:
+            raise ConfigurationError(f"link rate must be positive: {rate_bps}")
+        if delay_ns < 0:
+            raise ConfigurationError(f"link delay must be >= 0: {delay_ns}")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.delay_ns = delay_ns
+        self.name = name
+        self.peer_device: Optional["Device"] = None
+        self.peer_port_index: Optional[int] = None
+        #: Administrative / physical state.  A downed link silently loses
+        #: every frame handed to it (and everything already in flight
+        #: arrives — photons in the fiber don't care about the failure).
+        self.up = True
+        self.bytes_delivered = 0
+        self.frames_delivered = 0
+        self.frames_lost = 0
+
+    def attach_receiver(self, device: "Device", port_index: int) -> None:
+        """Set the device/port that frames on this link arrive at."""
+        self.peer_device = device
+        self.peer_port_index = port_index
+
+    def serialization_time_ns(self, frame: EthernetFrame) -> int:
+        """Time to clock the frame's bytes onto the wire."""
+        return units.transmission_time_ns(frame.size_bytes, self.rate_bps)
+
+    def fail(self) -> None:
+        """Take the link down; subsequent frames are lost."""
+        self.up = False
+
+    def restore(self) -> None:
+        """Bring the link back up."""
+        self.up = True
+
+    def deliver_after_propagation(self, frame: EthernetFrame) -> None:
+        """Schedule arrival at the peer one propagation delay from now.
+
+        Called by the owning port at the instant serialization completes.
+        """
+        if self.peer_device is None or self.peer_port_index is None:
+            raise ConfigurationError(f"link {self.name!r} has no receiver")
+        if not self.up:
+            self.frames_lost += 1
+            return
+        self.sim.schedule(self.delay_ns, self._arrive, frame)
+
+    def _arrive(self, frame: EthernetFrame) -> None:
+        self.bytes_delivered += frame.size_bytes
+        self.frames_delivered += 1
+        assert self.peer_device is not None
+        assert self.peer_port_index is not None
+        self.peer_device.receive(frame, self.peer_port_index)
+
+
+def connect(sim: Simulator, device_a: "Device", device_b: "Device",
+            rate_bps: int, delay_ns: int = 1_000,
+            queue_capacity_bytes: int = 512 * 1024,
+            n_queues: int = 1, scheduler: str = "fifo",
+            scheduler_weights=None) -> tuple:
+    """Create a full-duplex connection between two devices.
+
+    Adds one new port to each device, backed by ``n_queues`` drop-tail
+    queues of ``queue_capacity_bytes`` each (scheduled per ``scheduler``),
+    and returns ``(port_on_a, port_on_b)``.
+    """
+    from repro.net.port import Port  # local import to avoid a cycle
+
+    link_ab = Link(sim, rate_bps, delay_ns,
+                   name=f"{device_a.name}->{device_b.name}")
+    link_ba = Link(sim, rate_bps, delay_ns,
+                   name=f"{device_b.name}->{device_a.name}")
+
+    port_a = Port(sim, link_ab, queue_capacity_bytes, n_queues,
+                  scheduler, scheduler_weights)
+    port_b = Port(sim, link_ba, queue_capacity_bytes, n_queues,
+                  scheduler, scheduler_weights)
+    index_a = device_a.add_port(port_a)
+    index_b = device_b.add_port(port_b)
+
+    link_ab.attach_receiver(device_b, index_b)
+    link_ba.attach_receiver(device_a, index_a)
+    return port_a, port_b

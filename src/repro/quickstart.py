@@ -1,0 +1,35 @@
+"""One-call experiment setup for the common case.
+
+:func:`quickstart_network` builds a linear chain of TPP switches with one
+host at each end, installs shortest-path routes, starts the statistics
+samplers, and attaches a TPP endpoint to every host — everything needed to
+send a first ``PUSH [Queue:QueueSize]`` program (the README example).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import units
+from repro.net.routing import install_shortest_path_routes
+from repro.net.topology import Network, TopologyBuilder
+
+
+def quickstart_network(n_switches: int = 3, hosts_per_end: int = 1,
+                       rate_bps: int = units.GIGABITS_PER_SEC,
+                       delay_ns: int = 1_000, seed: int = 0,
+                       stats_interval_ns: Optional[int] = 1_000_000,
+                       ) -> Network:
+    """A ready-to-use linear network with TPP endpoints on every host."""
+    from repro.endhost.client import TPPEndpoint  # deferred: layering
+
+    builder = TopologyBuilder(seed=seed, rate_bps=rate_bps,
+                              delay_ns=delay_ns)
+    net = builder.linear(n_switches, hosts_per_end=hosts_per_end)
+    install_shortest_path_routes(net)
+    if stats_interval_ns is not None:
+        for switch in net.switches.values():
+            switch.start_stats(stats_interval_ns)
+    for host in net.hosts.values():
+        host.tpp = TPPEndpoint(host)
+    return net

@@ -1,0 +1,80 @@
+"""Event objects and the pending-event queue.
+
+Events are ordered by ``(time_ns, sequence)``: two events scheduled for the
+same instant fire in the order they were scheduled.  This determinism matters
+for reproducibility — RCP convergence traces and ndb packet orderings must be
+identical across runs with the same seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Attributes:
+        time_ns: absolute simulated time at which the event fires.
+        sequence: monotonically increasing tie-breaker.
+        callback: callable invoked as ``callback(*args)`` when fired.
+        args: positional arguments for the callback.
+        cancelled: set via :meth:`cancel`; cancelled events are skipped
+            (lazy deletion — the heap entry stays until popped).
+    """
+
+    time_ns: int
+    sequence: int
+    callback: Callable[..., None] = field(compare=False)
+    args: Tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback unless the event was cancelled."""
+        if not self.cancelled:
+            self.callback(*self.args)
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` with deterministic FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time_ns: int, callback: Callable[..., None],
+             args: Tuple[Any, ...] = ()) -> Event:
+        """Add an event at absolute time ``time_ns`` and return its handle."""
+        event = Event(time_ns, self._sequence, callback, args)
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or ``None``.
+
+        Cancelled events encountered on the way are discarded silently.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the earliest non-cancelled event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time_ns
+        return None

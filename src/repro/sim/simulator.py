@@ -1,0 +1,109 @@
+"""The simulation event loop.
+
+A :class:`Simulator` owns the clock and the event queue.  Devices (links,
+switches, hosts) hold a reference to it and schedule their future work
+through :meth:`Simulator.schedule`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventQueue
+
+
+class Simulator:
+    """Discrete-event simulator with an integer-nanosecond clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1_000, print, "fires at t=1us")
+        sim.run(until_ns=units.seconds(1))
+
+    The loop processes events in ``(time, schedule-order)`` order until the
+    queue drains, ``until_ns`` is reached, or :meth:`stop` is called from
+    inside a callback.
+    """
+
+    def __init__(self) -> None:
+        self._now_ns = 0
+        self._queue = EventQueue()
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    @property
+    def now_ns(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now_ns
+
+    @property
+    def now_seconds(self) -> float:
+        """Current simulated time in seconds (for reporting only)."""
+        return self._now_ns / 1_000_000_000
+
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled stragglers)."""
+        return len(self._queue)
+
+    def schedule(self, delay_ns: int, callback: Callable[..., None],
+                 *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay_ns`` from now.
+
+        A zero delay is allowed (the event runs later in the current
+        instant); a negative delay is a programming error.
+        """
+        if delay_ns < 0:
+            raise SimulationError(
+                f"cannot schedule {delay_ns} ns in the past at t={self._now_ns}"
+            )
+        return self._queue.push(self._now_ns + delay_ns, callback, args)
+
+    def schedule_at(self, time_ns: int, callback: Callable[..., None],
+                    *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``time_ns``."""
+        if time_ns < self._now_ns:
+            raise SimulationError(
+                f"cannot schedule at t={time_ns}, already at t={self._now_ns}"
+            )
+        return self._queue.push(time_ns, callback, args)
+
+    def stop(self) -> None:
+        """Request the run loop to exit after the current event."""
+        self._stopped = True
+
+    def run(self, until_ns: Optional[int] = None) -> int:
+        """Process events until the queue drains or ``until_ns`` is reached.
+
+        Events scheduled exactly at ``until_ns`` are **not** processed (the
+        horizon is exclusive), but the clock is advanced to ``until_ns`` so
+        consecutive ``run`` calls compose:  ``run(t1); run(t2)`` is the same
+        as ``run(t2)``.
+
+        Returns the number of events processed during this call.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while not self._stopped:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until_ns is not None and next_time >= until_ns:
+                    break
+                event = self._queue.pop()
+                assert event is not None
+                self._now_ns = event.time_ns
+                event.fire()
+                processed += 1
+        finally:
+            self._running = False
+        if until_ns is not None and not self._stopped:
+            self._now_ns = max(self._now_ns, until_ns)
+        self.events_processed += processed
+        return processed

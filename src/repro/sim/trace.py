@@ -1,0 +1,76 @@
+"""Structured trace recording.
+
+Devices emit :class:`TraceRecord` entries (packet enqueued, TPP executed,
+rate register written, ...) into a shared :class:`TraceRecorder`.  The
+benchmark harness and the ndb collector both consume these traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence.
+
+    Attributes:
+        time_ns: simulated time of the occurrence.
+        source: name of the emitting device (e.g. ``"sw1"``).
+        kind: short category string (e.g. ``"tpp.exec"``, ``"queue.drop"``).
+        detail: free-form payload for the record.
+    """
+
+    time_ns: int
+    source: str
+    kind: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Append-only in-memory trace with filtered views and live taps.
+
+    A *tap* is a callback invoked synchronously on every matching record;
+    the ndb trace collector uses one to reassemble packet journeys online.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: List[TraceRecord] = []
+        self._taps: List[Callable[[TraceRecord], None]] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def emit(self, time_ns: int, source: str, kind: str,
+             **detail: Any) -> None:
+        """Record one occurrence (no-op when the recorder is disabled)."""
+        if not self.enabled:
+            return
+        record = TraceRecord(time_ns, source, kind, detail)
+        self._records.append(record)
+        for tap in self._taps:
+            tap(record)
+
+    def add_tap(self, tap: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``tap`` on every future record."""
+        self._taps.append(tap)
+
+    def records(self, kind: Optional[str] = None,
+                source: Optional[str] = None) -> List[TraceRecord]:
+        """Snapshot of records, optionally filtered by kind and/or source."""
+        result = self._records
+        if kind is not None:
+            result = [r for r in result if r.kind == kind]
+        if source is not None:
+            result = [r for r in result if r.source == source]
+        return list(result)
+
+    def iter_kind(self, kind: str) -> Iterator[TraceRecord]:
+        """Iterate records of one kind in emission order."""
+        return (r for r in self._records if r.kind == kind)
+
+    def clear(self) -> None:
+        """Drop all stored records (taps stay registered)."""
+        self._records.clear()

@@ -1,0 +1,7 @@
+"""Command-line tools.
+
+- ``python -m repro.tools.tppasm`` — assemble/disassemble TPP programs
+  and inspect the network-wide memory map.
+- ``python -m repro.tools.run_experiment`` — run scaled-down versions of
+  the paper's experiments from the shell.
+"""

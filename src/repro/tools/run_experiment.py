@@ -1,0 +1,192 @@
+"""``run_experiment`` — the paper's experiments from the shell.
+
+Scaled-down (seconds, not minutes) versions of the benchmark harness for
+interactive exploration::
+
+    python -m repro.tools.run_experiment fig1
+    python -m repro.tools.run_experiment fig2 --duration 12
+    python -m repro.tools.run_experiment microburst
+    python -m repro.tools.run_experiment ndb
+
+Full-fidelity runs with shape assertions live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import units
+from repro.analysis.reporting import ascii_plot
+from repro.analysis.timeseries import TimeSeries
+
+
+def cmd_fig1(args: argparse.Namespace) -> int:
+    from repro import quickstart_network
+    from repro.core import assemble
+
+    net = quickstart_network(n_switches=args.switches)
+    h0 = net.host("h0")
+    last = net.host("h1")
+    results = []
+    h0.tpp.send(assemble("PUSH [Switch:SwitchID]\nPUSH [Queue:QueueSize]",
+                         hops=args.switches),
+                dst_mac=last.mac, on_response=results.append)
+    net.run(until_seconds=0.05)
+    print("per-hop samples (switch id, queue bytes):")
+    for hop, words in enumerate(results[0].per_hop_words()):
+        print(f"  hop {hop}: {tuple(words)}")
+    return 0
+
+
+def cmd_fig2(args: argparse.Namespace) -> int:
+    from repro.apps.rcp import RCPStarFlow, RCPStarTask
+    from repro.control.agent import ControlPlaneAgent
+    from repro.core.memory_map import MemoryMap
+    from repro.net.routing import install_shortest_path_routes
+    from repro.net.topology import TopologyBuilder
+    from repro.sim.timers import PeriodicTimer
+
+    capacity = 10 * units.MEGABITS_PER_SEC
+    builder = TopologyBuilder(rate_bps=10 * capacity,
+                              delay_ns=units.milliseconds(1))
+    net = builder.dumbbell(n_pairs=3, bottleneck_bps=capacity)
+    install_shortest_path_routes(net)
+    for switch in net.switches.values():
+        switch.start_stats(interval_ns=units.milliseconds(5))
+    agent = ControlPlaneAgent(list(net.switches.values()),
+                              memory_map=MemoryMap.standard())
+    task = RCPStarTask(agent)
+    flows = [RCPStarFlow(task, i, net.host(f"h{i}"), net.host(f"h{i + 3}"),
+                         net.host(f"h{i + 3}").mac, capacity_bps=capacity,
+                         rtt_s=0.02, max_hops=3) for i in range(3)]
+    third = args.duration / 3
+    flows[0].start()
+    net.sim.schedule(units.seconds(third), flows[1].start)
+    net.sim.schedule(units.seconds(2 * third), flows[2].start)
+    swL = net.switch("swL")
+    series = TimeSeries("R/C")
+    PeriodicTimer(net.sim, units.milliseconds(50),
+                  lambda: series.append(
+                      net.sim.now_ns,
+                      task.rate_register_bps(swL, 0) / capacity)).start()
+    net.run(until_seconds=args.duration)
+    print(ascii_plot(series, title="RCP*: R(t)/C on the bottleneck",
+                     y_min=0, y_max=1.1, width=70, height=14))
+    return 0
+
+
+def cmd_microburst(args: argparse.Namespace) -> int:
+    from repro.apps.microburst import (
+        BurstDetector, BurstyTrafficGenerator, TelemetryStream)
+    from repro.endhost.client import TPPEndpoint
+    from repro.endhost.flows import Flow, FlowSink
+    from repro.net.routing import install_shortest_path_routes
+    from repro.net.topology import Network
+
+    net = Network(seed=args.seed)
+    switch = net.add_switch()
+    for name in ("h0", "h1", "h2"):
+        host = net.add_host(name)
+        rate = (100 * units.MEGABITS_PER_SEC if name == "h2"
+                else units.GIGABITS_PER_SEC)
+        net.link(host, switch, rate, delay_ns=5_000)
+    install_shortest_path_routes(net)
+    h0, h1, h2 = (net.host(f"h{i}") for i in range(3))
+    FlowSink(h2, 99)
+    flow = Flow(h1, h2, h2.mac, 99, rate_bps=0, packet_bytes=1000)
+    BurstyTrafficGenerator(flow, units.GIGABITS_PER_SEC,
+                           units.microseconds(400),
+                           units.milliseconds(20),
+                           rng=net.rng.stream("bursts")).start()
+    stream = TelemetryStream(h0, h2.mac,
+                             interval_ns=units.microseconds(100))
+    TPPEndpoint(h2)
+    stream.start(first_delay_ns=1)
+    net.run(until_seconds=args.duration)
+    series = stream.series_for(1)
+    bursts = BurstDetector(8_000).detect(series)
+    print(f"{len(series)} telemetry samples, "
+          f"{len(bursts)} micro-bursts detected")
+    for burst in bursts[:10]:
+        print(f"  t={burst.start_ns / 1e6:9.2f} ms  "
+              f"{burst.duration_ns / 1e3:7.0f} us  "
+              f"peak {burst.peak_bytes / 1024:6.1f} KiB")
+    return 0
+
+
+def cmd_ndb(args: argparse.Namespace) -> int:
+    from repro.apps.ndb import NdbCollector, NdbTagger, PathVerifier
+    from repro.asic.tables import TcamRule
+    from repro.endhost.flows import Flow, FlowSink
+    from repro.net.routing import (host_path,
+                                   install_shortest_path_routes)
+    from repro.net.topology import TopologyBuilder
+
+    net = TopologyBuilder(rate_bps=units.GIGABITS_PER_SEC).fat_tree(k=2)
+    install_shortest_path_routes(net)
+    h0, h2 = net.host("h0"), net.host("h2")
+    FlowSink(h2, 99)
+    collector = NdbCollector(h2)
+    tagger = NdbTagger(hops=5)
+    flow = Flow(h0, h2, h2.mac, 99, rate_bps=20 * units.MEGABITS_PER_SEC,
+                packet_bytes=500)
+    tagger.attach(flow)
+    path = host_path(net, "h0", "h2")
+    expected = [net.switch(n).switch_id for n in path
+                if n in net.switches]
+    current = {}
+    for switch in net.switches.values():
+        entry = switch.l2.entry_for(h2.mac)
+        if entry:
+            current[switch.switch_id] = (entry.entry_id, entry.version)
+    leaf = net.switches[path[1]]
+    wrong = next(local for local, peer, _ in net.adjacency()[leaf.name]
+                 if peer.startswith("spine") and peer != path[2])
+    net.sim.schedule(units.milliseconds(20),
+                     lambda: leaf.install_tcam_rule(
+                         TcamRule(priority=99, out_port=wrong,
+                                  dst_mac=h2.mac)))
+    flow.start()
+    net.run(until_seconds=0.04)
+    violations = PathVerifier(expected, current).verify(collector.journeys)
+    print(f"journeys: {len(collector.journeys)}, "
+          f"violations: {len(violations)}")
+    if violations:
+        print(f"first: {violations[0].kind}: {violations[0].detail}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="run_experiment",
+        description="scaled-down runs of the paper's experiments")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    fig1 = commands.add_parser("fig1", help="Figure 1 queue-size query")
+    fig1.add_argument("--switches", type=int, default=3)
+    fig1.set_defaults(func=cmd_fig1)
+
+    fig2 = commands.add_parser("fig2", help="Figure 2 RCP* convergence")
+    fig2.add_argument("--duration", type=float, default=9.0)
+    fig2.set_defaults(func=cmd_fig2)
+
+    microburst = commands.add_parser("microburst",
+                                     help="§2.1 burst detection")
+    microburst.add_argument("--duration", type=float, default=1.0)
+    microburst.add_argument("--seed", type=int, default=0)
+    microburst.set_defaults(func=cmd_microburst)
+
+    ndb = commands.add_parser("ndb", help="§2.3 forwarding debugger")
+    ndb.set_defaults(func=cmd_ndb)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""``tppasm`` — the TPP assembler as a command-line tool.
+
+Subcommands::
+
+    assemble <file|->   compile assembly; print wire bytes and a size
+                        breakdown (--symbols NAME=VALUE, --hops N)
+    disassemble <hex>   decode a hex-encoded TPP section back to assembly
+    memmap              print the network-wide memory map (Table 2's
+                        namespaces with addresses and writability)
+
+Examples::
+
+    echo 'PUSH [Queue:QueueSize]' | python -m repro.tools.tppasm assemble -
+    python -m repro.tools.tppasm memmap | grep Queue
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.assembler import assemble
+from repro.core.disassembler import disassemble, format_tpp
+from repro.core.exceptions import AssemblerError, TPPEncodingError
+from repro.core.memory_map import MemoryMap
+from repro.core.tpp import TPPSection
+
+
+def _parse_symbols(pairs: List[str]) -> dict:
+    symbols = {}
+    for pair in pairs:
+        name, _, value = pair.partition("=")
+        if not name or not value:
+            raise SystemExit(f"bad symbol {pair!r}, expected NAME=VALUE")
+        symbols[name] = int(value, 0)
+    return symbols
+
+
+def cmd_assemble(args: argparse.Namespace) -> int:
+    if args.source == "-":
+        source = sys.stdin.read()
+    else:
+        with open(args.source) as handle:
+            source = handle.read()
+    try:
+        program = assemble(source, symbols=_parse_symbols(args.symbols),
+                           hops=args.hops)
+    except AssemblerError as error:
+        print(f"assembly error: {error}", file=sys.stderr)
+        return 1
+    tpp = program.build()
+    encoded = tpp.encode()
+    print(f"instructions: {program.n_instructions} "
+          f"({program.instruction_bytes} bytes)")
+    print(f"packet memory: {program.memory_bytes} bytes "
+          f"({program.memory_words} words + "
+          f"{program.memory_bytes // program.word_size - program.memory_words}"
+          f" literal-pool words)")
+    print(f"per-hop footprint: {program.perhop_len_bytes} bytes")
+    print(f"total TPP section: {len(encoded)} bytes")
+    print("wire bytes:")
+    for offset in range(0, len(encoded), 16):
+        chunk = encoded[offset:offset + 16]
+        print(f"  {offset:04x}: {chunk.hex(' ')}")
+    return 0
+
+
+def cmd_disassemble(args: argparse.Namespace) -> int:
+    try:
+        raw = bytes.fromhex(args.hexbytes.replace(" ", ""))
+        tpp = TPPSection.decode(raw)
+    except (ValueError, TPPEncodingError) as error:
+        print(f"decode error: {error}", file=sys.stderr)
+        return 1
+    print(format_tpp(tpp))
+    return 0
+
+
+def cmd_memmap(args: argparse.Namespace) -> int:
+    memory_map = MemoryMap.standard()
+    seen = set()
+    rows = []
+    for name in memory_map.names():
+        vaddr = memory_map.resolve(name)
+        if vaddr in seen or name.lower().startswith(("sram:word",
+                                                     "link:reg")):
+            continue
+        seen.add(vaddr)
+        descriptor = memory_map.describe(vaddr)
+        rows.append((vaddr, name, "rw" if descriptor.writable else "ro",
+                     descriptor.description))
+    rows.sort()
+    print(f"{'vaddr':8} {'access':6} name")
+    for vaddr, name, access, description in rows:
+        print(f"{vaddr:#06x}  {access:6} {name:40} {description}")
+    print(f"{0xC100:#06x}  rw     Link:Reg0..Reg15"
+          f"{'':24} per-port scratch registers")
+    print(f"{0xD000:#06x}  rw     Sram:Word0..Word1023"
+          f"{'':20} per-switch scratch SRAM")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tppasm", description="TPP assembler / disassembler")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    assemble_cmd = commands.add_parser(
+        "assemble", help="compile TPP assembly to wire bytes")
+    assemble_cmd.add_argument("source", help="source file, or - for stdin")
+    assemble_cmd.add_argument("--symbols", nargs="*", default=[],
+                              metavar="NAME=VALUE",
+                              help="values for $symbols in the source")
+    assemble_cmd.add_argument("--hops", type=int, default=8,
+                              help="hops of packet memory to preallocate")
+    assemble_cmd.set_defaults(func=cmd_assemble)
+
+    disassemble_cmd = commands.add_parser(
+        "disassemble", help="decode a hex TPP section")
+    disassemble_cmd.add_argument("hexbytes")
+    disassemble_cmd.set_defaults(func=cmd_disassemble)
+
+    memmap_cmd = commands.add_parser(
+        "memmap", help="print the unified memory map")
+    memmap_cmd.set_defaults(func=cmd_memmap)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Percentile queries on time series."""
+
+import pytest
+
+from repro.analysis.timeseries import TimeSeries
+
+
+def series_of(values):
+    series = TimeSeries()
+    for index, value in enumerate(values):
+        series.append(index, value)
+    return series
+
+
+class TestPercentile:
+    def test_median(self):
+        series = series_of([5.0, 1.0, 3.0, 2.0, 4.0])
+        assert series.percentile(0.5) == 3.0
+
+    def test_extremes(self):
+        series = series_of([5.0, 1.0, 3.0])
+        assert series.percentile(0.0) == 1.0
+        assert series.percentile(1.0) == 5.0
+
+    def test_p99_on_long_tail(self):
+        values = [1.0] * 99 + [100.0]
+        series = series_of(values)
+        assert series.percentile(0.99) == 100.0
+        assert series.percentile(0.5) == 1.0
+
+    def test_empty(self):
+        assert TimeSeries().percentile(0.5) == 0.0
+
+    def test_returns_observed_value(self):
+        series = series_of([1.0, 2.0, 4.0, 8.0])
+        for fraction in (0.1, 0.3, 0.6, 0.9):
+            assert series.percentile(fraction) in {1.0, 2.0, 4.0, 8.0}
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            series_of([1.0]).percentile(1.5)

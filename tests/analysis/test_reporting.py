@@ -1,0 +1,54 @@
+"""Table and plot rendering."""
+
+from repro.analysis.reporting import ascii_plot, format_table
+from repro.analysis.timeseries import TimeSeries
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "value"],
+                             [["a", 1], ["long-name", 22]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert all("|" in line for line in (lines[0], lines[2], lines[3]))
+        # columns aligned: separators in the same position
+        positions = {line.index("|") for line in lines if "|" in line}
+        assert len(positions) == 1
+
+    def test_title(self):
+        table = format_table(["x"], [[1]], title="Table 9")
+        assert table.splitlines()[0] == "Table 9"
+
+    def test_numbers_stringified(self):
+        table = format_table(["a"], [[1.25]])
+        assert "1.25" in table
+
+
+class TestAsciiPlot:
+    def _series(self):
+        series = TimeSeries("s")
+        for i in range(100):
+            series.append(i * 1_000_000, i % 10)
+        return series
+
+    def test_contains_marks(self):
+        plot = ascii_plot(self._series(), width=40, height=8)
+        assert "*" in plot
+
+    def test_title_shown(self):
+        plot = ascii_plot(self._series(), title="R(t)/C")
+        assert "R(t)/C" in plot
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_plot(TimeSeries(), title="x")
+
+    def test_y_bounds_respected(self):
+        plot = ascii_plot(self._series(), y_min=0, y_max=100)
+        assert "100" in plot
+
+    def test_flat_series_does_not_crash(self):
+        series = TimeSeries()
+        series.append(0, 5.0)
+        series.append(10, 5.0)
+        plot = ascii_plot(series)
+        assert "*" in plot

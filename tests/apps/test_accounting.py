@@ -1,0 +1,105 @@
+"""Traffic accounting over switch SRAM (§2.2's consistency-aware task)."""
+
+import pytest
+
+from repro import units
+from repro.apps.accounting import (
+    LedgerAuditor,
+    TrafficLedger,
+    attach_flow_publisher,
+)
+from repro.control.agent import ControlPlaneAgent
+from repro.core.memory_map import MemoryMap
+from repro.endhost.flows import Flow, FlowSink
+from repro.net.routing import install_shortest_path_routes
+from repro.net.topology import TopologyBuilder
+
+RATE = 100 * units.MEGABITS_PER_SEC
+
+
+@pytest.fixture
+def accounting_net():
+    """Star: h0, h1 senders; h2 sink; h3 auditor.  The audited port is
+    sw0's egress toward h2 (all accounted traffic flows to h2)."""
+    net = TopologyBuilder(rate_bps=RATE).star(4)
+    install_shortest_path_routes(net)
+    switch = net.switch("sw0")
+    agent = ControlPlaneAgent([switch], memory_map=MemoryMap.standard())
+    ledger = TrafficLedger(agent, switch)
+    # The probe destination must echo executed TPPs back.
+    from repro.endhost.client import TPPEndpoint
+    TPPEndpoint(net.host("h2"))
+    return net, ledger
+
+
+def attach_sender(net, ledger, name, src_name, rate_bps):
+    src, sink_host = net.host(src_name), net.host("h2")
+    flow = Flow(src, sink_host, sink_host.mac, 99, rate_bps=rate_bps,
+                packet_bytes=1000)
+    publisher = attach_flow_publisher(ledger, name, flow, sink_host.mac)
+    return flow, publisher
+
+
+class TestLedger:
+    def test_slots_distinct(self, accounting_net):
+        _, ledger = accounting_net
+        a = ledger.register_sender("a")
+        b = ledger.register_sender("b")
+        assert a != b
+        assert ledger.slot_names() == ["a", "b"]
+
+    def test_publisher_writes_slot(self, accounting_net):
+        net, ledger = accounting_net
+        FlowSink(net.host("h2"), 99)
+        flow, publisher = attach_sender(net, ledger, "a", "h0",
+                                        rate_bps=RATE // 10)
+        flow.start()
+        publisher.start()
+        net.run(until_seconds=0.2)
+        slot = ledger.slot_vaddr("a") - 0xD000
+        published = net.switch("sw0").mmu.peek_sram(slot)
+        assert published > 0
+        assert published <= flow.bytes_sent
+        assert published >= flow.bytes_sent - 20_000  # lag bounded
+
+    def test_audit_attributes_registered_traffic(self, accounting_net):
+        net, ledger = accounting_net
+        FlowSink(net.host("h2"), 99)
+        flows = []
+        for name, src in (("a", "h0"), ("b", "h1")):
+            flow, publisher = attach_sender(net, ledger, name, src,
+                                            rate_bps=RATE // 10)
+            flow.start()
+            publisher.start()
+            flows.append(flow)
+        auditor = LedgerAuditor(ledger, net.host("h3"),
+                                net.host("h2").mac, audited_port_index=2)
+        auditor.start()
+        net.run(until_seconds=1.0)
+        report = auditor.reports[-1]
+        assert report.forwarded_bytes > 1_000_000
+        # Nearly everything the switch forwarded toward h2 is claimed
+        # (publication lag keeps it from being exactly 1.0).
+        assert report.attribution_fraction > 0.9
+
+    def test_audit_flags_unregistered_sender(self, accounting_net):
+        """An unregistered flow shows up as unattributed bytes."""
+        net, ledger = accounting_net
+        FlowSink(net.host("h2"), 99)
+        flow, publisher = attach_sender(net, ledger, "a", "h0",
+                                        rate_bps=RATE // 10)
+        flow.start()
+        publisher.start()
+        # h1 sends without registering.
+        rogue = Flow(net.host("h1"), net.host("h2"), net.host("h2").mac,
+                     97, rate_bps=RATE // 10, packet_bytes=1000)
+        FlowSink(net.host("h2"), 97)
+        rogue.start()
+        auditor = LedgerAuditor(ledger, net.host("h3"),
+                                net.host("h2").mac, audited_port_index=2)
+        auditor.start()
+        net.run(until_seconds=1.0)
+        report = auditor.reports[-1]
+        # About half the forwarded bytes are unclaimed.
+        assert 0.3 < report.attribution_fraction < 0.75
+        assert report.unattributed_bytes > 500_000

@@ -1,0 +1,69 @@
+"""AIMD baseline controller."""
+
+import pytest
+
+from repro import units
+from repro.apps.aimd import AIMDFlow
+from repro.net.routing import install_shortest_path_routes
+from repro.net.topology import TopologyBuilder
+
+CAPACITY = 10 * units.MEGABITS_PER_SEC
+
+
+def build(n_pairs=2):
+    builder = TopologyBuilder(rate_bps=10 * CAPACITY,
+                              delay_ns=units.milliseconds(1))
+    net = builder.dumbbell(n_pairs=n_pairs, bottleneck_bps=CAPACITY)
+    install_shortest_path_routes(net)
+    return net
+
+
+class TestAIMDFlow:
+    def test_ramps_up_on_empty_network(self):
+        net = build(n_pairs=1)
+        flow = AIMDFlow(0, net.host("h0"), net.host("h1"),
+                        net.host("h1").mac, capacity_bps=CAPACITY)
+        flow.start()
+        net.run(until_seconds=2.0)
+        assert flow.flow.rate_bps > 0.5 * CAPACITY
+
+    def test_backs_off_under_congestion(self):
+        net = build(n_pairs=2)
+        flows = [AIMDFlow(i, net.host(f"h{i}"), net.host(f"h{i + 2}"),
+                          net.host(f"h{i + 2}").mac, capacity_bps=CAPACITY)
+                 for i in range(2)]
+        for flow in flows:
+            flow.start()
+        net.run(until_seconds=3.0)
+        assert any(flow.backoffs > 0 for flow in flows)
+
+    def test_utilization_reasonable(self):
+        net = build(n_pairs=2)
+        flows = [AIMDFlow(i, net.host(f"h{i}"), net.host(f"h{i + 2}"),
+                          net.host(f"h{i + 2}").mac, capacity_bps=CAPACITY)
+                 for i in range(2)]
+        for flow in flows:
+            flow.start()
+        net.run(until_seconds=4.0)
+        total = sum(f.sink.goodput_bps(units.seconds(2), units.seconds(4))
+                    for f in flows)
+        assert 0.4 * CAPACITY < total <= 1.05 * CAPACITY
+
+    def test_rate_series_recorded(self):
+        net = build(n_pairs=1)
+        flow = AIMDFlow(0, net.host("h0"), net.host("h1"),
+                        net.host("h1").mac, capacity_bps=CAPACITY)
+        flow.start()
+        net.run(until_seconds=0.5)
+        assert len(flow.rate_series) > 10
+
+    def test_stop(self):
+        net = build(n_pairs=1)
+        flow = AIMDFlow(0, net.host("h0"), net.host("h1"),
+                        net.host("h1").mac, capacity_bps=CAPACITY)
+        flow.start()
+        net.run(until_seconds=0.5)
+        flow.stop()
+        sent = flow.flow.packets_sent
+        net.run(until_seconds=1.0)
+        assert flow.flow.packets_sent == sent

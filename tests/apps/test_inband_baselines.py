@@ -1,0 +1,138 @@
+"""ECN and IP Record Route — the §4 comparison mechanisms."""
+
+import pytest
+
+from repro import units
+from repro.apps.inband_baselines import (
+    ECN_CE,
+    ECN_ECT,
+    ECN_NOT_ECT,
+    ECNFlow,
+    install_ecn,
+    install_record_route,
+    send_record_route_probe,
+)
+from repro.endhost.flows import Flow, FlowSink
+from repro.net.packet import Datagram, RawPayload
+from repro.net.routing import install_shortest_path_routes
+from repro.net.topology import TopologyBuilder
+
+CAPACITY = 10 * units.MEGABITS_PER_SEC
+
+
+def build_dumbbell(n_pairs=2):
+    builder = TopologyBuilder(rate_bps=10 * CAPACITY,
+                              delay_ns=units.milliseconds(1))
+    net = builder.dumbbell(n_pairs=n_pairs, bottleneck_bps=CAPACITY)
+    install_shortest_path_routes(net)
+    return net
+
+
+class TestECNMarking:
+    def test_uncongested_packets_not_marked(self):
+        net = build_dumbbell(1)
+        install_ecn(list(net.switches.values()), threshold_bytes=10_000)
+        h0, h1 = net.host("h0"), net.host("h1")
+        got = []
+        h1.on_udp_port(9, lambda d, f: got.append(d.ecn))
+        h0.send_datagram(h1.mac, Datagram(h0.ip, h1.ip, 1, 9,
+                                          RawPayload(100), ecn=ECN_ECT))
+        net.run(until_seconds=0.05)
+        assert got == [ECN_ECT]
+
+    def test_congested_queue_marks_ce(self):
+        net = build_dumbbell(2)
+        install_ecn(list(net.switches.values()), threshold_bytes=3_000)
+        # Saturate the bottleneck.
+        h1, h3 = net.host("h1"), net.host("h3")
+        FlowSink(h3, 99)
+        cross = Flow(h1, h3, h3.mac, 99, rate_bps=3 * CAPACITY,
+                     packet_bytes=1000)
+        cross.start()
+        h0, h2 = net.host("h0"), net.host("h2")
+        got = []
+        h2.on_udp_port(9, lambda d, f: got.append(d.ecn))
+        net.sim.schedule(units.milliseconds(50), lambda: h0.send_datagram(
+            h2.mac, Datagram(h0.ip, h2.ip, 1, 9, RawPayload(100),
+                             ecn=ECN_ECT)))
+        net.run(until_seconds=0.3)
+        assert got == [ECN_CE]
+
+    def test_not_ect_never_marked(self):
+        """Non-ECN-capable traffic is left alone even under congestion."""
+        net = build_dumbbell(2)
+        install_ecn(list(net.switches.values()), threshold_bytes=3_000)
+        h1, h3 = net.host("h1"), net.host("h3")
+        FlowSink(h3, 99)
+        cross = Flow(h1, h3, h3.mac, 99, rate_bps=3 * CAPACITY)
+        cross.start()
+        h0, h2 = net.host("h0"), net.host("h2")
+        got = []
+        h2.on_udp_port(9, lambda d, f: got.append(d.ecn))
+        net.sim.schedule(units.milliseconds(50), lambda: h0.send_datagram(
+            h2.mac, Datagram(h0.ip, h2.ip, 1, 9, RawPayload(100),
+                             ecn=ECN_NOT_ECT)))
+        net.run(until_seconds=0.3)
+        assert got == [ECN_NOT_ECT]
+
+
+class TestECNFlow:
+    def test_two_flows_share_bottleneck(self):
+        net = build_dumbbell(2)
+        install_ecn(list(net.switches.values()), threshold_bytes=8_000)
+        flows = [ECNFlow(i, net.host(f"h{i}"), net.host(f"h{i + 2}"),
+                         net.host(f"h{i + 2}").mac, net.host(f"h{i}").mac,
+                         capacity_bps=CAPACITY) for i in range(2)]
+        for flow in flows:
+            flow.start()
+        net.run(until_seconds=5.0)
+        assert all(flow.marks_seen > 0 for flow in flows)
+        goodputs = [f.sink.goodput_bps(units.seconds(3), units.seconds(5))
+                    for f in flows]
+        total = sum(goodputs)
+        assert 0.5 * CAPACITY < total <= 1.05 * CAPACITY
+        assert goodputs[0] == pytest.approx(goodputs[1], rel=0.5)
+
+    def test_single_flow_ramps_up(self):
+        net = build_dumbbell(1)
+        install_ecn(list(net.switches.values()))
+        flow = ECNFlow(0, net.host("h0"), net.host("h1"),
+                       net.host("h1").mac, net.host("h0").mac,
+                       capacity_bps=CAPACITY)
+        flow.start()
+        net.run(until_seconds=3.0)
+        assert flow.flow.rate_bps > 0.5 * CAPACITY
+
+
+class TestRecordRoute:
+    def test_route_recorded(self, linear_net):
+        install_record_route(list(linear_net.switches.values()))
+        h0, h1 = linear_net.host("h0"), linear_net.host("h1")
+        h1.on_udp_port(46000, lambda d, f: None)
+        datagram = send_record_route_probe(h0, h1, h1.mac)
+        linear_net.run(until_seconds=0.01)
+        assert datagram.route_record == [1, 2, 3]
+
+    def test_slots_cap_recording(self, linear_net):
+        install_record_route(list(linear_net.switches.values()))
+        h0, h1 = linear_net.host("h0"), linear_net.host("h1")
+        h1.on_udp_port(46000, lambda d, f: None)
+        datagram = send_record_route_probe(h0, h1, h1.mac, slots=2)
+        linear_net.run(until_seconds=0.01)
+        assert datagram.route_record == [1, 2]  # third hop had no room
+
+    def test_option_grows_packet(self):
+        plain = Datagram(1, 2, 3, 4, RawPayload(100))
+        with_option = Datagram(1, 2, 3, 4, RawPayload(100),
+                               route_record_slots=9)
+        assert with_option.size_bytes == plain.size_bytes + 3 + 36
+
+    def test_non_participating_packets_untouched(self, linear_net):
+        install_record_route(list(linear_net.switches.values()))
+        h0, h1 = linear_net.host("h0"), linear_net.host("h1")
+        got = []
+        h1.on_udp_port(9, lambda d, f: got.append(d))
+        h0.send_datagram(h1.mac, Datagram(h0.ip, h1.ip, 1, 9,
+                                          RawPayload(10)))
+        linear_net.run(until_seconds=0.01)
+        assert got[0].route_record is None

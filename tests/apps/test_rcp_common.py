@@ -1,0 +1,87 @@
+"""The RCP control equation."""
+
+import pytest
+
+from repro.apps.rcp_common import RCPHeader, rcp_rate_update
+
+
+class TestRateUpdate:
+    def test_equilibrium_is_fixed_point(self):
+        """y = C and q = 0 leaves the rate unchanged."""
+        rate = rcp_rate_update(rate_bps=5e6, capacity_bps=10e6,
+                               offered_bps=10e6, queue_bits=0,
+                               interval_s=0.01, rtt_s=0.02)
+        assert rate == pytest.approx(5e6)
+
+    def test_underload_raises_rate(self):
+        rate = rcp_rate_update(5e6, 10e6, offered_bps=5e6, queue_bits=0,
+                               interval_s=0.01, rtt_s=0.02)
+        assert rate > 5e6
+
+    def test_overload_lowers_rate(self):
+        rate = rcp_rate_update(5e6, 10e6, offered_bps=15e6, queue_bits=0,
+                               interval_s=0.01, rtt_s=0.02)
+        assert rate < 5e6
+
+    def test_standing_queue_lowers_rate(self):
+        rate = rcp_rate_update(5e6, 10e6, offered_bps=10e6,
+                               queue_bits=100_000, interval_s=0.01,
+                               rtt_s=0.02)
+        assert rate < 5e6
+
+    def test_clamped_to_capacity(self):
+        rate = rcp_rate_update(9.9e6, 10e6, offered_bps=0, queue_bits=0,
+                               interval_s=0.1, rtt_s=0.02)
+        assert rate == 10e6
+
+    def test_clamped_above_min(self):
+        rate = rcp_rate_update(0.2e6, 10e6, offered_bps=100e6,
+                               queue_bits=1e6, interval_s=0.1, rtt_s=0.02)
+        assert rate == pytest.approx(0.01 * 10e6)
+
+    def test_alpha_scales_rate_mismatch_term(self):
+        gentle = rcp_rate_update(5e6, 10e6, 15e6, 0, 0.01, 0.02, alpha=0.1)
+        aggressive = rcp_rate_update(5e6, 10e6, 15e6, 0, 0.01, 0.02,
+                                     alpha=1.0)
+        assert aggressive < gentle
+
+    def test_beta_scales_queue_term(self):
+        gentle = rcp_rate_update(5e6, 10e6, 10e6, 1e5, 0.01, 0.02, beta=0.1)
+        aggressive = rcp_rate_update(5e6, 10e6, 10e6, 1e5, 0.01, 0.02,
+                                     beta=2.0)
+        assert aggressive < gentle
+
+    def test_longer_interval_moves_further(self):
+        short = rcp_rate_update(5e6, 10e6, 15e6, 0, 0.005, 0.02)
+        long = rcp_rate_update(5e6, 10e6, 15e6, 0, 0.02, 0.02)
+        assert long < short
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            rcp_rate_update(1, 0, 1, 0, 0.01, 0.02)
+
+    def test_bad_rtt_rejected(self):
+        with pytest.raises(ValueError):
+            rcp_rate_update(1, 10, 1, 0, 0.01, 0)
+
+    def test_paper_parameters_converge_iteratively(self):
+        """Iterating the map with n flows tracking R drives R to ~C/n."""
+        capacity = 10e6
+        rate = capacity
+        n_flows = 3
+        queue_bits = 0.0
+        rtt = 0.02
+        interval = 0.01
+        for _ in range(2000):
+            offered = n_flows * rate
+            # crude queue integrator: excess load accumulates, drains fast
+            queue_bits = max(0.0, queue_bits
+                             + (offered - capacity) * interval)
+            rate = rcp_rate_update(rate, capacity, offered, queue_bits,
+                                   interval, rtt)
+        assert rate == pytest.approx(capacity / n_flows, rel=0.15)
+
+
+class TestHeader:
+    def test_shim_size(self):
+        assert RCPHeader(rate_bps=1e9, rtt_ns=1000).size_bytes == 12

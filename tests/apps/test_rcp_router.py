@@ -1,0 +1,122 @@
+"""In-network RCP baseline (Figure 2's reference curve)."""
+
+import pytest
+
+from repro import units
+from repro.apps.rcp_common import RCPHeader
+from repro.apps.rcp_router import (
+    RCPBaselineFlow,
+    RCPLinkAgent,
+    RCPRouterNetwork,
+)
+from repro.net.routing import install_shortest_path_routes
+from repro.net.topology import TopologyBuilder
+
+CAPACITY = 10 * units.MEGABITS_PER_SEC
+RTT_S = 0.02
+
+
+def build_dumbbell(n_pairs=2):
+    builder = TopologyBuilder(rate_bps=10 * CAPACITY,
+                              delay_ns=units.milliseconds(1))
+    net = builder.dumbbell(n_pairs=n_pairs, bottleneck_bps=CAPACITY)
+    install_shortest_path_routes(net)
+    return net
+
+
+def make_flows(net, routers, n):
+    flows = []
+    for i in range(n):
+        src = net.host(f"h{i}")
+        dst = net.host(f"h{i + len(net.hosts) // 2}")
+        flows.append(RCPBaselineFlow(i, src, dst, dst.mac, src.mac,
+                                     capacity_bps=CAPACITY,
+                                     rtt_ns=int(RTT_S * 1e9)))
+    return flows
+
+
+class TestRCPLinkAgent:
+    def test_rate_starts_at_capacity(self):
+        net = build_dumbbell()
+        switch = net.switch("swL")
+        agent = RCPLinkAgent(switch, switch.ports[0], rtt_s=RTT_S)
+        assert agent.rate_bps == CAPACITY
+
+    def test_idle_link_keeps_full_rate(self):
+        net = build_dumbbell()
+        switch = net.switch("swL")
+        agent = RCPLinkAgent(switch, switch.ports[0], rtt_s=RTT_S)
+        agent.start()
+        net.run(until_seconds=1.0)
+        assert agent.rate_bps == CAPACITY
+
+    def test_stamp_lowers_header_rate(self):
+        net = build_dumbbell()
+        switch = net.switch("swL")
+        agent = RCPLinkAgent(switch, switch.ports[0], rtt_s=RTT_S)
+        agent.rate_bps = 3e6
+        header = RCPHeader(rate_bps=10e6, rtt_ns=1)
+        agent.stamp(header)
+        assert header.rate_bps == 3e6
+
+    def test_stamp_never_raises_header_rate(self):
+        net = build_dumbbell()
+        switch = net.switch("swL")
+        agent = RCPLinkAgent(switch, switch.ports[0], rtt_s=RTT_S)
+        agent.rate_bps = 9e6
+        header = RCPHeader(rate_bps=1e6, rtt_ns=1)
+        agent.stamp(header)
+        assert header.rate_bps == 1e6
+
+    def test_rate_series_recorded(self):
+        net = build_dumbbell()
+        switch = net.switch("swL")
+        agent = RCPLinkAgent(switch, switch.ports[0], rtt_s=RTT_S)
+        agent.start()
+        net.run(until_seconds=0.1)
+        assert len(agent.rate_series) >= 10
+
+
+class TestRCPRouterNetwork:
+    def test_agents_on_every_port(self):
+        net = build_dumbbell(n_pairs=2)
+        routers = RCPRouterNetwork(list(net.switches.values()), rtt_s=RTT_S)
+        total_ports = sum(len(s.ports) for s in net.switches.values())
+        assert len(routers.agents) == total_ports
+
+    def test_single_flow_gets_full_rate(self):
+        net = build_dumbbell(n_pairs=1)
+        routers = RCPRouterNetwork(list(net.switches.values()), rtt_s=RTT_S)
+        routers.start()
+        flows = make_flows(net, routers, 1)
+        flows[0].start()
+        net.run(until_seconds=3.0)
+        agent = routers.agent("swL", 0)
+        assert agent.rate_bps == pytest.approx(CAPACITY, rel=0.1)
+        goodput = flows[0].sink.goodput_bps(units.seconds(2),
+                                            units.seconds(3))
+        assert goodput == pytest.approx(CAPACITY, rel=0.15)
+
+    def test_two_flows_split_fairly(self):
+        net = build_dumbbell(n_pairs=2)
+        routers = RCPRouterNetwork(list(net.switches.values()), rtt_s=RTT_S)
+        routers.start()
+        flows = make_flows(net, routers, 2)
+        for flow in flows:
+            flow.start()
+        net.run(until_seconds=4.0)
+        agent = routers.agent("swL", 0)
+        assert agent.rate_bps == pytest.approx(CAPACITY / 2, rel=0.2)
+        goodputs = [f.sink.goodput_bps(units.seconds(3), units.seconds(4))
+                    for f in flows]
+        assert goodputs[0] == pytest.approx(goodputs[1], rel=0.1)
+
+    def test_feedback_loop_updates_sender_rate(self):
+        net = build_dumbbell(n_pairs=1)
+        routers = RCPRouterNetwork(list(net.switches.values()), rtt_s=RTT_S)
+        routers.start()
+        flows = make_flows(net, routers, 1)
+        flows[0].start()
+        net.run(until_seconds=1.0)
+        assert len(flows[0].rate_feedback) > 0
+        assert flows[0].flow.rate_bps > 0.5 * CAPACITY

@@ -1,0 +1,55 @@
+"""Header parser: sees through TPP encapsulation."""
+
+from repro.asic.parser import parse_frame
+from repro.core.assembler import assemble
+from repro.net.packet import (
+    ETHERTYPE_IPV4,
+    ETHERTYPE_TPP,
+    Datagram,
+    EthernetFrame,
+    RawPayload,
+)
+
+
+def datagram():
+    return Datagram(src_ip=0x0A000001, dst_ip=0x0A000002,
+                    src_port=1111, dst_port=2222, payload=RawPayload(10))
+
+
+class TestParseFrame:
+    def test_plain_ipv4(self):
+        frame = EthernetFrame(dst=2, src=1, ethertype=ETHERTYPE_IPV4,
+                              payload=datagram())
+        headers = parse_frame(frame)
+        assert headers.dst_mac == 2
+        assert headers.src_ip == 0x0A000001
+        assert headers.dst_port == 2222
+        assert headers.tpp is None
+
+    def test_tpp_probe_without_payload(self):
+        tpp = assemble("PUSH [Queue:QueueSize]").build()
+        frame = EthernetFrame(dst=2, src=1, ethertype=ETHERTYPE_TPP,
+                              payload=tpp)
+        headers = parse_frame(frame)
+        assert headers.tpp is tpp
+        assert headers.src_ip is None
+
+    def test_tpp_sees_through_to_inner_datagram(self):
+        """A TPP-wrapped packet must match the same rules as the packet it
+        encapsulates (TPPs are 'forwarded just like other packets')."""
+        tpp = assemble("PUSH [Queue:QueueSize]").build(payload=datagram())
+        frame = EthernetFrame(dst=2, src=1, ethertype=ETHERTYPE_TPP,
+                              payload=tpp)
+        headers = parse_frame(frame)
+        assert headers.tpp is tpp
+        assert headers.dst_ip == 0x0A000002
+        assert headers.ip_protocol == 17
+        assert headers.dst_port == 2222
+
+    def test_raw_payload_has_no_l3(self):
+        frame = EthernetFrame(dst=2, src=1, ethertype=0x88CC,
+                              payload=RawPayload(46))
+        headers = parse_frame(frame)
+        assert headers.ethertype == 0x88CC
+        assert headers.src_ip is None
+        assert headers.tpp is None

@@ -1,0 +1,113 @@
+"""Utilization meters and queue averagers."""
+
+import pytest
+
+from repro import units
+from repro.asic.stats import QueueAverager, SwitchStats, UtilizationMeter
+
+
+class Counter:
+    def __init__(self):
+        self.value = 0
+
+    def __call__(self):
+        return self.value
+
+
+class TestUtilizationMeter:
+    def test_full_rate_reads_one(self):
+        counter = Counter()
+        meter = UtilizationMeter(counter, rate_bps=units.MEGABITS_PER_SEC,
+                                 alpha=1.0)
+        counter.value += 125_000  # 1 Mb in 1 s
+        meter.sample(units.seconds(1))
+        assert meter.utilization == pytest.approx(1.0)
+        assert meter.utilization_milli == 1000
+
+    def test_half_rate(self):
+        counter = Counter()
+        meter = UtilizationMeter(counter, rate_bps=units.MEGABITS_PER_SEC,
+                                 alpha=1.0)
+        counter.value += 62_500
+        meter.sample(units.seconds(1))
+        assert meter.utilization == pytest.approx(0.5)
+
+    def test_ewma_smooths(self):
+        counter = Counter()
+        meter = UtilizationMeter(counter, rate_bps=units.MEGABITS_PER_SEC,
+                                 alpha=0.5)
+        counter.value += 125_000
+        meter.sample(units.seconds(1))
+        assert meter.utilization == pytest.approx(0.5)  # 0 -> halfway to 1
+        counter.value += 125_000
+        meter.sample(units.seconds(1))
+        assert meter.utilization == pytest.approx(0.75)
+
+    def test_initial_count_ignored(self):
+        counter = Counter()
+        counter.value = 1_000_000  # preexisting bytes must not count
+        meter = UtilizationMeter(counter, rate_bps=units.MEGABITS_PER_SEC,
+                                 alpha=1.0)
+        meter.sample(units.seconds(1))
+        assert meter.utilization == 0.0
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            UtilizationMeter(Counter(), 1000, alpha=0.0)
+
+    def test_overload_exceeds_one(self):
+        counter = Counter()
+        meter = UtilizationMeter(counter, rate_bps=units.MEGABITS_PER_SEC,
+                                 alpha=1.0)
+        counter.value += 250_000  # 2x line rate offered
+        meter.sample(units.seconds(1))
+        assert meter.utilization == pytest.approx(2.0)
+
+
+class TestQueueAverager:
+    def test_converges_to_constant(self):
+        averager = QueueAverager(lambda: 1000, alpha=0.5)
+        for _ in range(20):
+            averager.sample()
+        assert averager.average_bytes == pytest.approx(1000, abs=2)
+
+    def test_alpha_one_tracks_instantaneous(self):
+        values = iter([100, 200, 300])
+        averager = QueueAverager(lambda: next(values), alpha=1.0)
+        averager.sample()
+        averager.sample()
+        averager.sample()
+        assert averager.average_bytes == 300
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            QueueAverager(lambda: 0, alpha=1.5)
+
+
+class TestSwitchStats:
+    def test_sampler_updates_port_stats(self, single_switch_net):
+        net = single_switch_net
+        switch = net.switch("sw0")
+        stats = switch.start_stats(interval_ns=units.milliseconds(1),
+                                   alpha=1.0)
+        # Saturate the sw0 -> h1 link for 50 ms.
+        from repro.endhost.flows import Flow, FlowSink
+        h0, h1 = net.host("h0"), net.host("h1")
+        sink = FlowSink(h1, 99)
+        flow = Flow(h0, h1, h1.mac, 99, rate_bps=units.GIGABITS_PER_SEC)
+        flow.start()
+        net.run(until_seconds=0.05)
+        flow.stop()
+        port_stats = stats.port(1)  # toward h1
+        assert port_stats.rx_utilization.utilization > 0.5
+        assert port_stats.tx_utilization.utilization > 0.5
+
+    def test_stop_freezes(self, single_switch_net):
+        net = single_switch_net
+        switch = net.switch("sw0")
+        stats = switch.start_stats(interval_ns=units.milliseconds(1))
+        net.run(until_seconds=0.01)
+        stats.stop()
+        frozen = stats.port(0).rx_utilization.utilization
+        net.run(until_seconds=0.02)
+        assert stats.port(0).rx_utilization.utilization == frozen

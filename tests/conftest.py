@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.core.memory_map import MemoryMap
+from repro.net.routing import install_shortest_path_routes
+from repro.net.topology import Network, TopologyBuilder
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def memory_map() -> MemoryMap:
+    """The standard network-wide memory map."""
+    return MemoryMap.standard()
+
+
+@pytest.fixture
+def linear_net() -> Network:
+    """h0 - sw0 - sw1 - sw2 - h1 at 1 Gb/s with routes installed."""
+    builder = TopologyBuilder(rate_bps=units.GIGABITS_PER_SEC,
+                              delay_ns=1_000)
+    net = builder.linear(n_switches=3)
+    install_shortest_path_routes(net)
+    return net
+
+
+@pytest.fixture
+def single_switch_net() -> Network:
+    """Two hosts on one switch, routes installed."""
+    builder = TopologyBuilder(rate_bps=units.GIGABITS_PER_SEC,
+                              delay_ns=1_000)
+    net = builder.star(n_hosts=2)
+    install_shortest_path_routes(net)
+    return net

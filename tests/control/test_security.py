@@ -1,0 +1,177 @@
+"""Edge security: stripping and dropping TPPs from untrusted sources."""
+
+import pytest
+
+from repro.control.security import EdgeTPPPolicy, TaskQuotaPolicy
+from repro.core.assembler import assemble
+from repro.endhost.client import TPPEndpoint
+from repro.net.packet import Datagram, RawPayload
+
+
+class TestEdgeTPPPolicy:
+    def test_invalid_action_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeTPPPolicy(untrusted_action="execute")
+
+    def test_trust_marking(self):
+        policy = EdgeTPPPolicy()
+        policy.mark_untrusted("sw0", 1)
+        assert policy.is_untrusted("sw0", 1)
+        policy.mark_trusted("sw0", 1)
+        assert not policy.is_untrusted("sw0", 1)
+
+    def test_trusted_port_executes(self, single_switch_net):
+        net = single_switch_net
+        policy = EdgeTPPPolicy()
+        net.switch("sw0").tpp_policy = policy
+        results = []
+        h0, h1 = net.host("h0"), net.host("h1")
+        TPPEndpoint(h0).send(assemble("PUSH [Switch:SwitchID]"),
+                             dst_mac=h1.mac, on_response=results.append)
+        TPPEndpoint(h1)
+        net.run(until_seconds=0.01)
+        assert results[0].hops() == 1
+
+    def test_untrusted_probe_stripped_and_dropped(self, single_switch_net):
+        """A bare probe from an untrusted port has nothing inside to
+        forward, so stripping discards it entirely."""
+        net = single_switch_net
+        switch = net.switch("sw0")
+        policy = EdgeTPPPolicy(untrusted_action="strip")
+        in_port = [local for local, peer, _ in net.adjacency()["sw0"]
+                   if peer == "h0"][0]
+        policy.mark_untrusted("sw0", in_port)
+        switch.tpp_policy = policy
+        results = []
+        h0, h1 = net.host("h0"), net.host("h1")
+        TPPEndpoint(h0).send(assemble("PUSH [Switch:SwitchID]"),
+                             dst_mac=h1.mac, on_response=results.append)
+        TPPEndpoint(h1)
+        net.run(until_seconds=0.01)
+        assert results == []
+        assert switch.tpps_stripped == 1
+
+    def test_untrusted_wrapped_data_still_delivered(self,
+                                                    single_switch_net):
+        """Stripping a tenant's TPP must not break their traffic: the
+        encapsulated packet is forwarded normally (§4)."""
+        net = single_switch_net
+        switch = net.switch("sw0")
+        policy = EdgeTPPPolicy(untrusted_action="strip")
+        in_port = [local for local, peer, _ in net.adjacency()["sw0"]
+                   if peer == "h0"][0]
+        policy.mark_untrusted("sw0", in_port)
+        switch.tpp_policy = policy
+
+        h0, h1 = net.host("h0"), net.host("h1")
+        got = []
+        h1.on_udp_port(9, lambda d, f: got.append((d, f)))
+        inner = Datagram(h0.ip, h1.ip, 1, 9, RawPayload(50))
+        endpoint = TPPEndpoint(h0)
+        endpoint.send(assemble("PUSH [Switch:SwitchID]"), dst_mac=h1.mac,
+                      payload=inner)
+        net.run(until_seconds=0.01)
+        datagram, frame = got[0]
+        assert datagram is inner
+        from repro.net.packet import ETHERTYPE_IPV4
+        assert frame.ethertype == ETHERTYPE_IPV4  # TPP section removed
+        assert switch.tcpu.tpps_executed == 0
+
+    def test_drop_action(self, single_switch_net):
+        net = single_switch_net
+        switch = net.switch("sw0")
+        policy = EdgeTPPPolicy(untrusted_action="drop")
+        in_port = [local for local, peer, _ in net.adjacency()["sw0"]
+                   if peer == "h0"][0]
+        policy.mark_untrusted("sw0", in_port)
+        switch.tpp_policy = policy
+        h0, h1 = net.host("h0"), net.host("h1")
+        got = []
+        h1.on_udp_port(9, lambda d, f: got.append(d))
+        inner = Datagram(h0.ip, h1.ip, 1, 9, RawPayload(50))
+        TPPEndpoint(h0).send(assemble("PUSH [Switch:SwitchID]"),
+                             dst_mac=h1.mac, payload=inner)
+        net.run(until_seconds=0.01)
+        assert got == []  # whole packet gone
+        assert switch.tpps_dropped == 1
+
+    def test_core_switch_stays_trusted(self, linear_net):
+        """Only the edge strips; TPPs entering via trusted core ports
+        execute normally."""
+        net = linear_net
+        policy = EdgeTPPPolicy()
+        # Untrust only sw0's host-facing port.
+        in_port = [local for local, peer, _ in net.adjacency()["sw0"]
+                   if peer == "h0"][0]
+        policy.mark_untrusted("sw0", in_port)
+        for name in net.switches:
+            net.switch(name).tpp_policy = policy
+        # h1's TPP (entering at sw2, a trusted port) still executes on
+        # every switch.  It wraps a data packet so delivery at h0 does not
+        # depend on an echo crossing the untrusted edge back out.
+        h0, h1 = net.host("h0"), net.host("h1")
+        seen = []
+        endpoint_h0 = TPPEndpoint(h0)
+        endpoint_h0.add_tap(lambda tpp, frame: seen.append(tpp))
+        h0.on_udp_port(9, lambda d, f: None)
+        inner = Datagram(h1.ip, h0.ip, 1, 9, RawPayload(10))
+        TPPEndpoint(h1).send(assemble("PUSH [Switch:SwitchID]"),
+                             dst_mac=h0.mac, payload=inner)
+        net.run(until_seconds=0.01)
+        assert seen[0].hops_executed() == 3
+
+
+class TestTaskQuotaPolicy:
+    def test_admitted_task_executes(self, single_switch_net):
+        net = single_switch_net
+        policy = TaskQuotaPolicy()
+        policy.admit(5)
+        net.switch("sw0").tpp_policy = policy
+        results = []
+        h0, h1 = net.host("h0"), net.host("h1")
+        TPPEndpoint(h0).send(assemble("PUSH [Switch:SwitchID]"),
+                             dst_mac=h1.mac, task_id=5,
+                             on_response=results.append)
+        TPPEndpoint(h1)
+        net.run(until_seconds=0.01)
+        assert results[0].hops() == 1
+
+    def test_unadmitted_task_stripped(self, single_switch_net):
+        net = single_switch_net
+        policy = TaskQuotaPolicy(default_action="strip")
+        net.switch("sw0").tpp_policy = policy
+        results = []
+        h0, h1 = net.host("h0"), net.host("h1")
+        TPPEndpoint(h0).send(assemble("PUSH [Switch:SwitchID]"),
+                             dst_mac=h1.mac, task_id=5,
+                             on_response=results.append)
+        TPPEndpoint(h1)
+        net.run(until_seconds=0.01)
+        assert results == []
+
+    def test_revoke(self):
+        policy = TaskQuotaPolicy()
+        policy.admit(1)
+        policy.revoke(1)
+        assert policy.action_for(None, 0, type("T", (), {"task_id": 1})()
+                                 ) == "strip"
+
+    def test_forward_action_carries_without_executing(
+            self, single_switch_net):
+        net = single_switch_net
+        policy = TaskQuotaPolicy(default_action="forward")
+        switch = net.switch("sw0")
+        switch.tpp_policy = policy
+        results = []
+        h0, h1 = net.host("h0"), net.host("h1")
+        TPPEndpoint(h0).send(assemble("PUSH [Switch:SwitchID]"),
+                             dst_mac=h1.mac, on_response=results.append)
+        TPPEndpoint(h1)
+        net.run(until_seconds=0.01)
+        # Echoed back with zero hops executed.
+        assert results[0].hops() == 0
+        assert switch.tcpu.tpps_executed == 0
+
+    def test_bad_default_action_rejected(self):
+        with pytest.raises(ValueError):
+            TaskQuotaPolicy(default_action="execute")

@@ -1,0 +1,91 @@
+"""Instruction encoding (4 bytes, as the paper requires)."""
+
+import pytest
+
+from repro.core.exceptions import TPPEncodingError
+from repro.core.isa import (
+    INSTRUCTION_BYTES,
+    Instruction,
+    Opcode,
+    decode_program,
+    encode_program,
+)
+
+
+class TestEncoding:
+    def test_instruction_is_exactly_four_bytes(self):
+        encoded = Instruction(Opcode.PUSH, addr=0xB000).encode()
+        assert len(encoded) == 4
+
+    def test_round_trip_all_opcodes(self):
+        for opcode in Opcode:
+            original = Instruction(opcode, addr=0x1234, offset=0x56)
+            assert Instruction.decode(original.encode()) == original
+
+    def test_known_bytes(self):
+        encoded = Instruction(Opcode.PUSH, addr=0xB000, offset=0).encode()
+        assert encoded == bytes([0x03, 0xB0, 0x00, 0x00])
+
+    def test_decode_rejects_wrong_length(self):
+        with pytest.raises(TPPEncodingError):
+            Instruction.decode(b"\x01\x02\x03")
+
+    def test_decode_rejects_unknown_opcode(self):
+        with pytest.raises(TPPEncodingError):
+            Instruction.decode(bytes([0xFF, 0, 0, 0]))
+
+    def test_addr_out_of_range_rejected(self):
+        with pytest.raises(TPPEncodingError):
+            Instruction(Opcode.LOAD, addr=0x10000)
+
+    def test_offset_out_of_range_rejected(self):
+        with pytest.raises(TPPEncodingError):
+            Instruction(Opcode.LOAD, addr=0, offset=256)
+
+    def test_negative_addr_rejected(self):
+        with pytest.raises(TPPEncodingError):
+            Instruction(Opcode.LOAD, addr=-1)
+
+
+class TestProgramEncoding:
+    def test_program_round_trip(self):
+        program = [
+            Instruction(Opcode.PUSH, addr=0xB000),
+            Instruction(Opcode.LOAD, addr=0x0000, offset=1),
+            Instruction(Opcode.CEXEC, addr=0x0000, offset=4),
+        ]
+        assert decode_program(encode_program(program)) == program
+
+    def test_program_size_is_4n(self):
+        program = [Instruction(Opcode.NOP)] * 5
+        assert len(encode_program(program)) == 5 * INSTRUCTION_BYTES
+
+    def test_decode_rejects_partial_instruction(self):
+        with pytest.raises(TPPEncodingError):
+            decode_program(b"\x00" * 6)
+
+    def test_empty_program(self):
+        assert decode_program(b"") == []
+        assert encode_program([]) == b""
+
+
+class TestOpcodeProperties:
+    def test_paper_table1_opcodes_present(self):
+        # Table 1: LOAD, PUSH, STORE, POP, CSTORE, CEXEC.
+        for name in ("LOAD", "PUSH", "STORE", "POP", "CSTORE", "CEXEC"):
+            assert hasattr(Opcode, name)
+
+    def test_opcode_values_stable(self):
+        # Wire-stability: these values must never change.
+        assert Opcode.NOP == 0x00
+        assert Opcode.LOAD == 0x01
+        assert Opcode.STORE == 0x02
+        assert Opcode.PUSH == 0x03
+        assert Opcode.POP == 0x04
+        assert Opcode.CSTORE == 0x05
+        assert Opcode.CEXEC == 0x06
+
+    def test_instructions_are_immutable(self):
+        instruction = Instruction(Opcode.NOP)
+        with pytest.raises(AttributeError):
+            instruction.addr = 5

@@ -1,0 +1,160 @@
+"""The grand integration test: four TPP tasks sharing one fabric.
+
+A leaf/spine datacenter runs, concurrently and with SRAM isolation on:
+
+- **RCP\\*** congestion control for a pair of long flows;
+- **ndb** forwarding verification on a monitored flow;
+- **micro-burst telemetry** watching a victim link;
+- **latency profiling** across the fabric;
+
+while bursty cross traffic stresses the network.  Each task must deliver
+its result without corrupting the others — the paper's multi-task
+story (§3.2) end to end, at (small) datacenter scale.
+"""
+
+import pytest
+
+from repro import units
+from repro.apps.latency import LatencyProfiler
+from repro.apps.microburst import BurstDetector, TelemetryStream
+from repro.apps.ndb import NdbCollector, NdbTagger, PathVerifier
+from repro.apps.rcp import RCPStarFlow, RCPStarTask
+from repro.control.agent import ControlPlaneAgent
+from repro.core.memory_map import MemoryMap
+from repro.endhost.client import TPPEndpoint
+from repro.endhost.flows import Flow, FlowSink
+from repro.net.routing import host_path, install_shortest_path_routes
+from repro.net.topology import TopologyBuilder
+
+CAPACITY = 100 * units.MEGABITS_PER_SEC
+DURATION_S = 3.0
+
+
+@pytest.fixture(scope="module")
+def datacenter_run():
+    builder = TopologyBuilder(rate_bps=CAPACITY, delay_ns=5_000,
+                              trace_enabled=False)
+    net = builder.fat_tree(k=2)  # 2 spines, 4 leaves, 8 hosts
+    install_shortest_path_routes(net)
+    for switch in net.switches.values():
+        switch.start_stats(interval_ns=units.milliseconds(5))
+
+    agent = ControlPlaneAgent(list(net.switches.values()),
+                              memory_map=MemoryMap.standard(),
+                              enforce_isolation=True)
+
+    # --- task 1: RCP* on two long flows (h0 -> h4, h1 -> h5) -----------
+    rcp_task = RCPStarTask(agent)
+    rcp_flows = [
+        RCPStarFlow(rcp_task, i, net.host(f"h{i}"), net.host(f"h{i + 4}"),
+                    net.host(f"h{i + 4}").mac, capacity_bps=CAPACITY,
+                    rtt_s=0.005, max_hops=4) for i in range(2)
+    ]
+
+    # --- task 2: ndb on a monitored flow (h2 -> h6) ---------------------
+    ndb_task = agent.create_task("ndb")
+    h2, h6 = net.host("h2"), net.host("h6")
+    ndb_sink = FlowSink(h6, 99)
+    collector = NdbCollector(h6, task_id=ndb_task.task_id)
+    tagger = NdbTagger(hops=4, task_id=ndb_task.task_id)
+    monitored = Flow(h2, h6, h6.mac, 99, rate_bps=CAPACITY // 10,
+                     packet_bytes=500)
+    tagger.attach(monitored)
+    ndb_path = [net.switch(name).switch_id
+                for name in host_path(net, "h2", "h6")
+                if name in net.switches]
+    current_entries = {}
+    for switch in net.switches.values():
+        entry = switch.l2.entry_for(h6.mac)
+        if entry is not None:
+            current_entries[switch.switch_id] = (entry.entry_id,
+                                                 entry.version)
+
+    # --- task 3: micro-burst telemetry (h3 watches path to h7) ----------
+    h3, h7 = net.host("h3"), net.host("h7")
+    stream = TelemetryStream(h3, h7.mac,
+                             interval_ns=units.microseconds(500))
+    TPPEndpoint(h7)
+
+    # --- task 4: latency profiling across the fabric --------------------
+    profiler = LatencyProfiler(h3, h6.mac,
+                               interval_ns=units.milliseconds(5))
+
+    # --- background stress: incast onto h7's downlink --------------------
+    # Two senders jointly offer 1.3x the leaf3 -> h7 line rate, so the
+    # telemetry stream (whose path ends on that link) sees real queues.
+    FlowSink(h7, 98)
+    crosses = [
+        Flow(h6, h7, h7.mac, 98, rate_bps=int(0.7 * CAPACITY),
+             packet_bytes=1000, src_port=40001),
+        Flow(h2, h7, h7.mac, 98, rate_bps=int(0.6 * CAPACITY),
+             packet_bytes=1000, src_port=40002),
+    ]
+
+    for flow in rcp_flows:
+        flow.start()
+    monitored.start()
+    stream.start(first_delay_ns=1)
+    profiler.start(first_delay_ns=1)
+    for cross in crosses:
+        cross.start()
+    net.run(until_seconds=DURATION_S)
+
+    return {
+        "net": net,
+        "rcp_task": rcp_task,
+        "rcp_flows": rcp_flows,
+        "collector": collector,
+        "ndb_sink": ndb_sink,
+        "ndb_path": ndb_path,
+        "current_entries": current_entries,
+        "stream": stream,
+        "profiler": profiler,
+    }
+
+
+class TestDatacenterScenario:
+    def test_rcp_flows_progress_and_share(self, datacenter_run):
+        run = datacenter_run
+        goodputs = [
+            flow.sink.goodput_bps(units.seconds(DURATION_S - 1),
+                                  units.seconds(DURATION_S))
+            for flow in run["rcp_flows"]
+        ]
+        assert all(g > 0.05 * CAPACITY for g in goodputs)
+        assert all(flow.updates_sent > 0 for flow in run["rcp_flows"])
+
+    def test_ndb_verifies_clean_forwarding(self, datacenter_run):
+        run = datacenter_run
+        assert len(run["collector"].journeys) > 500
+        verifier = PathVerifier(run["ndb_path"], run["current_entries"])
+        assert verifier.verify(run["collector"].journeys) == []
+        assert run["ndb_sink"].packets_received == len(
+            run["collector"].journeys)
+
+    def test_telemetry_collected_at_fine_grain(self, datacenter_run):
+        run = datacenter_run
+        assert run["stream"].samples > 3_000
+        # The telemetry saw real congestion events somewhere on its path
+        # (RCP flows + cross traffic share the fabric).
+        peak = max(series.max()
+                   for series in run["stream"].queue_series.values())
+        assert peak > 0
+
+    def test_latency_profiles_cover_fabric(self, datacenter_run):
+        run = datacenter_run
+        assert len(run["profiler"].profiles) > 300
+        profile = run["profiler"].profiles[-1]
+        assert len(profile.hops) == 3  # leaf, spine, leaf
+
+    def test_no_task_faulted(self, datacenter_run):
+        """SRAM isolation on + four tasks: zero TCPU faults anywhere."""
+        net = datacenter_run["net"]
+        assert all(switch.tcpu.faults == 0
+                   for switch in net.switches.values())
+
+    def test_fabric_wide_tpp_volume(self, datacenter_run):
+        net = datacenter_run["net"]
+        total = sum(switch.tcpu.tpps_executed
+                    for switch in net.switches.values())
+        assert total > 10_000  # genuinely concurrent dataplane programs

@@ -1,0 +1,116 @@
+"""Link failures: black-hole localization with ndb traces.
+
+A silent dataplane failure (link loses frames, no control-plane alarm) is
+the hardest case for black-box monitoring.  Per-packet TPP traces localize
+it: journeys for the affected flow simply stop arriving while other flows'
+journeys continue, and the last observed hop sequence names the segment.
+"""
+
+import pytest
+
+from repro import units
+from repro.apps.ndb import NdbCollector, NdbTagger
+from repro.endhost.flows import Flow, FlowSink
+from repro.net.routing import install_shortest_path_routes
+from repro.net.topology import TopologyBuilder
+
+
+class TestLinkFailure:
+    def test_down_link_loses_frames(self, linear_net):
+        net = linear_net
+        h0, h1 = net.host("h0"), net.host("h1")
+        got = []
+        h1.on_udp_port(9, lambda d, f: got.append(d))
+        sw1 = net.switch("sw1")
+        toward_sw2 = [p for p in sw1.ports
+                      if p.link.name == "sw1->sw2"][0]
+        toward_sw2.link.fail()
+        from repro.net.packet import Datagram, RawPayload
+        h0.send_datagram(h1.mac, Datagram(h0.ip, h1.ip, 1, 9,
+                                          RawPayload(100)))
+        net.run(until_seconds=0.01)
+        assert got == []
+        assert toward_sw2.link.frames_lost == 1
+
+    def test_restore_recovers(self, linear_net):
+        net = linear_net
+        h0, h1 = net.host("h0"), net.host("h1")
+        got = []
+        h1.on_udp_port(9, lambda d, f: got.append(d))
+        sw1 = net.switch("sw1")
+        link = [p for p in sw1.ports if p.link.name == "sw1->sw2"][0].link
+        link.fail()
+        link.restore()
+        from repro.net.packet import Datagram, RawPayload
+        h0.send_datagram(h1.mac, Datagram(h0.ip, h1.ip, 1, 9,
+                                          RawPayload(100)))
+        net.run(until_seconds=0.01)
+        assert len(got) == 1
+
+    def test_reverse_direction_unaffected(self, linear_net):
+        net = linear_net
+        h0, h1 = net.host("h0"), net.host("h1")
+        got = []
+        h0.on_udp_port(9, lambda d, f: got.append(d))
+        sw1 = net.switch("sw1")
+        [p for p in sw1.ports
+         if p.link.name == "sw1->sw2"][0].link.fail()
+        from repro.net.packet import Datagram, RawPayload
+        h1.send_datagram(h0.mac, Datagram(h1.ip, h0.ip, 1, 9,
+                                          RawPayload(100)))
+        net.run(until_seconds=0.01)
+        assert len(got) == 1  # sw2->sw1 is a separate link
+
+
+class TestBlackHoleLocalization:
+    def test_ndb_journeys_stop_at_failure(self):
+        """Journey arrival rate collapses at the failure instant, and
+        the healthy control flow keeps flowing — the classic signature
+        that localizes a silent black hole."""
+        builder = TopologyBuilder(rate_bps=units.GIGABITS_PER_SEC,
+                                  delay_ns=1_000)
+        net = builder.linear(n_switches=3, hosts_per_end=1)
+        # A reference flow that shares only sw0 with the victim path.
+        witness = net.add_host("hw")
+        net.link(witness, net.switch("sw0"), units.GIGABITS_PER_SEC)
+        install_shortest_path_routes(net)
+        h0, h1 = net.host("h0"), net.host("h1")
+
+        FlowSink(h1, 99)
+        victim_collector = NdbCollector(h1)
+        tagger = NdbTagger(hops=4)
+        victim = Flow(h0, h1, h1.mac, 99, rate_bps=8_000_000,
+                      packet_bytes=500)
+        tagger.attach(victim)
+
+        # Witness flow h0 -> hw (only crosses sw0).
+        FlowSink(witness, 98)
+        witness_collector = NdbCollector(witness)
+        witness_flow = Flow(h0, witness, witness.mac, 98,
+                            rate_bps=8_000_000, packet_bytes=500)
+        NdbTagger(hops=4).attach(witness_flow)
+
+        fail_at = units.milliseconds(20)
+        sw1 = net.switch("sw1")
+        link = [p for p in sw1.ports
+                if p.link.name == "sw1->sw2"][0].link
+        net.sim.schedule(fail_at, link.fail)
+
+        victim.start()
+        witness_flow.start()
+        net.run(until_seconds=0.04)
+
+        victim_after = [j for j in victim_collector.journeys
+                        if j.received_at_ns > fail_at
+                        + units.milliseconds(1)]
+        witness_after = [j for j in witness_collector.journeys
+                         if j.received_at_ns > fail_at
+                         + units.milliseconds(1)]
+        assert victim_after == []          # black hole on the victim path
+        assert len(witness_after) > 20     # network is otherwise healthy
+        # Localization: last good journeys crossed sw0, sw1, sw2 intact;
+        # the division between healthy sw0 (witness still OK) and dead
+        # downstream names the sw1 -> sw2 segment.
+        last_good = victim_collector.journeys[-1]
+        assert last_good.switch_ids() == [1, 2, 3]
+        assert link.frames_lost > 0

@@ -1,0 +1,97 @@
+"""CEXEC targeting switch *classes* via id masks (§3.2.3).
+
+"It may be desirable to execute a network task ... only on a subset of
+switches (say all the top of rack switches in a datacenter)."  We encode
+roles in the switch-id space — ToR ids carry a tag bit — and a single
+CEXEC with a mask selects the whole class.
+"""
+
+import pytest
+
+from repro import units
+from repro.core.assembler import assemble
+from repro.endhost.client import TPPEndpoint
+from repro.net.routing import install_shortest_path_routes
+from repro.net.topology import Network
+
+TOR_TAG = 0x100  # bit 8 marks a top-of-rack switch
+
+
+def build_tagged_fabric():
+    """h0 - tor0 - core - tor1 - h1, with ToR ids tagged."""
+    net = Network(seed=1)
+    tor0 = net.add_switch("tor0", switch_id_override=TOR_TAG | 1)
+    core = net.add_switch("core", switch_id_override=2)
+    tor1 = net.add_switch("tor1", switch_id_override=TOR_TAG | 3)
+    net.link(tor0, core, units.GIGABITS_PER_SEC)
+    net.link(core, tor1, units.GIGABITS_PER_SEC)
+    h0 = net.add_host()
+    h1 = net.add_host()
+    net.link(h0, tor0, units.GIGABITS_PER_SEC)
+    net.link(h1, tor1, units.GIGABITS_PER_SEC)
+    install_shortest_path_routes(net)
+    h0.tpp = TPPEndpoint(h0)
+    h1.tpp = TPPEndpoint(h1)
+    return net
+
+
+class TestSwitchClassTargeting:
+    def test_tor_only_program(self):
+        """One CEXEC masks execution to the two ToRs; the core switch
+        skips the LOADs."""
+        net = build_tagged_fabric()
+        h0, h1 = net.host("h0"), net.host("h1")
+        program = assemble(
+            """
+            .mode hop
+            CEXEC [Switch:SwitchID], $TorMask, $TorMask
+            LOAD [Switch:SwitchID], [Packet:Hop[0]]
+            LOAD [Queue:QueueSize], [Packet:Hop[1]]
+            """,
+            symbols={"TorMask": TOR_TAG}, hops=4)
+        results = []
+        h0.tpp.send(program, dst_mac=h1.mac, on_response=results.append)
+        net.run(until_seconds=0.01)
+        tpp = results[0].tpp
+        # Hop mode: the hop counter advanced at all three switches, but
+        # only the ToRs wrote their ids.
+        assert tpp.hop == 3
+        ids = [tpp.read_word(hop * tpp.perhop_len_bytes)
+               for hop in range(3)]
+        assert ids == [TOR_TAG | 1, 0, TOR_TAG | 3]
+
+    def test_core_only_program(self):
+        """Inverting the predicate selects the non-ToR class."""
+        net = build_tagged_fabric()
+        h0, h1 = net.host("h0"), net.host("h1")
+        program = assemble(
+            """
+            .mode hop
+            CEXEC [Switch:SwitchID], $TorMask, 0
+            LOAD [Switch:SwitchID], [Packet:Hop[0]]
+            """,
+            symbols={"TorMask": TOR_TAG}, hops=4)
+        results = []
+        h0.tpp.send(program, dst_mac=h1.mac, on_response=results.append)
+        net.run(until_seconds=0.01)
+        tpp = results[0].tpp
+        ids = [tpp.read_word(hop * tpp.perhop_len_bytes)
+               for hop in range(3)]
+        assert ids == [0, 2, 0]
+
+    def test_counters_reflect_partial_execution(self):
+        net = build_tagged_fabric()
+        h0, h1 = net.host("h0"), net.host("h1")
+        program = assemble(
+            """
+            .mode hop
+            CEXEC [Switch:SwitchID], $TorMask, $TorMask
+            LOAD [Switch:SwitchID], [Packet:Hop[0]]
+            """,
+            symbols={"TorMask": TOR_TAG}, hops=4)
+        h0.tpp.send(program, dst_mac=h1.mac)
+        net.run(until_seconds=0.01)
+        # Every switch ran the CEXEC; only ToRs retired the LOAD.
+        assert net.switch("tor0").tcpu.instructions_executed == 2
+        assert net.switch("core").tcpu.instructions_executed == 1
+        assert net.switch("tor1").tcpu.instructions_executed == 2

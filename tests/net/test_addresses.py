@@ -1,0 +1,59 @@
+"""MAC/IPv4 formatting and parsing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import addresses
+
+
+class TestMac:
+    def test_format(self):
+        assert addresses.format_mac(0x0200_0000_0001) == "02:00:00:00:00:01"
+
+    def test_parse(self):
+        assert addresses.parse_mac("02:00:00:00:00:01") == 0x0200_0000_0001
+
+    def test_round_trip(self):
+        mac = 0xDEAD_BEEF_CAFE
+        assert addresses.parse_mac(addresses.format_mac(mac)) == mac
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            addresses.format_mac(1 << 48)
+
+    def test_parse_rejects_short(self):
+        with pytest.raises(ConfigurationError):
+            addresses.parse_mac("02:00:00")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            addresses.parse_mac("zz:00:00:00:00:01")
+
+    def test_host_and_switch_macs_disjoint(self):
+        hosts = {addresses.host_mac(i) for i in range(100)}
+        switches = {addresses.switch_mac(i) for i in range(100)}
+        assert not hosts & switches
+
+
+class TestIpv4:
+    def test_format(self):
+        assert addresses.format_ipv4(0x0A000001) == "10.0.0.1"
+
+    def test_parse(self):
+        assert addresses.parse_ipv4("10.0.0.1") == 0x0A000001
+
+    def test_round_trip(self):
+        ip = 0xC0A80164
+        assert addresses.parse_ipv4(addresses.format_ipv4(ip)) == ip
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            addresses.format_ipv4(1 << 32)
+
+    def test_parse_rejects_short(self):
+        with pytest.raises(ConfigurationError):
+            addresses.parse_ipv4("10.0.0")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            addresses.parse_ipv4("a.b.c.d")

@@ -1,0 +1,167 @@
+"""RED active queue management."""
+
+import random
+
+import pytest
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.net.aqm import (
+    ECN_CE,
+    ECN_ECT,
+    REDPolicy,
+    install_red,
+    mark_ce,
+    red_offer,
+)
+from repro.net.packet import Datagram, EthernetFrame, RawPayload
+from repro.net.queues import DropTailQueue
+
+
+def plain_frame(size=500):
+    return EthernetFrame(1, 2, 0x0800,
+                         Datagram(1, 2, 3, 4, RawPayload(size - 46)))
+
+
+def ect_frame(size=500):
+    frame = plain_frame(size)
+    frame.payload.ecn = ECN_ECT
+    return frame
+
+
+class TestREDPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            REDPolicy(1000, 1000)
+        with pytest.raises(ConfigurationError):
+            REDPolicy(1000, 2000, max_probability=0.0)
+        with pytest.raises(ConfigurationError):
+            REDPolicy(1000, 2000, weight=2.0)
+
+    def test_below_min_always_admits(self):
+        policy = REDPolicy(10_000, 20_000)
+        queue = DropTailQueue(10**6)
+        for _ in range(5):
+            assert policy.on_arrival(queue, ect_frame()) == "admit"
+
+    def test_above_max_always_acts(self):
+        policy = REDPolicy(1_000, 2_000, weight=1.0)
+        queue = DropTailQueue(10**6)
+        for _ in range(10):
+            queue.offer(plain_frame(500))
+        # avg jumps straight to backlog (weight 1.0) = 5000 > max
+        assert policy.on_arrival(queue, ect_frame()) == "mark"
+        assert policy.on_arrival(queue, plain_frame()) == "drop"
+
+    def test_intermediate_probabilistic(self):
+        policy = REDPolicy(1_000, 10_000, max_probability=0.5,
+                           weight=1.0, rng=random.Random(1))
+        queue = DropTailQueue(10**6)
+        for _ in range(11):
+            queue.offer(plain_frame(500))  # backlog ~5000: mid-range
+        actions = [policy.on_arrival(queue, ect_frame())
+                   for _ in range(300)]
+        marks = actions.count("mark")
+        assert 20 < marks < 150  # ~0.22 probability +- randomness
+
+    def test_ect_marked_not_dropped(self):
+        policy = REDPolicy(100, 200, weight=1.0)
+        queue = DropTailQueue(10**6)
+        queue.offer(plain_frame(500))
+        assert policy.on_arrival(queue, ect_frame()) == "mark"
+        assert policy.stats.packets_marked == 1
+
+    def test_non_ect_dropped(self):
+        policy = REDPolicy(100, 200, weight=1.0)
+        queue = DropTailQueue(10**6)
+        queue.offer(plain_frame(500))
+        assert policy.on_arrival(queue, plain_frame()) == "drop"
+        assert policy.stats.packets_dropped_early == 1
+
+    def test_average_smooths(self):
+        policy = REDPolicy(1_000, 2_000, weight=0.1)
+        queue = DropTailQueue(10**6)
+        for _ in range(4):
+            queue.offer(plain_frame(500))
+        policy.on_arrival(queue, plain_frame())
+        assert 0 < policy.average_bytes < queue.backlog_bytes
+
+
+class TestRedOffer:
+    def test_drop_counted_in_queue_stats(self):
+        policy = REDPolicy(100, 200, weight=1.0)
+        queue = DropTailQueue(10**6)
+        queue.offer(plain_frame(500))
+        assert not red_offer(queue, policy, plain_frame())
+        assert queue.stats.packets_dropped == 1
+
+    def test_mark_stamps_ce(self):
+        policy = REDPolicy(100, 200, weight=1.0)
+        queue = DropTailQueue(10**6)
+        queue.offer(plain_frame(500))
+        frame = ect_frame()
+        assert red_offer(queue, policy, frame)
+        assert frame.payload.ecn == ECN_CE
+
+    def test_mark_ce_reaches_wrapped_datagram(self):
+        from repro.core.assembler import assemble
+        inner = Datagram(1, 2, 3, 4, RawPayload(10), ecn=ECN_ECT)
+        tpp = assemble("NOP").build(payload=inner)
+        frame = EthernetFrame(1, 2, 0x9999, tpp)
+        mark_ce(frame)
+        assert inner.ecn == ECN_CE
+
+
+class TestInstallRed:
+    def test_end_to_end_marking(self):
+        """RED on the bottleneck port marks a DCTCP-style flow's packets
+        without any datagram hook."""
+        from repro.net.routing import install_shortest_path_routes
+        from repro.net.topology import TopologyBuilder
+        from repro.endhost.flows import Flow, FlowSink
+
+        capacity = 10 * units.MEGABITS_PER_SEC
+        builder = TopologyBuilder(rate_bps=10 * capacity,
+                                  delay_ns=units.milliseconds(1))
+        net = builder.dumbbell(n_pairs=1, bottleneck_bps=capacity)
+        install_shortest_path_routes(net)
+        bottleneck_port = net.switch("swL").ports[0]
+        adapters = install_red([bottleneck_port],
+                               min_threshold_bytes=5_000,
+                               max_threshold_bytes=20_000)
+        h0, h1 = net.host("h0"), net.host("h1")
+        marked = []
+        h1.on_udp_port(9, lambda d, f: marked.append(d.ecn))
+
+        def ect_factory(flow, size):
+            datagram = flow.make_datagram(size)
+            datagram.ecn = ECN_ECT
+            from repro.net.packet import ETHERTYPE_IPV4
+            return EthernetFrame(dst=flow.dst_mac, src=flow.src.mac,
+                                 ethertype=ETHERTYPE_IPV4,
+                                 payload=datagram)
+
+        flow = Flow(h0, h1, h1.mac, 9, rate_bps=3 * capacity,
+                    frame_factory=ect_factory)
+        flow.start()
+        net.run(until_seconds=0.5)
+        flow.stop()
+        assert ECN_CE in marked          # congestion was signalled
+        assert ECN_ECT in marked         # but not on every packet (RED)
+        assert adapters[0].policy.stats.packets_marked > 0
+
+    def test_uncongested_port_untouched(self):
+        from repro.net.routing import install_shortest_path_routes
+        from repro.net.topology import TopologyBuilder
+
+        builder = TopologyBuilder()
+        net = builder.star(2)
+        install_shortest_path_routes(net)
+        install_red(net.switch("sw0").ports, 5_000, 20_000)
+        h0, h1 = net.host("h0"), net.host("h1")
+        seen = []
+        h1.on_udp_port(9, lambda d, f: seen.append(d.ecn))
+        h0.send_datagram(h1.mac, Datagram(h0.ip, h1.ip, 1, 9,
+                                          RawPayload(10), ecn=ECN_ECT))
+        net.run(until_seconds=0.01)
+        assert seen == [ECN_ECT]

@@ -1,0 +1,90 @@
+"""Host dispatch by ethertype and UDP port."""
+
+import pytest
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.net.host import Host
+from repro.net.link import connect
+from repro.net.packet import (
+    ETHERTYPE_IPV4,
+    Datagram,
+    EthernetFrame,
+    RawPayload,
+)
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture
+def pair(sim):
+    a = Host(sim, "a", mac=1, ip=0x0A000001)
+    b = Host(sim, "b", mac=2, ip=0x0A000002)
+    connect(sim, a, b, units.GIGABITS_PER_SEC)
+    return a, b
+
+
+class TestSending:
+    def test_send_datagram_builds_ipv4_frame(self, sim, pair):
+        a, b = pair
+        received = []
+        b.on_udp_port(99, lambda d, f: received.append((d, f)))
+        a.send_datagram(2, Datagram(a.ip, b.ip, 1, 99, RawPayload(10)))
+        sim.run()
+        datagram, frame = received[0]
+        assert frame.ethertype == ETHERTYPE_IPV4
+        assert datagram.dst_port == 99
+
+    def test_send_without_port_raises(self, sim):
+        lonely = Host(sim, "x", mac=9, ip=1)
+        with pytest.raises(ConfigurationError):
+            lonely.send_frame(EthernetFrame(1, 9, 0, RawPayload(0)))
+
+    def test_frames_sent_counter(self, sim, pair):
+        a, b = pair
+        a.send_datagram(2, Datagram(a.ip, b.ip, 1, 99, RawPayload(10)))
+        assert a.frames_sent == 1
+
+
+class TestDispatch:
+    def test_ethertype_handler_wins_over_udp(self, sim, pair):
+        a, b = pair
+        hits = []
+        b.on_ethertype(ETHERTYPE_IPV4, lambda f: hits.append("eth"))
+        b.on_udp_port(99, lambda d, f: hits.append("udp"))
+        a.send_datagram(2, Datagram(a.ip, b.ip, 1, 99, RawPayload(10)))
+        sim.run()
+        assert hits == ["eth"]
+
+    def test_unbound_udp_port_counts_undelivered(self, sim, pair):
+        a, b = pair
+        a.send_datagram(2, Datagram(a.ip, b.ip, 1, 12345, RawPayload(10)))
+        sim.run()
+        assert b.undelivered_frames == 1
+
+    def test_unknown_ethertype_counts_undelivered(self, sim, pair):
+        a, b = pair
+        a.send_frame(EthernetFrame(2, 1, 0xABCD, RawPayload(10)))
+        sim.run()
+        assert b.undelivered_frames == 1
+
+    def test_frames_received_counter(self, sim, pair):
+        a, b = pair
+        b.on_udp_port(7, lambda d, f: None)
+        for _ in range(3):
+            a.send_datagram(2, Datagram(a.ip, b.ip, 1, 7, RawPayload(0)))
+        sim.run()
+        assert b.frames_received == 3
+
+    def test_deliver_datagram_direct(self, sim, pair):
+        a, _ = pair
+        got = []
+        a.on_udp_port(5, lambda d, f: got.append(d))
+        datagram = Datagram(1, 2, 3, 5, RawPayload(0))
+        assert a.deliver_datagram(datagram, EthernetFrame(1, 2, 0, datagram))
+        assert got == [datagram]
+
+    def test_deliver_datagram_unbound_returns_false(self, sim, pair):
+        a, _ = pair
+        datagram = Datagram(1, 2, 3, 55555, RawPayload(0))
+        assert not a.deliver_datagram(
+            datagram, EthernetFrame(1, 2, 0, datagram))

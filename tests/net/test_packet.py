@@ -1,0 +1,95 @@
+"""Packet model sizes and nesting."""
+
+import pytest
+
+from repro.core.assembler import assemble
+from repro.net import packet as pkt
+
+
+class TestRawPayload:
+    def test_declared_size(self):
+        assert pkt.RawPayload(100).size_bytes == 100
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            pkt.RawPayload(-1)
+
+    def test_data_longer_than_declared_rejected(self):
+        with pytest.raises(ValueError):
+            pkt.RawPayload(2, data=b"abc")
+
+    def test_data_within_declared_ok(self):
+        payload = pkt.RawPayload(10, data=b"abc")
+        assert payload.data == b"abc"
+
+
+class TestDatagram:
+    def _datagram(self, payload_bytes=72):
+        return pkt.Datagram(src_ip=1, dst_ip=2, src_port=10, dst_port=20,
+                            payload=pkt.RawPayload(payload_bytes))
+
+    def test_size_includes_headers(self):
+        datagram = self._datagram(72)
+        assert datagram.size_bytes == 20 + 8 + 72
+
+    def test_congestion_shim_adds_bytes(self):
+        class Shim:
+            size_bytes = 12
+        datagram = self._datagram(0)
+        datagram.congestion_header = Shim()
+        assert datagram.size_bytes == 20 + 8 + 12
+
+
+class TestEthernetFrame:
+    def test_min_frame_padding(self):
+        frame = pkt.EthernetFrame(dst=1, src=2, ethertype=pkt.ETHERTYPE_IPV4,
+                                  payload=pkt.RawPayload(1))
+        assert frame.size_bytes == pkt.ETHERNET_MIN_FRAME_BYTES
+
+    def test_size_is_headers_plus_payload(self):
+        frame = pkt.EthernetFrame(dst=1, src=2, ethertype=pkt.ETHERTYPE_IPV4,
+                                  payload=pkt.RawPayload(1000))
+        assert frame.size_bytes == 14 + 1000 + 4
+
+    def test_uids_are_unique(self):
+        frames = [pkt.EthernetFrame(1, 2, 0, pkt.RawPayload(0))
+                  for _ in range(10)]
+        uids = {frame.uid for frame in frames}
+        assert len(uids) == 10
+
+    def test_none_payload_counts_zero(self):
+        frame = pkt.EthernetFrame(1, 2, 0, None)
+        assert frame.size_bytes == pkt.ETHERNET_MIN_FRAME_BYTES
+
+    def test_unknown_payload_type_rejected(self):
+        frame = pkt.EthernetFrame(1, 2, 0, object())
+        with pytest.raises(TypeError):
+            frame.size_bytes
+
+
+class TestTPPFrameSizes:
+    def test_tpp_frame_size_counts_real_encoding(self):
+        program = assemble("PUSH [Queue:QueueSize]", hops=5)
+        tpp = program.build()
+        # header 12 + 1 instruction (4) + 5 words of memory (20).
+        assert tpp.tpp_length_bytes == 12 + 4 + 20
+        assert tpp.size_bytes == tpp.tpp_length_bytes
+
+    def test_tpp_encapsulation_adds_inner_payload(self):
+        program = assemble("PUSH [Queue:QueueSize]", hops=5)
+        inner = pkt.Datagram(src_ip=1, dst_ip=2, src_port=1, dst_port=2,
+                             payload=pkt.RawPayload(100))
+        tpp = program.build(payload=inner)
+        assert tpp.size_bytes == tpp.tpp_length_bytes + inner.size_bytes
+
+
+class TestInnermostPayload:
+    def test_unwraps_nesting(self):
+        inner = pkt.RawPayload(10)
+        datagram = pkt.Datagram(1, 2, 3, 4, payload=inner)
+        frame = pkt.EthernetFrame(1, 2, pkt.ETHERTYPE_IPV4, datagram)
+        assert pkt.innermost_payload(frame) is inner
+
+    def test_plain_object_returned_as_is(self):
+        target = pkt.RawPayload(5)
+        assert pkt.innermost_payload(target) is target

@@ -1,0 +1,40 @@
+"""Property tests: instruction encoding is a bijection on valid inputs."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.isa import (
+    Instruction,
+    Opcode,
+    decode_program,
+    encode_program,
+)
+
+instructions = st.builds(
+    Instruction,
+    opcode=st.sampled_from(list(Opcode)),
+    addr=st.integers(min_value=0, max_value=0xFFFF),
+    offset=st.integers(min_value=0, max_value=0xFF),
+)
+
+
+class TestEncodingProperties:
+    @given(instructions)
+    def test_round_trip(self, instruction):
+        assert Instruction.decode(instruction.encode()) == instruction
+
+    @given(instructions)
+    def test_always_four_bytes(self, instruction):
+        assert len(instruction.encode()) == 4
+
+    @given(st.lists(instructions, max_size=32))
+    def test_program_round_trip(self, program):
+        assert decode_program(encode_program(program)) == program
+
+    @given(st.lists(instructions, max_size=32))
+    def test_program_length(self, program):
+        assert len(encode_program(program)) == 4 * len(program)
+
+    @given(instructions, instructions)
+    def test_distinct_instructions_distinct_bytes(self, a, b):
+        if a != b:
+            assert a.encode() != b.encode()

@@ -1,0 +1,69 @@
+"""Property tests: queue byte conservation under arbitrary op sequences."""
+
+from hypothesis import given, strategies as st
+
+from repro.net.packet import EthernetFrame, RawPayload
+from repro.net.queues import DropTailQueue
+
+sizes = st.integers(min_value=64, max_value=1518)
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("offer"), sizes),
+        st.tuples(st.just("drain"), st.just(0)),
+    ),
+    max_size=60,
+)
+
+
+def frame_of(size_bytes):
+    return EthernetFrame(1, 2, 0, RawPayload(size_bytes - 18))
+
+
+class TestQueueInvariants:
+    @given(operations, st.integers(min_value=1000, max_value=20000))
+    def test_byte_conservation(self, ops, capacity):
+        """enqueued == departed + dropped_by_clear + still_queued, and
+        occupancy never exceeds capacity."""
+        queue = DropTailQueue(capacity_bytes=capacity)
+        in_flight = []
+        departed_bytes = 0
+        for op, size in ops:
+            if op == "offer":
+                queue.offer(frame_of(size))
+            else:
+                frame = queue.begin_transmit()
+                if frame is not None:
+                    in_flight.append(frame)
+                if in_flight:
+                    done = in_flight.pop(0)
+                    queue.transmit_complete(done)
+                    departed_bytes += done.size_bytes
+            assert queue.occupancy_bytes <= capacity
+            assert queue.occupancy_bytes >= 0
+        stats = queue.stats
+        assert (stats.bytes_enqueued
+                == departed_bytes + queue.occupancy_bytes)
+
+    @given(operations)
+    def test_drop_accounting(self, ops):
+        queue = DropTailQueue(capacity_bytes=5000)
+        offered_bytes = 0
+        for op, size in ops:
+            if op == "offer":
+                frame = frame_of(size)
+                offered_bytes += frame.size_bytes
+                queue.offer(frame)
+        stats = queue.stats
+        assert stats.bytes_enqueued + stats.bytes_dropped == offered_bytes
+
+    @given(st.lists(sizes, max_size=40))
+    def test_fifo_order_preserved(self, packet_sizes):
+        queue = DropTailQueue(capacity_bytes=10**9)
+        frames = [frame_of(size) for size in packet_sizes]
+        for frame in frames:
+            queue.offer(frame)
+        drained = []
+        while (frame := queue.begin_transmit()) is not None:
+            queue.transmit_complete(frame)
+            drained.append(frame)
+        assert drained == frames

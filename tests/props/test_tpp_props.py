@@ -1,0 +1,83 @@
+"""Property tests: TPP wire format and packet memory."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.isa import Instruction, Opcode
+from repro.core.tpp import AddressingMode, TPPSection
+
+instructions = st.builds(
+    Instruction,
+    opcode=st.sampled_from(list(Opcode)),
+    addr=st.integers(min_value=0, max_value=0xFFFF),
+    offset=st.integers(min_value=0, max_value=0xFF),
+)
+
+tpp_sections = st.builds(
+    TPPSection,
+    instructions=st.lists(instructions, max_size=8),
+    memory=st.integers(min_value=0, max_value=16).map(
+        lambda words: bytearray(4 * words)),
+    mode=st.sampled_from(list(AddressingMode)),
+    word_size=st.sampled_from([4, 8]),
+    hop_or_sp=st.integers(min_value=0, max_value=0xFFFF),
+    perhop_len_bytes=st.integers(min_value=0, max_value=16).map(
+        lambda w: 4 * w),
+    flags=st.integers(min_value=0, max_value=0xFF),
+    task_id=st.integers(min_value=0, max_value=0xFF),
+    seq=st.integers(min_value=0, max_value=0xFF),
+)
+
+
+class TestWireFormatProperties:
+    @given(tpp_sections)
+    def test_encode_decode_round_trip(self, tpp):
+        decoded = TPPSection.decode(tpp.encode())
+        assert decoded.instructions == tpp.instructions
+        assert decoded.memory == tpp.memory
+        assert decoded.mode == tpp.mode
+        assert decoded.word_size == tpp.word_size
+        assert decoded.hop_or_sp == tpp.hop_or_sp
+        assert decoded.perhop_len_bytes == tpp.perhop_len_bytes
+        assert decoded.flags == tpp.flags
+        assert decoded.task_id == tpp.task_id
+        assert decoded.seq == tpp.seq
+
+    @given(tpp_sections)
+    def test_length_field_consistent(self, tpp):
+        assert len(tpp.encode()) == tpp.tpp_length_bytes
+
+    @given(tpp_sections)
+    def test_copy_equals_but_isolates(self, tpp):
+        clone = tpp.copy()
+        assert clone.encode() == tpp.encode()
+        if len(clone.memory) >= clone.word_size:
+            clone.write_word(0, 0xFF)
+            original_word = tpp.read_word(0)
+            assert original_word == 0 or clone.memory != tpp.memory
+
+
+class TestMemoryProperties:
+    @given(st.integers(min_value=0, max_value=3),
+           st.integers(min_value=-2**40, max_value=2**40))
+    def test_write_read_masks(self, word_index, value):
+        tpp = TPPSection(instructions=[], memory=bytearray(16))
+        tpp.write_word(word_index * 4, value)
+        assert tpp.read_word(word_index * 4) == value & 0xFFFF_FFFF
+
+    @given(st.lists(st.tuples(st.integers(0, 3),
+                              st.integers(0, 0xFFFF_FFFF)), max_size=20))
+    def test_last_write_wins(self, writes):
+        tpp = TPPSection(instructions=[], memory=bytearray(16))
+        last = {}
+        for index, value in writes:
+            tpp.write_word(index * 4, value)
+            last[index] = value
+        for index, value in last.items():
+            assert tpp.read_word(index * 4) == value
+
+    @given(st.integers(min_value=0, max_value=0xFFFF_FFFF))
+    def test_writes_do_not_leak_to_neighbours(self, value):
+        tpp = TPPSection(instructions=[], memory=bytearray(12))
+        tpp.write_word(4, value)
+        assert tpp.read_word(0) == 0
+        assert tpp.read_word(8) == 0

@@ -1,0 +1,77 @@
+"""Property tests: full-frame wire serialization round-trips."""
+
+from hypothesis import given, strategies as st
+
+from repro.net import wire
+from repro.net.packet import (
+    ETHERTYPE_IPV4,
+    Datagram,
+    EthernetFrame,
+    RawPayload,
+)
+
+payloads = st.one_of(
+    st.none(),
+    st.binary(min_size=1, max_size=64).map(
+        lambda data: RawPayload(len(data), data=data)),
+)
+
+datagrams = st.builds(
+    Datagram,
+    src_ip=st.integers(min_value=0, max_value=0xFFFF_FFFF),
+    dst_ip=st.integers(min_value=0, max_value=0xFFFF_FFFF),
+    src_port=st.integers(min_value=0, max_value=0xFFFF),
+    dst_port=st.integers(min_value=0, max_value=0xFFFF),
+    payload=payloads,
+    protocol=st.just(17),
+    tos=st.integers(min_value=0, max_value=0x3F),
+    ecn=st.sampled_from([0, 1, 3]),
+    route_record_slots=st.sampled_from([0, 0, 0, 3, 9]),
+)
+
+macs = st.integers(min_value=0, max_value=(1 << 48) - 1)
+
+
+class TestDatagramProperties:
+    @given(datagrams)
+    def test_round_trip_addresses(self, original):
+        decoded, _ = wire.decode_datagram(wire.encode_datagram(original))
+        assert decoded.src_ip == original.src_ip
+        assert decoded.dst_ip == original.dst_ip
+        assert decoded.src_port == original.src_port
+        assert decoded.dst_port == original.dst_port
+        assert decoded.tos == original.tos
+        assert decoded.ecn == original.ecn
+        assert decoded.route_record_slots == original.route_record_slots
+
+    @given(datagrams)
+    def test_checksum_always_valid(self, original):
+        raw = wire.encode_datagram(original)
+        ihl = (raw[0] & 0xF) * 4
+        assert wire.internet_checksum(raw[:ihl]) == 0
+
+    @given(datagrams, st.lists(st.integers(0, 0xFFFF_FFFF), max_size=3))
+    def test_route_entries_survive(self, original, entries):
+        if original.route_record_slots == 0:
+            return
+        original.route_record.extend(
+            entries[:original.route_record_slots])
+        decoded, _ = wire.decode_datagram(wire.encode_datagram(original))
+        assert decoded.route_record == original.route_record
+
+
+class TestFrameProperties:
+    @given(macs, macs, datagrams)
+    def test_frame_round_trip(self, dst, src, inner):
+        frame = EthernetFrame(dst=dst, src=src, ethertype=ETHERTYPE_IPV4,
+                              payload=inner)
+        decoded = wire.decode_frame(wire.encode_frame(frame))
+        assert decoded.dst == dst
+        assert decoded.src == src
+        assert decoded.payload.dst_port == inner.dst_port
+
+    @given(macs, macs, datagrams)
+    def test_encoded_at_least_minimum(self, dst, src, inner):
+        frame = EthernetFrame(dst=dst, src=src, ethertype=ETHERTYPE_IPV4,
+                              payload=inner)
+        assert len(wire.encode_frame(frame)) >= 64

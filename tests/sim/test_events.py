@@ -1,0 +1,75 @@
+"""Event queue ordering and cancellation semantics."""
+
+from repro.sim.events import Event, EventQueue
+
+
+class TestEventOrdering:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(300, fired.append, (3,))
+        queue.push(100, fired.append, (1,))
+        queue.push(200, fired.append, (2,))
+        while (event := queue.pop()) is not None:
+            event.fire()
+        assert fired == [1, 2, 3]
+
+    def test_ties_fire_in_schedule_order(self):
+        queue = EventQueue()
+        fired = []
+        for tag in range(10):
+            queue.push(50, fired.append, (tag,))
+        while (event := queue.pop()) is not None:
+            event.fire()
+        assert fired == list(range(10))
+
+    def test_peek_time_matches_next_pop(self):
+        queue = EventQueue()
+        queue.push(70, lambda: None)
+        queue.push(30, lambda: None)
+        assert queue.peek_time() == 30
+        event = queue.pop()
+        assert event is not None and event.time_ns == 30
+
+    def test_len_counts_pending(self):
+        queue = EventQueue()
+        assert len(queue) == 0
+        queue.push(1, lambda: None)
+        queue.push(2, lambda: None)
+        assert len(queue) == 2
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        fired = []
+        event = Event(0, 0, fired.append, (1,))
+        event.cancel()
+        event.fire()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        event = Event(0, 0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert event.cancelled
+
+    def test_pop_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(10, lambda: None)
+        queue.push(20, lambda: None)
+        first.cancel()
+        event = queue.pop()
+        assert event is not None and event.time_ns == 20
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(10, lambda: None)
+        queue.push(25, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == 25
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_peek_empty_returns_none(self):
+        assert EventQueue().peek_time() is None

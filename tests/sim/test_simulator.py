@@ -1,0 +1,122 @@
+"""Simulator run-loop semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.simulator import Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now_ns == 0
+
+    def test_callback_sees_advanced_clock(self, sim):
+        seen = []
+        sim.schedule(500, lambda: seen.append(sim.now_ns))
+        sim.run()
+        assert seen == [500]
+
+    def test_zero_delay_allowed(self, sim):
+        fired = []
+        sim.schedule(0, fired.append, "now")
+        sim.run()
+        assert fired == ["now"]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_absolute_time(self, sim):
+        seen = []
+        sim.schedule_at(1234, lambda: seen.append(sim.now_ns))
+        sim.run()
+        assert seen == [1234]
+
+    def test_schedule_at_past_rejected(self, sim):
+        sim.schedule(100, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(50, lambda: None)
+
+    def test_events_can_schedule_events(self, sim):
+        seen = []
+
+        def first():
+            sim.schedule(10, lambda: seen.append(sim.now_ns))
+
+        sim.schedule(5, first)
+        sim.run()
+        assert seen == [15]
+
+    def test_args_passed_through(self, sim):
+        seen = []
+        sim.schedule(1, lambda a, b: seen.append((a, b)), "x", 42)
+        sim.run()
+        assert seen == [("x", 42)]
+
+
+class TestRunHorizon:
+    def test_until_is_exclusive(self, sim):
+        fired = []
+        sim.schedule(100, fired.append, "a")
+        sim.schedule(200, fired.append, "b")
+        sim.run(until_ns=200)
+        assert fired == ["a"]
+
+    def test_clock_advances_to_horizon(self, sim):
+        sim.run(until_ns=5_000)
+        assert sim.now_ns == 5_000
+
+    def test_consecutive_runs_compose(self, sim):
+        fired = []
+        sim.schedule(100, fired.append, "a")
+        sim.schedule(300, fired.append, "b")
+        sim.run(until_ns=200)
+        sim.run(until_ns=400)
+        assert fired == ["a", "b"]
+        assert sim.now_ns == 400
+
+    def test_event_at_horizon_fires_next_run(self, sim):
+        fired = []
+        sim.schedule(200, fired.append, "edge")
+        sim.run(until_ns=200)
+        assert fired == []
+        sim.run(until_ns=201)
+        assert fired == ["edge"]
+
+    def test_returns_processed_count(self, sim):
+        for _ in range(7):
+            sim.schedule(1, lambda: None)
+        assert sim.run() == 7
+        assert sim.events_processed == 7
+
+
+class TestStop:
+    def test_stop_from_callback(self, sim):
+        fired = []
+
+        def first():
+            fired.append(1)
+            sim.stop()
+
+        sim.schedule(1, first)
+        sim.schedule(2, fired.append, 2)
+        sim.run()
+        assert fired == [1]
+
+    def test_run_not_reentrant(self, sim):
+        error = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError:
+                error.append(True)
+
+        sim.schedule(1, reenter)
+        sim.run()
+        assert error == [True]
+
+    def test_now_seconds_view(self, sim):
+        sim.run(until_ns=2_500_000_000)
+        assert sim.now_seconds == pytest.approx(2.5)

@@ -1,0 +1,108 @@
+"""One-shot and periodic timers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.timers import OneShotTimer, PeriodicTimer
+
+
+class TestOneShotTimer:
+    def test_fires_once(self, sim):
+        fired = []
+        timer = OneShotTimer(sim, fired.append, "tick")
+        timer.start(100)
+        sim.run()
+        assert fired == ["tick"]
+
+    def test_restart_supersedes_pending(self, sim):
+        fired = []
+        timer = OneShotTimer(sim, lambda: fired.append(sim.now_ns))
+        timer.start(100)
+        timer.start(500)
+        sim.run()
+        assert fired == [500]
+
+    def test_cancel_prevents_firing(self, sim):
+        fired = []
+        timer = OneShotTimer(sim, fired.append, 1)
+        timer.start(100)
+        timer.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_armed_reflects_state(self, sim):
+        timer = OneShotTimer(sim, lambda: None)
+        assert not timer.armed
+        timer.start(100)
+        assert timer.armed
+        sim.run()
+        assert not timer.armed
+
+    def test_can_rearm_from_callback(self, sim):
+        times = []
+
+        def tick():
+            times.append(sim.now_ns)
+            if len(times) < 3:
+                timer.start(10)
+
+        timer = OneShotTimer(sim, tick)
+        timer.start(10)
+        sim.run()
+        assert times == [10, 20, 30]
+
+
+class TestPeriodicTimer:
+    def test_fires_every_interval(self, sim):
+        times = []
+        timer = PeriodicTimer(sim, 100, lambda: times.append(sim.now_ns))
+        timer.start()
+        sim.run(until_ns=450)
+        assert times == [100, 200, 300, 400]
+
+    def test_first_delay_override(self, sim):
+        times = []
+        timer = PeriodicTimer(sim, 100, lambda: times.append(sim.now_ns))
+        timer.start(first_delay_ns=10)
+        sim.run(until_ns=250)
+        assert times == [10, 110, 210]
+
+    def test_stop_from_callback(self, sim):
+        times = []
+
+        def tick():
+            times.append(sim.now_ns)
+            if len(times) == 2:
+                timer.stop()
+
+        timer = PeriodicTimer(sim, 50, tick)
+        timer.start()
+        sim.run(until_ns=1_000)
+        assert times == [50, 100]
+
+    def test_zero_interval_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            PeriodicTimer(sim, 0, lambda: None)
+
+    def test_fire_count(self, sim):
+        timer = PeriodicTimer(sim, 10, lambda: None)
+        timer.start()
+        sim.run(until_ns=55)
+        assert timer.fire_count == 5
+
+    def test_running_property(self, sim):
+        timer = PeriodicTimer(sim, 10, lambda: None)
+        assert not timer.running
+        timer.start()
+        assert timer.running
+        timer.stop()
+        assert not timer.running
+
+    def test_restart_resets_phase(self, sim):
+        times = []
+        timer = PeriodicTimer(sim, 100, lambda: times.append(sim.now_ns))
+        timer.start()
+        sim.run(until_ns=150)
+        timer.start()  # re-phase at t=150
+        sim.run(until_ns=400)
+        assert times == [100, 250, 350]

@@ -1,0 +1,62 @@
+"""Trace recorder filtering and taps."""
+
+from repro.sim.trace import TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_emit_and_filter_by_kind(self):
+        trace = TraceRecorder()
+        trace.emit(1, "sw0", "queue.drop", port=1)
+        trace.emit(2, "sw1", "tpp.exec", seq=5)
+        trace.emit(3, "sw0", "tpp.exec", seq=6)
+        assert len(trace.records(kind="tpp.exec")) == 2
+
+    def test_filter_by_source(self):
+        trace = TraceRecorder()
+        trace.emit(1, "sw0", "x")
+        trace.emit(2, "sw1", "x")
+        assert [r.source for r in trace.records(source="sw0")] == ["sw0"]
+
+    def test_filter_by_kind_and_source(self):
+        trace = TraceRecorder()
+        trace.emit(1, "sw0", "a")
+        trace.emit(2, "sw0", "b")
+        trace.emit(3, "sw1", "a")
+        records = trace.records(kind="a", source="sw0")
+        assert len(records) == 1 and records[0].time_ns == 1
+
+    def test_detail_kwargs_stored(self):
+        trace = TraceRecorder()
+        trace.emit(5, "h0", "k", foo=1, bar="baz")
+        record = trace.records()[0]
+        assert record.detail == {"foo": 1, "bar": "baz"}
+
+    def test_disabled_recorder_drops_everything(self):
+        trace = TraceRecorder(enabled=False)
+        trace.emit(1, "sw0", "x")
+        assert len(trace) == 0
+
+    def test_tap_sees_matching_records_live(self):
+        trace = TraceRecorder()
+        seen = []
+        trace.add_tap(seen.append)
+        trace.emit(1, "sw0", "x")
+        trace.emit(2, "sw0", "y")
+        assert [r.kind for r in seen] == ["x", "y"]
+
+    def test_clear_keeps_taps(self):
+        trace = TraceRecorder()
+        seen = []
+        trace.add_tap(seen.append)
+        trace.emit(1, "a", "x")
+        trace.clear()
+        assert len(trace) == 0
+        trace.emit(2, "a", "y")
+        assert len(seen) == 2
+
+    def test_iter_kind(self):
+        trace = TraceRecorder()
+        trace.emit(1, "a", "x")
+        trace.emit(2, "a", "y")
+        trace.emit(3, "a", "x")
+        assert [r.time_ns for r in trace.iter_kind("x")] == [1, 3]

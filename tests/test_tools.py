@@ -1,0 +1,87 @@
+"""Command-line tools."""
+
+import pytest
+
+from repro.tools import run_experiment, tppasm
+
+
+class TestTppasmAssemble:
+    def test_assemble_from_file(self, tmp_path, capsys):
+        source = tmp_path / "probe.tpp"
+        source.write_text("PUSH [Queue:QueueSize]\n")
+        assert tppasm.main(["assemble", str(source), "--hops", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "instructions: 1 (4 bytes)" in out
+        assert "wire bytes:" in out
+
+    def test_assemble_with_symbols(self, tmp_path, capsys):
+        source = tmp_path / "update.tpp"
+        source.write_text(
+            "CEXEC [Switch:SwitchID], 0xFFFFFFFF, $Target\n")
+        code = tppasm.main(["assemble", str(source),
+                            "--symbols", "Target=7"])
+        assert code == 0
+
+    def test_assemble_error_reported(self, tmp_path, capsys):
+        source = tmp_path / "bad.tpp"
+        source.write_text("FROB [Queue:QueueSize]\n")
+        assert tppasm.main(["assemble", str(source)]) == 1
+        assert "assembly error" in capsys.readouterr().err
+
+    def test_bad_symbol_syntax(self, tmp_path):
+        source = tmp_path / "x.tpp"
+        source.write_text("NOP\n")
+        with pytest.raises(SystemExit):
+            tppasm.main(["assemble", str(source), "--symbols", "oops"])
+
+
+class TestTppasmRoundTrip:
+    def test_assemble_then_disassemble(self, tmp_path, capsys):
+        source = tmp_path / "probe.tpp"
+        source.write_text("PUSH [Switch:SwitchID]\n")
+        tppasm.main(["assemble", str(source), "--hops", "2"])
+        out = capsys.readouterr().out
+        hex_lines = [line.split(":", 1)[1].strip()
+                     for line in out.splitlines()
+                     if line.strip().startswith(("0000:", "0010:",
+                                                 "0020:"))]
+        hexbytes = "".join(hex_lines).replace(" ", "")
+        assert tppasm.main(["disassemble", hexbytes]) == 0
+        out = capsys.readouterr().out
+        assert "PUSH [Switch:SwitchID]" in out
+
+    def test_disassemble_garbage(self, capsys):
+        assert tppasm.main(["disassemble", "deadbeef"]) == 1
+        assert "decode error" in capsys.readouterr().err
+
+
+class TestTppasmMemmap:
+    def test_memmap_lists_namespaces(self, capsys):
+        assert tppasm.main(["memmap"]) == 0
+        out = capsys.readouterr().out
+        assert "Queue:QueueSize" in out
+        assert "Switch:SwitchID" in out
+        assert "Link:RX-Utilization" in out
+        assert "Sram:Word0..Word1023" in out
+
+
+class TestRunExperiment:
+    def test_fig1(self, capsys):
+        assert run_experiment.main(["fig1", "--switches", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "hop 0" in out and "hop 1" in out
+
+    def test_microburst(self, capsys):
+        assert run_experiment.main(
+            ["microburst", "--duration", "0.3"]) == 0
+        assert "micro-bursts detected" in capsys.readouterr().out
+
+    def test_ndb(self, capsys):
+        assert run_experiment.main(["ndb"]) == 0
+        out = capsys.readouterr().out
+        assert "violations:" in out
+        assert "wrong-path" in out or "unknown-rule" in out
+
+    def test_fig2_short(self, capsys):
+        assert run_experiment.main(["fig2", "--duration", "1.5"]) == 0
+        assert "R(t)/C" in capsys.readouterr().out
