@@ -1,0 +1,263 @@
+"""Reproducible performance baseline for the simulator hot path.
+
+Measures, on fixed-seed workloads:
+
+- ``event_core``   — raw heap push/pop throughput of the tuple-entry
+  :class:`~repro.sim.events.EventQueue`, compared against a vendored copy
+  of the seed's ``@dataclass(order=True)`` heap (the speedup ratio is the
+  number the acceptance bar tracks);
+- ``event_loop``   — events/sec through a full :class:`Simulator` run,
+  including timer re-arm churn so heap compaction is exercised;
+- ``packet_forwarding`` — simulated packets/sec (and packet-hops/sec) of
+  wall time through the full switch pipeline on a 3-switch linear topology;
+- ``tpp_exec``     — TPP executions/sec and instructions/sec on a bare
+  TCPU + MMU (the dataplane interpreter alone).
+
+``tools/run_bench.py`` drives :func:`run_all` and emits
+``BENCH_simcore.json`` so every future PR's perf delta is visible.  The
+module is import-light on purpose: no pytest dependency, deterministic
+workloads, wall-clock timing via ``time.perf_counter``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Tuple
+
+from repro import units
+from repro.core.assembler import assemble
+from repro.core.mmu import MMU, ExecutionContext
+from repro.core.tcpu import TCPU
+from repro.asic.metadata import PacketMetadata
+from repro.net.routing import install_shortest_path_routes
+from repro.net.topology import TopologyBuilder
+from repro.sim.events import EventQueue
+from repro.sim.simulator import Simulator
+from repro.sim.timers import OneShotTimer
+
+SCHEMA = "simcore-bench/v1"
+DEFAULT_SEED = 20260806
+
+
+# --------------------------------------------------------------------- #
+# Vendored seed event core (the "before" of the tentpole) — kept here so
+# the speedup claim is measured, not asserted.
+# --------------------------------------------------------------------- #
+
+@dataclass(order=True)
+class _LegacyEvent:
+    time_ns: int
+    sequence: int
+    callback: Callable[..., None] = field(compare=False)
+    args: Tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class _LegacyEventQueue:
+    """The seed's ``@dataclass(order=True)`` min-heap, verbatim semantics."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._sequence = 0
+
+    def push(self, time_ns, callback, args=()):
+        event = _LegacyEvent(time_ns, self._sequence, callback, args)
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self):
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+
+# --------------------------------------------------------------------- #
+# Workloads
+# --------------------------------------------------------------------- #
+
+def _timed(fn: Callable[[], Any]) -> Tuple[Any, float]:
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def bench_event_core(n_events: int = 100_000,
+                     seed: int = DEFAULT_SEED) -> Dict[str, Any]:
+    """Heap push/pop throughput: new tuple-entry core vs seed dataclass heap.
+
+    Same pre-generated random event times for both, so the only variable
+    is the heap-entry representation.
+    """
+    rng = random.Random(seed)
+    times = [rng.randrange(1_000_000_000) for _ in range(n_events)]
+    callback = lambda: None  # noqa: E731 - intentionally trivial
+
+    def drive_new() -> int:
+        queue = EventQueue()
+        for t in times:
+            queue.push(t, callback)
+        popped = 0
+        while queue.pop() is not None:
+            popped += 1
+        return popped
+
+    def drive_legacy() -> int:
+        queue = _LegacyEventQueue()
+        for t in times:
+            queue.push(t, callback)
+        popped = 0
+        while queue.pop() is not None:
+            popped += 1
+        return popped
+
+    # Warm up once each (allocator, code caches), then measure.
+    drive_new(), drive_legacy()
+    popped_new, elapsed_new = _timed(drive_new)
+    popped_legacy, elapsed_legacy = _timed(drive_legacy)
+    assert popped_new == popped_legacy == n_events
+
+    events_per_sec = n_events / elapsed_new
+    legacy_per_sec = n_events / elapsed_legacy
+    return {
+        "n_events": n_events,
+        "seed": seed,
+        "events_per_sec": events_per_sec,
+        "legacy_events_per_sec": legacy_per_sec,
+        "speedup_vs_dataclass_heap": events_per_sec / legacy_per_sec,
+    }
+
+
+def bench_event_loop(n_events: int = 200_000,
+                     seed: int = DEFAULT_SEED) -> Dict[str, Any]:
+    """Events/sec through Simulator.run with timer re-arm churn.
+
+    Every tick re-arms a one-shot timer (retransmission-style), so half
+    the scheduled events are cancelled stragglers and the compaction path
+    is part of what is being measured.
+    """
+    def drive() -> Tuple[int, int]:
+        sim = Simulator()
+        rng = random.Random(seed)
+        count = [0]
+        rto = OneShotTimer(sim, lambda: None)
+
+        def tick() -> None:
+            count[0] += 1
+            rto.start(1_000_000)  # re-arm: cancels the previous arming
+            if count[0] < n_events:
+                sim.schedule(rng.randrange(1, 100), tick)
+            else:
+                rto.cancel()
+
+        sim.schedule(0, tick)
+        sim.run()
+        return count[0], sim.events_processed
+
+    drive()  # warm-up
+    (ticks, processed), elapsed = _timed(drive)
+    assert ticks == n_events
+    return {
+        "n_events": n_events,
+        "seed": seed,
+        "events_processed": processed,
+        "events_per_sec": processed / elapsed,
+    }
+
+
+def bench_packet_forwarding(n_switches: int = 3,
+                            duration_s: float = 0.02,
+                            rate_mbps: int = 800) -> Dict[str, Any]:
+    """Simulated packets/sec of wall time through the full pipeline."""
+    from repro.endhost.flows import Flow, FlowSink
+
+    def drive() -> int:
+        builder = TopologyBuilder(rate_bps=units.GIGABITS_PER_SEC,
+                                  trace_enabled=False)
+        net = builder.linear(n_switches=n_switches)
+        install_shortest_path_routes(net)
+        h0, h1 = net.host("h0"), net.host("h1")
+        sink = FlowSink(h1, 99)
+        flow = Flow(h0, h1, h1.mac, 99,
+                    rate_bps=rate_mbps * units.MEGABITS_PER_SEC)
+        flow.start()
+        net.run(until_seconds=duration_s)
+        return sink.packets_received
+
+    drive()  # warm-up
+    received, elapsed = _timed(drive)
+    return {
+        "n_switches": n_switches,
+        "sim_duration_s": duration_s,
+        "packets_received": received,
+        "packets_per_sec_wall": received / elapsed,
+        "packet_hops_per_sec_wall": received * n_switches / elapsed,
+    }
+
+
+def bench_tpp_exec(n_executions: int = 50_000) -> Dict[str, Any]:
+    """TPP executions/sec on a bare TCPU (interpreter hot path only)."""
+
+    class _FakeQueue:
+        occupancy_bytes = 500
+
+    class _FakePort:
+        index = 0
+        queue = _FakeQueue()
+
+    mmu = MMU(name="bench")
+    mmu.bind_reader("Switch:SwitchID", lambda ctx: 7)
+    mmu.bind_reader("Queue:QueueSize",
+                    lambda ctx: ctx.queue.occupancy_bytes)
+    tcpu = TCPU(mmu)
+    program = assemble("""
+        PUSH [Switch:SwitchID]
+        PUSH [Queue:QueueSize]
+    """, hops=1)
+
+    def drive() -> int:
+        executed = 0
+        for _ in range(n_executions):
+            tpp = program.build()
+            ctx = ExecutionContext(metadata=PacketMetadata(),
+                                   egress_port=_FakePort(), time_ns=1000)
+            report = tcpu.execute(tpp, ctx)
+            executed += report.executed
+        return executed
+
+    drive()  # warm-up
+    executed, elapsed = _timed(drive)
+    return {
+        "n_executions": n_executions,
+        "instructions_executed": executed,
+        "tpp_execs_per_sec": n_executions / elapsed,
+        "instructions_per_sec": executed / elapsed,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Harness entry point
+# --------------------------------------------------------------------- #
+
+def run_all(quick: bool = False, seed: int = DEFAULT_SEED) -> Dict[str, Any]:
+    """Run every workload; ``quick`` shrinks sizes for CI smoke runs."""
+    scale = 10 if quick else 1
+    workloads = {
+        "event_core": bench_event_core(100_000 // scale, seed=seed),
+        "event_loop": bench_event_loop(200_000 // scale, seed=seed),
+        "packet_forwarding": bench_packet_forwarding(
+            duration_s=0.02 / scale),
+        "tpp_exec": bench_tpp_exec(50_000 // scale),
+    }
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "seed": seed,
+        "timestamp": time.time(),
+        "workloads": workloads,
+    }

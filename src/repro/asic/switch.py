@@ -162,6 +162,9 @@ class TPPSwitch(Device):
                 egress_port = self.ports[result.out_port]
                 for hook in self.datagram_hooks:
                     hook(frame, datagram, metadata, egress_port)
+                # Hooks may legally grow the datagram (e.g. attach a
+                # congestion shim header), so the cached wire size is stale.
+                frame.invalidate_size_cache()
 
         self.packets_switched += 1
         frame.hops.append(self.name)
@@ -233,6 +236,7 @@ class TPPSwitch(Device):
             if isinstance(inner, Datagram):
                 frame.payload = inner
                 frame.ethertype = ETHERTYPE_IPV4
+                frame.invalidate_size_cache()
                 return frame
             return None  # nothing forwardable inside
         if action == "forward":
@@ -246,13 +250,17 @@ class TPPSwitch(Device):
                                time_ns=self.sim.now_ns,
                                task_id=tpp.task_id)
         report = self.tcpu.execute(tpp, ctx)
-        self.trace.emit(
-            self.sim.now_ns, self.name, "tpp.exec",
-            frame_uid=frame.uid, seq=tpp.seq, task=tpp.task_id,
-            executed=report.executed, skipped=report.skipped,
-            fault=int(report.fault), cycles=report.cycles,
-            sp_or_hop=tpp.hop_or_sp, memory_words=tpp.words(),
-        )
+        # wants() guard: snapshotting packet memory (tpp.words()) and
+        # building the kwargs dict is the expensive part — skip it all
+        # when nobody records tpp.exec.
+        if self.trace.wants("tpp.exec"):
+            self.trace.emit(
+                self.sim.now_ns, self.name, "tpp.exec",
+                frame_uid=frame.uid, seq=tpp.seq, task=tpp.task_id,
+                executed=report.executed, skipped=report.skipped,
+                fault=int(report.fault), cycles=report.cycles,
+                sp_or_hop=tpp.hop_or_sp, memory_words=tpp.words(),
+            )
         return frame
 
     # ------------------------------------------------------------------ #

@@ -88,6 +88,7 @@ class TCPU:
                 FaultCode.TOO_MANY_INSTRUCTIONS,
                 f"{len(tpp.instructions)} instructions > limit "
                 f"{self.max_instructions}"))
+            self._advance_hop(tpp)
             return report
 
         ctx.task_id = tpp.task_id
@@ -109,13 +110,25 @@ class TCPU:
                     FaultCode.MEMORY_BOUNDS, str(exc)))
                 break
 
-        if tpp.mode == AddressingMode.HOP and report.fault == FaultCode.NONE:
-            tpp.hop += 1
+        self._advance_hop(tpp)
 
         report.cycles = pipeline_cycles(report.executed)
         self.tpps_executed += 1
         self.instructions_executed += report.executed
         return report
+
+    @staticmethod
+    def _advance_hop(tpp: TPPSection) -> None:
+        """Consume this switch's hop slot, *including* on a fault.
+
+        §3.4: a faulting TPP is stamped and forwarded, so the faulting
+        hop's packet-memory slot must be reserved — if the hop counter did
+        not advance, the next switch would silently overwrite whatever
+        partial evidence the fault left behind, and the collector could no
+        longer tell which hop faulted.
+        """
+        if tpp.mode == AddressingMode.HOP:
+            tpp.hop += 1
 
     def _fault(self, tpp: TPPSection, report: ExecutionReport,
                fault: TCPUFault) -> None:

@@ -74,6 +74,8 @@ class TPPSection:
     task_id: int = 0
     seq: int = 0
     payload: Any = None
+    _length_cache: Any = field(default=None, init=False, repr=False,
+                               compare=False)
 
     def __post_init__(self) -> None:
         if self.word_size not in SUPPORTED_WORD_SIZES:
@@ -95,10 +97,23 @@ class TPPSection:
 
     @property
     def tpp_length_bytes(self) -> int:
-        """Header + instructions + packet memory (Figure 4 field 1)."""
-        return (TPP_HEADER_BYTES
-                + len(self.instructions) * INSTRUCTION_BYTES
-                + len(self.memory))
+        """Header + instructions + packet memory (Figure 4 field 1).
+
+        Cached on first use: the TPP section "never grows/shrinks inside
+        the network" (module docs), so the instruction count and packet
+        memory *length* are fixed for the life of the section even though
+        the memory contents mutate at every hop.  The encapsulated payload
+        is deliberately not part of this cache — :attr:`size_bytes` reads
+        it fresh so post-construction payload swaps (wire decode, trimmed
+        echoes) stay correct.
+        """
+        length = self._length_cache
+        if length is None:
+            length = (TPP_HEADER_BYTES
+                      + len(self.instructions) * INSTRUCTION_BYTES
+                      + len(self.memory))
+            self._length_cache = length
+        return length
 
     @property
     def size_bytes(self) -> int:

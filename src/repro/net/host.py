@@ -102,5 +102,6 @@ class Host(Device):
                 return
         else:
             self.undelivered_frames += 1
-        self.trace.emit(self.sim.now_ns, self.name, "host.undelivered",
-                        frame_uid=frame.uid, ethertype=frame.ethertype)
+        if self.trace.wants("host.undelivered"):
+            self.trace.emit(self.sim.now_ns, self.name, "host.undelivered",
+                            frame_uid=frame.uid, ethertype=frame.ethertype)

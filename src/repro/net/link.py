@@ -71,15 +71,26 @@ class Link:
             raise ConfigurationError(f"link {self.name!r} has no receiver")
         if not self.up:
             self.frames_lost += 1
+            trace = self.peer_device.trace
+            if trace.wants("link.lost"):
+                trace.emit(self.sim.now_ns, self.name or "link", "link.lost",
+                           frame_uid=frame.uid, size_bytes=frame.size_bytes)
             return
         self.sim.schedule(self.delay_ns, self._arrive, frame)
 
     def _arrive(self, frame: EthernetFrame) -> None:
         self.bytes_delivered += frame.size_bytes
         self.frames_delivered += 1
-        assert self.peer_device is not None
+        peer = self.peer_device
+        assert peer is not None
         assert self.peer_port_index is not None
-        self.peer_device.receive(frame, self.peer_port_index)
+        trace = peer.trace
+        if trace.wants("link.deliver"):
+            # DEBUG firehose: one record per frame per link traversal.
+            trace.emit(self.sim.now_ns, self.name or "link", "link.deliver",
+                       frame_uid=frame.uid, size_bytes=frame.size_bytes,
+                       dst_device=peer.name, port=self.peer_port_index)
+        peer.receive(frame, self.peer_port_index)
 
 
 def connect(sim: Simulator, device_a: "Device", device_b: "Device",

@@ -120,13 +120,33 @@ class EthernetFrame:
     payload: Any
     uid: int = field(default_factory=lambda: next(_frame_uid))
     hops: List[str] = field(default_factory=list)
+    _size_cache: Optional[int] = field(default=None, init=False, repr=False,
+                                       compare=False)
 
     @property
     def size_bytes(self) -> int:
-        """Total frame size, padded to the Ethernet minimum."""
-        size = (ETHERNET_HEADER_BYTES + payload_size(self.payload)
-                + ETHERNET_FCS_BYTES)
-        return max(size, ETHERNET_MIN_FRAME_BYTES)
+        """Total frame size, padded to the Ethernet minimum.
+
+        The size is computed once and cached — a frame's wire size is
+        queried half a dozen times per hop (admission, occupancy, DRR
+        deficit, serialization time, RX/TX accounting) and walking the
+        nested payload chain each time dominated the forwarding hot path.
+        Anything that swaps or resizes the payload after construction must
+        call :meth:`invalidate_size_cache` (the switch does this after its
+        strip action and after running datagram hooks).
+        """
+        size = self._size_cache
+        if size is None:
+            size = (ETHERNET_HEADER_BYTES + payload_size(self.payload)
+                    + ETHERNET_FCS_BYTES)
+            if size < ETHERNET_MIN_FRAME_BYTES:
+                size = ETHERNET_MIN_FRAME_BYTES
+            self._size_cache = size
+        return size
+
+    def invalidate_size_cache(self) -> None:
+        """Force recomputation after a payload mutation changed the size."""
+        self._size_cache = None
 
 
 def payload_size(payload: Any) -> int:

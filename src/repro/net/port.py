@@ -95,11 +95,24 @@ class Port:
         accepted = target.offer(frame)
         if accepted and not self._transmitting:
             self._begin_next_transmission()
-        if not accepted and self.device is not None:
-            self.device.trace.emit(
-                self.sim.now_ns, self.device.name, "queue.drop",
+        device = self.device
+        if device is None:
+            return accepted
+        if not accepted:
+            if device.trace.wants("queue.drop"):
+                device.trace.emit(
+                    self.sim.now_ns, device.name, "queue.drop",
+                    port=self.index, queue=queue_id, frame_uid=frame.uid,
+                    size_bytes=frame.size_bytes,
+                )
+        elif device.trace.wants("queue.enqueue"):
+            # DEBUG firehose: per-frame admission records for deep queue
+            # forensics; free unless a run lowers the trace level.
+            device.trace.emit(
+                self.sim.now_ns, device.name, "queue.enqueue",
                 port=self.index, queue=queue_id, frame_uid=frame.uid,
                 size_bytes=frame.size_bytes,
+                occupancy_bytes=target.occupancy_bytes,
             )
         return accepted
 

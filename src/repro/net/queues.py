@@ -62,16 +62,21 @@ class DropTailQueue:
     def offer(self, frame: EthernetFrame) -> bool:
         """Try to enqueue; returns ``False`` (and counts a drop) if full."""
         size = frame.size_bytes
-        if self.occupancy_bytes + size > self.capacity_bytes:
-            self.stats.bytes_dropped += size
-            self.stats.packets_dropped += 1
+        stats = self.stats
+        # Compute the would-be occupancy once instead of going through the
+        # occupancy_bytes property three times — this runs per admitted
+        # frame on every hop.
+        occupancy = self._occupancy_bytes + self._in_flight_bytes + size
+        if occupancy > self.capacity_bytes:
+            stats.bytes_dropped += size
+            stats.packets_dropped += 1
             return False
         self._packets.append(frame)
         self._occupancy_bytes += size
-        self.stats.bytes_enqueued += size
-        self.stats.packets_enqueued += 1
-        if self.occupancy_bytes > self.stats.peak_occupancy_bytes:
-            self.stats.peak_occupancy_bytes = self.occupancy_bytes
+        stats.bytes_enqueued += size
+        stats.packets_enqueued += 1
+        if occupancy > stats.peak_occupancy_bytes:
+            stats.peak_occupancy_bytes = occupancy
         return True
 
     def head_size_bytes(self) -> int:

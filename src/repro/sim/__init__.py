@@ -18,7 +18,7 @@ from repro.sim.events import Event, EventQueue
 from repro.sim.simulator import Simulator
 from repro.sim.timers import OneShotTimer, PeriodicTimer
 from repro.sim.rng import SeededRNG
-from repro.sim.trace import TraceRecorder, TraceRecord
+from repro.sim.trace import TraceLevel, TraceRecorder, TraceRecord
 
 __all__ = [
     "Event",
@@ -27,6 +27,7 @@ __all__ = [
     "OneShotTimer",
     "PeriodicTimer",
     "SeededRNG",
+    "TraceLevel",
     "TraceRecorder",
     "TraceRecord",
 ]

@@ -45,8 +45,16 @@ class Simulator:
         return self._now_ns / 1_000_000_000
 
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled stragglers)."""
-        return len(self._queue)
+        """Number of live events still queued.
+
+        Cancelled stragglers awaiting lazy deletion are *not* counted (they
+        will never fire); see :meth:`cancelled_pending` for those.
+        """
+        return self._queue.live_count
+
+    def cancelled_pending(self) -> int:
+        """Cancelled events still occupying heap entries (lazy deletion)."""
+        return self._queue.cancelled_pending
 
     def schedule(self, delay_ns: int, callback: Callable[..., None],
                  *args: Any) -> Event:
@@ -89,17 +97,17 @@ class Simulator:
         self._running = True
         self._stopped = False
         processed = 0
+        pop_before = self._queue.pop_before
         try:
             while not self._stopped:
-                next_time = self._queue.peek_time()
-                if next_time is None:
+                event = pop_before(until_ns)
+                if event is None:
                     break
-                if until_ns is not None and next_time >= until_ns:
-                    break
-                event = self._queue.pop()
-                assert event is not None
                 self._now_ns = event.time_ns
-                event.fire()
+                # pop_before never returns a cancelled event and nothing can
+                # run between the pop and this call, so invoke the callback
+                # directly instead of re-checking through Event.fire().
+                event.callback(*event.args)
                 processed += 1
         finally:
             self._running = False

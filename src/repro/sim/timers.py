@@ -18,6 +18,16 @@ class OneShotTimer:
 
     Unlike a bare ``sim.schedule`` call, the timer can be cancelled and
     restarted, which is what retransmission-style logic needs.
+
+    Same-instant semantics: ``cancel()`` + ``start()`` at the timer's own
+    firing instant is deterministic.  If the cancelling event was scheduled
+    *before* the timer's pending event, the old firing is suppressed and
+    only the re-armed one runs; if it was scheduled *after*, the timer has
+    already fired when the cancel executes (cancel is then a no-op on the
+    spent event) and the re-arm fires again — plain FIFO order within the
+    instant.  Either way :attr:`armed` agrees with the live event queue:
+    superseded events are cancelled immediately and never counted by
+    ``Simulator.pending_events()``.
     """
 
     def __init__(self, sim: Simulator, callback: Callable[..., None],

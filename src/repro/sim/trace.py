@@ -3,12 +3,61 @@
 Devices emit :class:`TraceRecord` entries (packet enqueued, TPP executed,
 rate register written, ...) into a shared :class:`TraceRecorder`.  The
 benchmark harness and the ndb collector both consume these traces.
+
+Trace levels and the hot-path guard
+-----------------------------------
+
+Every record kind has a :class:`TraceLevel`; the recorder stores records
+whose level is at or above its threshold (default :attr:`TraceLevel.INFO`).
+Hot callers must guard record construction with :meth:`TraceRecorder.wants`
+so that building the ``**detail`` kwargs — often the expensive part, e.g.
+snapshotting a TPP's packet memory — is skipped entirely when nobody
+listens::
+
+    if trace.wants("tpp.exec"):
+        trace.emit(now, name, "tpp.exec", memory_words=tpp.words(), ...)
+
+``wants`` is a single cached dict lookup after the first call per kind, and
+just one attribute read when the recorder is disabled.  Per-frame firehose
+kinds (``link.deliver``, ``queue.enqueue``) default to
+:attr:`TraceLevel.DEBUG` and are therefore free unless a run opts in with
+``trace.set_level(TraceLevel.DEBUG)``.
+
+For long runs, ``max_records`` bounds memory: the recorder becomes a ring
+buffer keeping the most recent records (taps still see every record live,
+so online consumers like the ndb collector lose nothing).
 """
 
 from __future__ import annotations
 
+import enum
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+class TraceLevel(enum.IntEnum):
+    """Severity/verbosity of a record kind (logging-style ordering)."""
+
+    DEBUG = 10    #: per-frame firehose; off by default
+    INFO = 20     #: normal operational records (default threshold)
+    WARNING = 30  #: drops, faults, losses — rare and always interesting
+
+
+#: Default level per record kind; kinds not listed here are INFO.
+DEFAULT_KIND_LEVELS: Dict[str, TraceLevel] = {
+    # Per-frame firehose (opt-in).
+    "link.deliver": TraceLevel.DEBUG,
+    "queue.enqueue": TraceLevel.DEBUG,
+    # Loss and fault evidence.
+    "queue.drop": TraceLevel.WARNING,
+    "switch.no_route": TraceLevel.WARNING,
+    "switch.rule_drop": TraceLevel.WARNING,
+    "tpp.dropped": TraceLevel.WARNING,
+    "tpp.stripped": TraceLevel.WARNING,
+    "host.undelivered": TraceLevel.WARNING,
+    "link.lost": TraceLevel.WARNING,
+}
 
 
 @dataclass(frozen=True)
@@ -35,21 +84,81 @@ class TraceRecorder:
     the ndb trace collector uses one to reassemble packet journeys online.
     """
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True,
+                 level: TraceLevel = TraceLevel.INFO,
+                 max_records: Optional[int] = None) -> None:
         self.enabled = enabled
-        self._records: List[TraceRecord] = []
+        self._level = TraceLevel(level)
+        self._kind_levels: Dict[str, TraceLevel] = dict(DEFAULT_KIND_LEVELS)
+        self._wants_cache: Dict[str, bool] = {}
+        self.max_records = max_records
+        self._records: Any = (deque(maxlen=max_records)
+                              if max_records is not None else [])
         self._taps: List[Callable[[TraceRecord], None]] = []
+        #: Total records accepted (including ones later evicted by the ring).
+        self.records_emitted = 0
+        #: Records evicted by the ring buffer (0 in unbounded mode).
+        self.records_dropped = 0
 
     def __len__(self) -> int:
         return len(self._records)
 
+    # ------------------------------------------------------------------ #
+    # Levels
+    # ------------------------------------------------------------------ #
+
+    @property
+    def level(self) -> TraceLevel:
+        """Minimum level a kind must have to be recorded."""
+        return self._level
+
+    def set_level(self, level: TraceLevel) -> None:
+        """Change the recording threshold (e.g. DEBUG for the firehose)."""
+        self._level = TraceLevel(level)
+        self._wants_cache.clear()
+
+    def set_kind_level(self, kind: str, level: TraceLevel) -> None:
+        """Override the level of one record kind.
+
+        This is how a new trace kind is registered: pick a level here (or
+        accept the INFO default) and guard the emit site with
+        :meth:`wants` — no allocation happens unless the kind is wanted.
+        """
+        self._kind_levels[kind] = TraceLevel(level)
+        self._wants_cache.pop(kind, None)
+
+    def kind_level(self, kind: str) -> TraceLevel:
+        """Effective level of a kind (INFO unless configured otherwise)."""
+        return self._kind_levels.get(kind, TraceLevel.INFO)
+
+    def wants(self, kind: str) -> bool:
+        """Cheap fast-path guard: would a record of ``kind`` be stored?
+
+        Hot callers check this before building ``**detail`` kwargs.
+        """
+        if not self.enabled:
+            return False
+        wanted = self._wants_cache.get(kind)
+        if wanted is None:
+            wanted = self._kind_levels.get(kind, TraceLevel.INFO) >= self._level
+            self._wants_cache[kind] = wanted
+        return wanted
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
     def emit(self, time_ns: int, source: str, kind: str,
              **detail: Any) -> None:
-        """Record one occurrence (no-op when the recorder is disabled)."""
-        if not self.enabled:
+        """Record one occurrence (no-op when disabled or below level)."""
+        if not self.wants(kind):
             return
         record = TraceRecord(time_ns, source, kind, detail)
-        self._records.append(record)
+        self.records_emitted += 1
+        records = self._records
+        if self.max_records is not None and len(records) == self.max_records:
+            self.records_dropped += 1
+        records.append(record)
         for tap in self._taps:
             tap(record)
 
@@ -60,7 +169,7 @@ class TraceRecorder:
     def records(self, kind: Optional[str] = None,
                 source: Optional[str] = None) -> List[TraceRecord]:
         """Snapshot of records, optionally filtered by kind and/or source."""
-        result = self._records
+        result: Any = self._records
         if kind is not None:
             result = [r for r in result if r.kind == kind]
         if source is not None:

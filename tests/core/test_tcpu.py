@@ -324,6 +324,64 @@ class TestLimitsAndFlags:
         harness.run(tpp)
         assert tpp.hop == 1
 
+
+class TestFaultedHopSlotPreserved:
+    """Regression (§3.4): a faulting hop-addressed TPP must still consume
+    its hop slot, so the next switch cannot overwrite the fault evidence.
+    """
+
+    @staticmethod
+    def _faulty_harness(switch_id):
+        """A switch whose MMU is missing the Queue:QueueSize statistic, so
+        the program's second LOAD faults with BAD_ADDRESS mid-execution."""
+        harness = Harness.__new__(Harness)
+        harness.mmu = MMU(name="faulty")
+        harness.mmu.bind_reader("Switch:SwitchID", lambda ctx: switch_id)
+        harness.tcpu = TCPU(harness.mmu, max_instructions=5)
+        return harness
+
+    PROGRAM = """
+        .mode hop
+        .perhop 2
+        LOAD [Switch:SwitchID], [Packet:Hop[0]]
+        LOAD [Queue:QueueSize], [Packet:Hop[1]]
+    """
+
+    def test_fault_advances_hop(self):
+        tpp = build(self.PROGRAM, hops=3)
+        report = self._faulty_harness(1).run(tpp)
+        assert report.fault == FaultCode.BAD_ADDRESS
+        assert tpp.hop == 1  # the faulting switch consumed its slot
+
+    def test_next_switch_does_not_overwrite_fault_evidence(self):
+        tpp = build(self.PROGRAM, hops=3)
+        good1, faulty, good2 = (Harness(switch_id=11),
+                                self._faulty_harness(22),
+                                Harness(switch_id=33))
+        assert good1.run(tpp).ok
+        assert faulty.run(tpp).fault == FaultCode.BAD_ADDRESS
+        assert good2.run(tpp).ok
+
+        perhop_words = 2
+        slots = [tpp.read_word(hop * perhop_words * 4)
+                 for hop in range(3)]
+        # Hop 0: first switch.  Hop 1: the faulting switch's partial write
+        # (its first LOAD landed before the fault) is preserved.  Hop 2:
+        # the third switch wrote its own slot instead of overwriting.
+        assert slots == [11, 22, 33]
+        assert tpp.fault == FaultCode.BAD_ADDRESS
+        assert tpp.hops_executed() == 3
+
+    def test_too_many_instructions_also_consumes_slot(self):
+        tpp = build("""
+            .mode hop
+            LOAD [Switch:SwitchID], [Packet:Hop[0]]
+        """, hops=2)
+        harness = Harness(max_instructions=0)
+        report = harness.run(tpp)
+        assert report.fault == FaultCode.TOO_MANY_INSTRUCTIONS
+        assert tpp.hop == 1
+
     def test_nop_program(self):
         harness = Harness()
         tpp = build("NOP")

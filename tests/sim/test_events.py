@@ -73,3 +73,94 @@ class TestCancellation:
 
     def test_peek_empty_returns_none(self):
         assert EventQueue().peek_time() is None
+
+
+class TestLiveAccounting:
+    def test_cancelled_pending_counts_stragglers(self):
+        queue = EventQueue()
+        events = [queue.push(i, lambda: None) for i in range(5)]
+        events[1].cancel()
+        events[3].cancel()
+        assert queue.cancelled_pending == 2
+        assert queue.live_count == 3
+        assert len(queue) == 5  # raw heap entries still include stragglers
+
+    def test_pop_of_cancelled_decrements_counter(self):
+        queue = EventQueue()
+        first = queue.push(10, lambda: None)
+        queue.push(20, lambda: None)
+        first.cancel()
+        assert queue.cancelled_pending == 1
+        queue.pop()  # skips and purges the straggler
+        assert queue.cancelled_pending == 0
+
+    def test_cancel_is_counted_once(self):
+        queue = EventQueue()
+        event = queue.push(10, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert queue.cancelled_pending == 1
+
+    def test_stale_cancel_after_pop_does_not_skew_counter(self):
+        queue = EventQueue()
+        event = queue.push(10, lambda: None)
+        assert queue.pop() is event
+        event.cancel()  # handle outlived its heap entry
+        assert queue.cancelled_pending == 0
+        assert queue.live_count == 0
+
+
+class TestCompaction:
+    def test_explicit_compact_purges_stragglers(self):
+        queue = EventQueue()
+        events = [queue.push(i, lambda: None) for i in range(10)]
+        for event in events[:6]:
+            event.cancel()
+        purged = queue.compact()
+        assert purged == 6
+        assert len(queue) == 4
+        assert queue.cancelled_pending == 0
+        assert queue.compactions == 1
+
+    def test_compact_preserves_firing_order(self):
+        queue = EventQueue()
+        fired = []
+        keep = []
+        for tag in range(20):
+            event = queue.push(100 - tag // 2, fired.append, (tag,))
+            if tag % 3:
+                keep.append(tag)
+            else:
+                event.cancel()
+        queue.compact()
+        while (event := queue.pop()) is not None:
+            event.fire()
+        expected = sorted(keep, key=lambda tag: (100 - tag // 2, tag))
+        assert fired == expected
+
+    def test_auto_compaction_bounds_stragglers(self):
+        queue = EventQueue(compact_min_cancelled=8, compact_fraction=0.5)
+        live = queue.push(1_000_000, lambda: None)
+        stale = [queue.push(i, lambda: None) for i in range(100)]
+        for event in stale:
+            event.cancel()
+        # Cancellation churn must have triggered compaction rather than
+        # letting 100 stragglers accumulate behind one live event.
+        assert queue.compactions >= 1
+        assert queue.cancelled_pending <= 8 + 1
+        assert queue.live_count == 1
+        assert not live.cancelled
+
+    def test_compact_empty_is_noop(self):
+        queue = EventQueue()
+        assert queue.compact() == 0
+        assert queue.compactions == 0
+
+    def test_pop_before_horizon(self):
+        queue = EventQueue()
+        queue.push(10, lambda: None)
+        queue.push(20, lambda: None)
+        event = queue.pop_before(15)
+        assert event is not None and event.time_ns == 10
+        assert queue.pop_before(15) is None
+        assert len(queue) == 1  # the t=20 event stayed queued

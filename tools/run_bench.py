@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Run the simulator perf baseline and emit ``BENCH_simcore.json``.
+
+Usage::
+
+    python tools/run_bench.py             # full run, writes BENCH_simcore.json
+    python tools/run_bench.py --quick     # CI smoke run (smaller workloads)
+    python tools/run_bench.py --validate BENCH_simcore.json   # schema check
+
+The JSON is the perf trajectory the ROADMAP tracks: every PR can re-run
+this and diff events/sec, packets/sec, and TPP-exec/sec against the
+committed baseline.  ``--validate`` exits non-zero on a malformed file,
+which is what the CI workflow uses to fail fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_simcore.json"
+
+#: metric keys that must exist and be positive finite numbers, per workload.
+REQUIRED_METRICS = {
+    "event_core": ("events_per_sec", "legacy_events_per_sec",
+                   "speedup_vs_dataclass_heap"),
+    "event_loop": ("events_per_sec", "events_processed"),
+    "packet_forwarding": ("packets_per_sec_wall", "packet_hops_per_sec_wall",
+                          "packets_received"),
+    "tpp_exec": ("tpp_execs_per_sec", "instructions_per_sec"),
+}
+
+
+def validate(report: dict) -> list:
+    """Return a list of problems (empty when the report is well-formed)."""
+    problems = []
+    if report.get("schema") != "simcore-bench/v1":
+        problems.append(f"bad schema field: {report.get('schema')!r}")
+    workloads = report.get("workloads")
+    if not isinstance(workloads, dict):
+        return problems + ["missing workloads object"]
+    for name, metrics in REQUIRED_METRICS.items():
+        workload = workloads.get(name)
+        if not isinstance(workload, dict):
+            problems.append(f"missing workload {name!r}")
+            continue
+        for metric in metrics:
+            value = workload.get(metric)
+            if (not isinstance(value, (int, float))
+                    or isinstance(value, bool)
+                    or not math.isfinite(value) or value <= 0):
+                problems.append(f"{name}.{metric} invalid: {value!r}")
+    return problems
+
+
+def _print_summary(report: dict) -> None:
+    wl = report["workloads"]
+    print(f"schema:   {report['schema']}   quick={report['quick']}")
+    print(f"event core:        {wl['event_core']['events_per_sec']:>12,.0f} "
+          f"events/s  ({wl['event_core']['speedup_vs_dataclass_heap']:.2f}x "
+          f"vs seed dataclass heap)")
+    print(f"event loop:        {wl['event_loop']['events_per_sec']:>12,.0f} "
+          f"events/s (with timer churn)")
+    print(f"packet forwarding: "
+          f"{wl['packet_forwarding']['packet_hops_per_sec_wall']:>12,.0f} "
+          f"packet-hops/s wall")
+    print(f"tpp execution:     {wl['tpp_exec']['tpp_execs_per_sec']:>12,.0f} "
+          f"TPP-execs/s")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads (CI smoke run)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"output path (default {DEFAULT_OUTPUT.name})")
+    parser.add_argument("--validate", type=Path, metavar="JSON",
+                        help="validate an existing report instead of running")
+    args = parser.parse_args(argv)
+
+    if args.validate is not None:
+        try:
+            report = json.loads(args.validate.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"unreadable report {args.validate}: {exc}",
+                  file=sys.stderr)
+            return 1
+        problems = validate(report)
+        for problem in problems:
+            print(f"malformed: {problem}", file=sys.stderr)
+        if not problems:
+            print(f"{args.validate} OK")
+        return 1 if problems else 0
+
+    import perf_baseline
+
+    report = perf_baseline.run_all(quick=args.quick)
+    problems = validate(report)
+    if problems:
+        for problem in problems:
+            print(f"malformed: {problem}", file=sys.stderr)
+        return 1
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True)
+                           + "\n")
+    _print_summary(report)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
