@@ -6,7 +6,7 @@ helpers keep that output aligned and diff-friendly.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.analysis.timeseries import TimeSeries
 
@@ -31,6 +31,44 @@ def format_table(headers: Sequence[str],
     for row in rows:
         lines.append(render(row))
     return "\n".join(lines)
+
+
+def reliability_report(links: Iterable = (),
+                       endpoints: Iterable = ()) -> str:
+    """Loss/retry accounting for an impaired run, as aligned tables.
+
+    ``links`` are :class:`repro.net.link.Link` objects (only impaired or
+    lossy ones are worth passing); ``endpoints`` are
+    :class:`repro.endhost.client.TPPEndpoint` instances.  Together they
+    answer the first question a lossy experiment raises: where did the
+    probes go, and what did the endpoints do about it?
+    """
+    sections: List[str] = []
+    link_rows = [
+        [link.name or "link", link.frames_delivered, link.frames_lost,
+         link.frames_impaired_lost, link.frames_corrupted,
+         link.frames_duplicated]
+        for link in links
+    ]
+    if link_rows:
+        sections.append(format_table(
+            ["link", "delivered", "lost", "impair-lost", "corrupted",
+             "duplicated"],
+            link_rows, title="Link impairments"))
+    endpoint_rows = [
+        [ep.host.name, ep.probes_sent, ep.responses_received, ep.timeouts,
+         ep.retries, ep.orphan_responses,
+         ep.duplicate_responses + ep.late_responses, ep.pending_count]
+        for ep in endpoints
+    ]
+    if endpoint_rows:
+        sections.append(format_table(
+            ["endpoint", "sent", "responses", "timeouts", "retries",
+             "orphans", "dup/late", "pending"],
+            endpoint_rows, title="Probe reliability"))
+    if not sections:
+        return "(nothing to report)"
+    return "\n\n".join(sections)
 
 
 def ascii_plot(series: TimeSeries, width: int = 72, height: int = 16,

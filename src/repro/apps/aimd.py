@@ -58,7 +58,8 @@ class AIMDFlow:
         self.endpoint = endpoint
         program = assemble(COLLECT_PROGRAM, memory_map=memory_map)
         self.prober = PeriodicProber(endpoint, program, probe_interval_ns,
-                                     self._on_probe, dst_mac=dst_mac)
+                                     self._on_probe, dst_mac=dst_mac,
+                                     on_timeout=self._on_probe_timeout)
         self.rate_series = TimeSeries(f"aimd-flow{index}.rate")
         self.backoffs = 0
 
@@ -79,12 +80,22 @@ class AIMDFlow:
         if not hops:
             return
         worst_queue = max(queue for _, queue in hops)
-        rate = self.flow.rate_bps
         if worst_queue > self.queue_threshold_bytes:
-            rate = rate * self.decrease_factor
-            self.backoffs += 1
+            self._decrease()
         else:
-            rate = rate + self.increase_bps
+            self._set_rate(self.flow.rate_bps + self.increase_bps)
+
+    def _on_probe_timeout(self, _record) -> None:
+        # A probe that never came back is the strongest congestion signal
+        # AIMD knows (it is how TCP reads loss): multiplicative decrease,
+        # exactly as if the queue sample had crossed the threshold.
+        self._decrease()
+
+    def _decrease(self) -> None:
+        self.backoffs += 1
+        self._set_rate(self.flow.rate_bps * self.decrease_factor)
+
+    def _set_rate(self, rate: float) -> None:
         rate = min(self.capacity_bps, max(0.01 * self.capacity_bps, rate))
         self.flow.set_rate(int(rate))
         self.rate_series.append(self.src.sim.now_ns, rate)

@@ -50,7 +50,7 @@ class TelemetryStream:
 
     def __init__(self, src: Host, dst_mac: int,
                  interval_ns: int, memory_map: Optional[MemoryMap] = None,
-                 hops: int = 8) -> None:
+                 hops: int = 8, max_outstanding: int = 16) -> None:
         self.src = src
         endpoint = getattr(src, "tpp", None)
         if endpoint is None:
@@ -59,11 +59,17 @@ class TelemetryStream:
         self.endpoint = endpoint
         self.program = assemble(TELEMETRY_PROGRAM, memory_map=memory_map,
                                 hops=hops)
+        #: The prober's deadline + outstanding cap keep telemetry alive
+        #: (and its pending table bounded) when probes are being lost —
+        #: a sample stream with holes still catches bursts; a stalled
+        #: prober catches nothing.
         self.prober = PeriodicProber(endpoint, self.program, interval_ns,
-                                     self._on_result, dst_mac=dst_mac)
+                                     self._on_result, dst_mac=dst_mac,
+                                     max_outstanding=max_outstanding)
         #: One occupancy series per switch id observed on the path.
         self.queue_series: Dict[int, TimeSeries] = {}
         self.samples = 0
+        self.faulted_probes = 0
 
     def start(self, first_delay_ns: Optional[int] = None) -> None:
         """Begin probing."""
@@ -73,8 +79,19 @@ class TelemetryStream:
         """Stop probing."""
         self.prober.stop()
 
+    @property
+    def probe_timeouts(self) -> int:
+        """Probes that expired unanswered (lost somewhere on the loop)."""
+        return self.prober.probes_timed_out
+
+    @property
+    def loss_rate_estimate(self) -> float:
+        """The prober's EWMA estimate of probe loss on this path."""
+        return self.prober.loss_rate_estimate
+
     def _on_result(self, result: TPPResultView) -> None:
         if not result.ok:
+            self.faulted_probes += 1
             return
         for switch_id, queue_bytes in result.per_hop_words():
             series = self.queue_series.get(switch_id)

@@ -55,12 +55,24 @@ WORDS_PER_HOP = 4
 
 @dataclass(frozen=True)
 class HopRecord:
-    """What one switch recorded about one packet."""
+    """What one switch recorded about one packet.
+
+    ``gap`` marks a hop the packet *executed on* but whose record could
+    not be recovered (the trace arrived truncated — e.g. corrupted in
+    flight).  Gap records carry ``-1`` in every field; consumers must not
+    interpret them as observations.
+    """
 
     switch_id: int
     entry_id: int
     entry_version: int
     input_port: int
+    gap: bool = False
+
+
+#: Placeholder for a hop whose record was lost with the truncated tail.
+GAP_HOP = HopRecord(switch_id=-1, entry_id=-1, entry_version=-1,
+                    input_port=-1, gap=True)
 
 
 @dataclass
@@ -72,8 +84,12 @@ class PacketJourney:
     hops: List[HopRecord] = field(default_factory=list)
 
     def switch_ids(self) -> List[int]:
-        """The switches traversed, in order."""
+        """The switches traversed, in order (``-1`` for gap hops)."""
         return [hop.switch_id for hop in self.hops]
+
+    def has_gaps(self) -> bool:
+        """Whether any hop record was lost to truncation/corruption."""
+        return any(hop.gap for hop in self.hops)
 
 
 def trace_program(memory_map: Optional[MemoryMap] = None,
@@ -122,6 +138,7 @@ class NdbCollector:
         self.host = host
         self.task_id = task_id
         self.journeys: List[PacketJourney] = []
+        self.truncated_traces = 0
         endpoint.add_tap(self._on_tpp)
 
     def _on_tpp(self, tpp: TPPSection, frame: EthernetFrame) -> None:
@@ -131,14 +148,26 @@ class NdbCollector:
                                 received_at_ns=self.host.sim.now_ns)
         word = tpp.word_size
         perhop = tpp.perhop_len_bytes
+        record_bytes = WORDS_PER_HOP * word
+        truncated = False
+        # The hop counter says how many switches executed the TPP; the
+        # memory says how many records survived the trip.  A trace whose
+        # memory arrived truncated gets explicit gap markers for the tail
+        # instead of being mis-assembled (or crashing its reader).
         for hop in range(tpp.hops_executed()):
             base = hop * perhop
+            if base + record_bytes > len(tpp.memory):
+                journey.hops.append(GAP_HOP)
+                truncated = True
+                continue
             journey.hops.append(HopRecord(
                 switch_id=tpp.read_word(base),
                 entry_id=tpp.read_word(base + word),
                 entry_version=tpp.read_word(base + 2 * word),
                 input_port=tpp.read_word(base + 3 * word),
             ))
+        if truncated:
+            self.truncated_traces += 1
         self.journeys.append(journey)
 
 
@@ -146,7 +175,7 @@ class NdbCollector:
 class Violation:
     """One detected mismatch between intent and observed forwarding."""
 
-    kind: str            # "wrong-path" | "stale-rule" | "unknown-rule"
+    kind: str  # "wrong-path" | "stale-rule" | "unknown-rule" | "trace-gap"
     frame_uid: int
     switch_id: Optional[int] = None
     detail: str = ""
@@ -178,14 +207,29 @@ class PathVerifier:
         return violations
 
     def verify_one(self, journey: PacketJourney) -> List[Violation]:
-        """Violations for a single packet."""
+        """Violations for a single packet.
+
+        A journey with gap hops (truncated trace) yields a ``trace-gap``
+        violation and no path verdict: the evidence is incomplete, and
+        reporting "wrong path" off a damaged trace would page an operator
+        for a link impairment.  Hops that *did* survive are still checked
+        against the controller's rules.
+        """
         violations: List[Violation] = []
         observed = journey.switch_ids()
-        if observed != self.expected_path:
+        if journey.has_gaps():
+            violations.append(Violation(
+                kind="trace-gap", frame_uid=journey.frame_uid,
+                detail=f"{sum(1 for h in journey.hops if h.gap)} of "
+                       f"{len(journey.hops)} hop records lost; "
+                       f"recovered path {observed}"))
+        elif observed != self.expected_path:
             violations.append(Violation(
                 kind="wrong-path", frame_uid=journey.frame_uid,
                 detail=f"expected {self.expected_path}, took {observed}"))
         for hop in journey.hops:
+            if hop.gap:
+                continue
             intended = self.current_entries.get(hop.switch_id)
             if intended is None:
                 continue  # switch not on the intended path; wrong-path

@@ -56,7 +56,12 @@ from repro.apps.rcp_common import (
 )
 from repro.control.agent import ControlPlaneAgent
 from repro.core.assembler import assemble
-from repro.endhost.client import TPPEndpoint, TPPResultView
+from repro.endhost.client import (
+    DEFAULT_RTT_MULTIPLIER,
+    RetryPolicy,
+    TPPEndpoint,
+    TPPResultView,
+)
 from repro.endhost.flows import Flow, FlowSink
 from repro.endhost.probes import PeriodicProber
 from repro.net.host import Host
@@ -93,6 +98,14 @@ DEFAULT_SAMPLE_EWMA_ALPHA = 0.3
 #: expected path length ("the maximum number of hops is small within a
 #: datacenter", §2.1) rather than default to the assembler's worst case.
 DEFAULT_MAX_HOPS = 6
+#: Collect probes unanswered after this many probe intervals count as
+#: lost; the control loop then holds (one miss) or decays (a run of
+#: misses) its rate instead of stalling on stale samples.
+COLLECT_TIMEOUT_INTERVALS = 3
+#: Multiplicative rate decay per consecutive missed collect beyond the
+#: first, and the floor it stops at (a fraction of link capacity).
+MISS_DECAY = 0.7
+MISS_RATE_FLOOR_FRACTION = 0.01
 
 
 @dataclass
@@ -203,6 +216,15 @@ class RCPStarFlow:
 
         self.endpoint = self._endpoint_for(src)
         receiver_endpoint = self._endpoint_for(dst)
+        #: One deadline policy for every probe this flow sends.  It is
+        #: also installed as the endpoint default so fire-and-forget
+        #: update probes get bounded request records — their echoes then
+        #: consume their own records instead of aliasing a collect's.
+        self.probe_policy = RetryPolicy(
+            timeout_ns=COLLECT_TIMEOUT_INTERVALS * probe_interval_ns,
+            rtt_multiplier=DEFAULT_RTT_MULTIPLIER)
+        if self.endpoint.retry_policy is None:
+            self.endpoint.retry_policy = self.probe_policy
         self.collect_program = assemble(COLLECT_PROGRAM,
                                         memory_map=task.memory_map,
                                         hops=max_hops)
@@ -221,7 +243,9 @@ class RCPStarFlow:
             self.prober = PeriodicProber(
                 self.endpoint, self.collect_program, probe_interval_ns,
                 self._on_collect, dst_mac=dst_mac, task_id=task.task_id,
-                jitter_fraction=0.1, rng=self._rng())
+                jitter_fraction=0.1,
+                retry_policy=self.probe_policy,
+                on_timeout=self._on_collect_miss)
         else:
             receiver_endpoint.enable_trimmed_echo(task.task_id)
             self.flow.frame_factory = self._piggyback_frame
@@ -236,10 +260,9 @@ class RCPStarFlow:
         self.rate_series = TimeSeries(f"rcp*-flow{index}.rate")
         self.updates_attempted = 0
         self.updates_sent = 0
-
-    def _rng(self):
-        import random
-        return random.Random(1009 * (self.index + 1))
+        self.collects_missed = 0
+        self.collects_rejected = 0
+        self._consecutive_misses = 0
 
     @staticmethod
     def _endpoint_for(host: Host) -> TPPEndpoint:
@@ -285,7 +308,10 @@ class RCPStarFlow:
         datagram = flow.make_datagram(packet_bytes, shim_bytes=overhead)
         tpp = self.endpoint.wrap(self.collect_program, payload=datagram,
                                  task_id=self.task.task_id,
-                                 on_response=self._on_collect)
+                                 on_response=self._on_collect,
+                                 on_timeout=self._on_collect_miss,
+                                 retry_policy=self.probe_policy,
+                                 dst_mac=self.flow.dst_mac)
         self._last_collect_ns = self.src.sim.now_ns
         return EthernetFrame(dst=flow.dst_mac, src=flow.src.mac,
                              ethertype=ETHERTYPE_TPP, payload=tpp)
@@ -300,17 +326,56 @@ class RCPStarFlow:
         self._last_collect_ns = self.src.sim.now_ns
         self.endpoint.send(self.collect_program, dst_mac=self.flow.dst_mac,
                            task_id=self.task.task_id,
-                           on_response=self._on_collect)
+                           on_response=self._on_collect,
+                           on_timeout=self._on_collect_miss,
+                           retry_policy=self.probe_policy)
 
     # ------------------------------------------------------------------ #
     # Phase 1 -> 2: collect and compute
     # ------------------------------------------------------------------ #
 
+    def _on_collect_miss(self, _record=None) -> None:
+        """A collect probe expired unanswered (phase 1 produced nothing).
+
+        §2.2's loop would silently stall on its last samples.  Instead:
+        hold the current rate for an isolated miss (one lost probe is
+        noise, not congestion), then decay multiplicatively on a run of
+        misses — persistent loss is evidence the path is in trouble, and
+        pushing stale-rate traffic into it makes things worse.  The floor
+        keeps probing alive so the flow recovers when the path does.
+        """
+        self.collects_missed += 1
+        self._consecutive_misses += 1
+        if self._consecutive_misses < 2:
+            return
+        floor = max(1, int(self.capacity_bps * MISS_RATE_FLOOR_FRACTION))
+        decayed = max(floor, int(self.flow.rate_bps * MISS_DECAY))
+        if decayed < self.flow.rate_bps:
+            self._apply_rate(decayed)
+
     def _on_collect(self, result: TPPResultView) -> None:
+        self._consecutive_misses = 0
         if not result.ok:
             return
         hops = result.per_hop_words()
         if not hops:
+            return
+        # Plausibility gate for corrupted echoes: a truncated trace (fewer
+        # hops than the established path), a switch id that contradicts
+        # it, or a zero fair-share register (never legitimate — the agent
+        # initializes registers to link capacity) all mark a sample set
+        # that must not steer the control loop.
+        if self.links:
+            if len(hops) < len(self.links):
+                self.collects_rejected += 1
+                return
+            if (len(hops) == len(self.links)
+                    and any(sample.switch_id != hop[0]
+                            for sample, hop in zip(self.links, hops))):
+                self.collects_rejected += 1
+                return
+        if any(hop[3] <= 0 for hop in hops):
+            self.collects_rejected += 1
             return
         if len(self.links) != len(hops):
             self.links = [LinkSample(switch_id=hop[0]) for hop in hops]

@@ -24,7 +24,6 @@ from repro.asic.stats import (
     SwitchStats,
 )
 from repro.asic.tables import (
-    DROP,
     EntryAllocator,
     L2Table,
     L3Table,
@@ -37,12 +36,7 @@ from repro.core.mmu import MMU, ExecutionContext
 from repro.core.tcpu import DEFAULT_MAX_INSTRUCTIONS, TCPU
 from repro.core.tpp import TPPSection
 from repro.net.device import Device
-from repro.net.packet import (
-    ETHERTYPE_IPV4,
-    ETHERTYPE_TPP,
-    Datagram,
-    EthernetFrame,
-)
+from repro.net.packet import ETHERTYPE_IPV4, Datagram, EthernetFrame
 from repro.sim.simulator import Simulator
 from repro.sim.trace import TraceRecorder
 

@@ -15,7 +15,7 @@ can detect packets forwarded by stale rules.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.asic.parser import ParsedHeaders

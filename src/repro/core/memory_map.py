@@ -3,16 +3,16 @@
 Statistics live in different memory banks inside the ASIC, but TPPs see one
 flat 16-bit virtual address space split into namespaces:
 
-================= ========= =====================================================
+================= ========= ===================================================
 namespace         base      resolves against
-================= ========= =====================================================
+================= ========= ===================================================
 ``Switch:``       0x0000    the switch itself (global registers)
 ``PacketMetadata``0xA000    the packet being processed
 ``Queue:``        0xB000    the packet's egress queue
 ``Link:``         0xC000    the packet's egress port/link
 ``Sram:``         0xD000    the switch's scratch SRAM (writable, partitioned
                             across tasks by the control-plane agent)
-================= ========= =====================================================
+================= ========= ===================================================
 
 "To simplify discussion, we assume that the address is the same across all
 network devices" — the layout below *is* that network-wide standard: every

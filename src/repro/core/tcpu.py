@@ -24,12 +24,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.core.exceptions import FaultCode, TCPUFault
-from repro.core.isa import (
-    HOP_RELATIVE_OPCODES,
-    Instruction,
-    Opcode,
-    PAIR_OPERAND_OPCODES,
-)
+from repro.core.isa import HOP_RELATIVE_OPCODES, Instruction, Opcode
 from repro.core.mmu import MMU, ExecutionContext
 from repro.core.tpp import AddressingMode, TPPSection
 
@@ -76,7 +71,8 @@ class TCPU:
     # Execution
     # ------------------------------------------------------------------ #
 
-    def execute(self, tpp: TPPSection, ctx: ExecutionContext) -> ExecutionReport:
+    def execute(self, tpp: TPPSection,
+                ctx: ExecutionContext) -> ExecutionReport:
         """Run a TPP at this switch.  Never raises on program errors:
         faults are stamped into the TPP's flags and reported."""
         report = ExecutionReport()

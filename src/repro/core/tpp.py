@@ -115,6 +115,16 @@ class TPPSection:
             self._length_cache = length
         return length
 
+    def invalidate_length_cache(self) -> None:
+        """Force recomputation after something *resized* packet memory.
+
+        Only fault injection does this — a well-formed TPP's memory length
+        is immutable in the network — but the corruption injector models a
+        mangled length field by truncating ``memory``, and readers of the
+        damaged section must see its real (shorter) size.
+        """
+        self._length_cache = None
+
     @property
     def size_bytes(self) -> int:
         """Wire size including the encapsulated payload."""

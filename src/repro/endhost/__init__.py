@@ -17,7 +17,13 @@ that end-host runtime:
   — a paced UDP flow with receiver-side goodput accounting.
 """
 
-from repro.endhost.client import TPPEndpoint, TPPResultView
+from repro.endhost.client import (
+    ProbeRequest,
+    ProbeWindowFull,
+    RetryPolicy,
+    TPPEndpoint,
+    TPPResultView,
+)
 from repro.endhost.probes import PeriodicProber
 from repro.endhost.rate_limiter import PacedSender, TokenBucket
 from repro.endhost.flows import Flow, FlowSink
@@ -25,6 +31,9 @@ from repro.endhost.flows import Flow, FlowSink
 __all__ = [
     "TPPEndpoint",
     "TPPResultView",
+    "ProbeRequest",
+    "ProbeWindowFull",
+    "RetryPolicy",
     "PeriodicProber",
     "PacedSender",
     "TokenBucket",

@@ -13,29 +13,163 @@ handler).  It plays both roles of the paper's end-host protocol:
   encapsulate a data payload are instead delivered locally: their payload
   goes to the host's normal UDP dispatch and the TPP itself is offered to
   registered taps (how the ndb collector sees its per-packet traces).
+
+Reliability
+-----------
+
+The paper assumes probes come back; lossy networks do not oblige, and the
+SIGCOMM'14 follow-up makes end-host agents responsible for retransmitting
+lost TPPs.  The endpoint therefore keeps one :class:`ProbeRequest` record
+per outstanding probe:
+
+- sequence numbers are allocated **collision-free** from the 8-bit wire
+  space — a seq whose slot is still pending is skipped, so a late echo can
+  never fire a newer probe's callback with the wrong data;
+- a per-request deadline (from a :class:`RetryPolicy`) bounds the pending
+  table: on expiry the probe is retransmitted with exponential backoff or,
+  out of attempts, surrendered to its ``on_timeout`` callback;
+- echoes are matched against the *recorded request* (task id and expected
+  responder), so misrouted or reflected echoes from other hosts are
+  counted as orphans instead of cross-wiring state;
+- late and duplicate echoes (a retransmission racing its original, a
+  duplicating link) are deduplicated and counted, never double-delivered.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
+from collections import OrderedDict
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.core.assembler import AssembledProgram
 from repro.core.exceptions import FaultCode
 from repro.core.tpp import TPPSection
+from repro.errors import ReproError
 from repro.net.host import Host
 from repro.net.packet import ETHERTYPE_TPP, Datagram, EthernetFrame
+from repro.sim.timers import OneShotTimer
 
 ResponseCallback = Callable[["TPPResultView"], None]
+TimeoutCallback = Callable[["ProbeRequest"], None]
 TPPTap = Callable[[TPPSection, EthernetFrame], None]
+
+#: The TPP header carries an 8-bit sequence number (see
+#: :data:`repro.core.tpp._HEADER_STRUCT`); this is the whole wire space.
+SEQ_SPACE = 256
+
+#: How many completed (answered or timed-out) requests to remember for
+#: classifying stragglers as duplicate/late rather than orphan.
+_COMPLETED_MEMORY = 2 * SEQ_SPACE
+
+#: Smoothing for the endpoint's echo-RTT estimate (TCP's srtt, but a
+#: faster gain: probes fire every few ms, so the estimate should track
+#: queue build-up within a handful of samples).
+RTT_EWMA_ALPHA = 0.25
+
+#: Default ``RetryPolicy.rtt_multiplier`` for policies derived by the
+#: prober and the RCP* controller.  Generous on purpose: a deadline
+#: exists to catch genuine loss and bound the pending table, not to race
+#: queueing delay — and without variance tracking the headroom has to
+#: absorb RTT swinging several-fold as queues fill and drain.
+DEFAULT_RTT_MULTIPLIER = 6.0
+
+
+class ProbeWindowFull(ReproError):
+    """All 256 wire sequence numbers have a probe in flight.
+
+    Senders that can see this many probes outstanding should cap their
+    emission (as :class:`~repro.endhost.probes.PeriodicProber` does) or
+    configure a :class:`RetryPolicy` so stale entries expire.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deadline/retransmission policy for one probe.
+
+    ``max_attempts`` counts transmissions in total: 1 means a bare
+    deadline with no retransmission.  The timeout for attempt *n* is
+    ``timeout_ns * backoff**(n-1)``, clamped to ``max_timeout_ns`` and
+    spread by ``±jitter_fraction`` (to decorrelate retry storms).
+
+    ``rtt_multiplier`` makes the deadline *adaptive*: a nonzero value
+    raises each attempt's timeout to at least ``rtt_multiplier`` times
+    the endpoint's smoothed echo RTT.  Probes share queues with the
+    traffic they monitor, so congestion stretches their RTT by orders of
+    magnitude — a static deadline would misread that delay as loss and
+    (worse) feed phantom-loss signals to the very control loop trying to
+    drain the queue.  ``timeout_ns`` then acts as the floor used until
+    an RTT estimate exists.
+    """
+
+    timeout_ns: int
+    max_attempts: int = 1
+    backoff: float = 2.0
+    max_timeout_ns: Optional[int] = None
+    jitter_fraction: float = 0.0
+    rtt_multiplier: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.timeout_ns <= 0:
+            raise ValueError(f"timeout must be positive: {self.timeout_ns}")
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1: {self.max_attempts}")
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1: {self.backoff}")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ValueError(
+                f"jitter_fraction must be in [0, 1): {self.jitter_fraction}")
+        if self.rtt_multiplier < 0.0:
+            raise ValueError(
+                f"rtt_multiplier must be >= 0: {self.rtt_multiplier}")
+
+    def timeout_for(self, attempt: int,
+                    rng: Optional[random.Random] = None,
+                    rtt_ewma_ns: float = 0.0) -> int:
+        """Deadline (ns) to arm before transmission number ``attempt``."""
+        base = float(self.timeout_ns)
+        if self.rtt_multiplier and rtt_ewma_ns:
+            base = max(base, self.rtt_multiplier * rtt_ewma_ns)
+        timeout = base * self.backoff ** (attempt - 1)
+        if self.max_timeout_ns is not None:
+            timeout = min(timeout, self.max_timeout_ns)
+        if self.jitter_fraction and rng is not None:
+            timeout *= 1.0 + rng.uniform(-self.jitter_fraction,
+                                         self.jitter_fraction)
+        return max(1, round(timeout))
+
+
+@dataclass
+class ProbeRequest:
+    """One outstanding probe: identity, callbacks, and retry state."""
+
+    probe_id: int                       #: endpoint-unique, never reused
+    seq: int                            #: 8-bit wire slot, unique in flight
+    task_id: int
+    responder_mac: Optional[int]        #: expected echo source (if known)
+    program: Optional[AssembledProgram]
+    payload: object = None
+    on_response: Optional[ResponseCallback] = None
+    on_timeout: Optional[TimeoutCallback] = None
+    policy: Optional[RetryPolicy] = None
+    attempts: int = 1
+    first_sent_ns: int = 0
+    timer: Optional[OneShotTimer] = field(default=None, repr=False)
 
 
 class TPPResultView:
     """Decoded view of a TPP that came back from the network."""
 
-    def __init__(self, tpp: TPPSection, time_ns: int = 0) -> None:
+    def __init__(self, tpp: TPPSection, time_ns: int = 0,
+                 rtt_ns: int = 0) -> None:
         self.tpp = tpp
         self.time_ns = time_ns
+        #: Round-trip time of the probe (0 when the endpoint had no
+        #: request record to measure against).
+        self.rtt_ns = rtt_ns
 
     @property
     def seq(self) -> int:
@@ -65,7 +199,9 @@ class TPPResultView:
         """
         perhop = self.tpp.perhop_len_bytes
         word = self.tpp.word_size
-        if perhop == 0:
+        if perhop == 0 or perhop % word:
+            # Zero or ragged per-hop footprint: nothing interpretable
+            # (the latter only happens to corrupted/hostile packets).
             return []
         words_per_hop = perhop // word
         # Clamp to what the packet can actually hold: a malformed or
@@ -87,7 +223,7 @@ class TPPResultView:
         word = self.tpp.word_size
         limit = min(self.tpp.sp,
                     len(self.tpp.memory) - len(self.tpp.memory) % word)
-        return [self.tpp.read_word(i) for i in range(0, limit, word)]
+        return [self.tpp.read_word(i) for i in range(0, max(0, limit), word)]
 
     def word(self, index: int) -> int:
         """One absolute packet-memory word."""
@@ -98,12 +234,23 @@ class TPPEndpoint:
     """Per-host TPP sender, echo responder, and demultiplexer."""
 
     def __init__(self, host: Host, default_dst_mac: Optional[int] = None,
-                 echo_probes: bool = True) -> None:
+                 echo_probes: bool = True,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         self.host = host
         self.default_dst_mac = default_dst_mac
         self.echo_probes = echo_probes
+        #: Default policy for probes sent without an explicit one.
+        #: ``None`` preserves the historical behaviour: no deadline, the
+        #: request waits forever (fine on lossless topologies).
+        self.retry_policy = retry_policy
         self._seq = itertools.count(0)
-        self._pending: Dict[int, ResponseCallback] = {}
+        self._probe_ids = itertools.count(0)
+        self._pending: Dict[int, ProbeRequest] = {}
+        #: (seq, task_id) of recently answered/expired requests, for
+        #: classifying stragglers.  Values: ("done" | "timeout",
+        #: first_sent_ns, attempts).
+        self._completed: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._retry_rng: Optional[random.Random] = None
         self._taps: List[TPPTap] = []
         #: Task ids whose *payload-carrying* TPPs get a trimmed echo: the
         #: data is delivered locally and the executed TPP section alone
@@ -116,7 +263,20 @@ class TPPEndpoint:
         self.tpps_echoed = 0
         self.trimmed_echoes = 0
         self.payloads_delivered = 0
+        self.timeouts = 0
+        self.retries = 0
+        self.orphan_responses = 0
+        self.duplicate_responses = 0
+        self.late_responses = 0
+        #: Smoothed echo RTT (ns); 0 until the first echo is matched.
+        #: Adaptive policies (``rtt_multiplier``) scale deadlines by it.
+        self.rtt_ewma_ns = 0.0
         host.on_ethertype(ETHERTYPE_TPP, self._on_tpp_frame)
+
+    @property
+    def pending_count(self) -> int:
+        """Outstanding probes awaiting an echo (bounded by ``SEQ_SPACE``)."""
+        return len(self._pending)
 
     # ------------------------------------------------------------------ #
     # Sending
@@ -124,19 +284,26 @@ class TPPEndpoint:
 
     def send(self, program: AssembledProgram, dst_mac: Optional[int] = None,
              payload=None, task_id: int = 0,
-             on_response: Optional[ResponseCallback] = None) -> int:
+             on_response: Optional[ResponseCallback] = None,
+             on_timeout: Optional[TimeoutCallback] = None,
+             retry_policy: Optional[RetryPolicy] = None) -> int:
         """Instantiate and transmit a program; returns the sequence number.
 
         ``on_response`` fires when the echoed, fully-executed TPP returns.
+        With a :class:`RetryPolicy` (per-call or the endpoint default),
+        the probe is retransmitted on deadline expiry and ``on_timeout``
+        fires once all attempts are exhausted.
         """
         if dst_mac is None:
             dst_mac = self.default_dst_mac
         if dst_mac is None:
             raise ValueError("no destination MAC for TPP probe")
-        seq = next(self._seq) & 0xFF
+        policy = (retry_policy if retry_policy is not None
+                  else self.retry_policy)
+        record = self._register(program, dst_mac, payload, task_id,
+                                on_response, on_timeout, policy)
+        seq = record.seq if record is not None else self._alloc_free_seq()
         tpp = program.build(payload=payload, task_id=task_id, seq=seq)
-        if on_response is not None:
-            self._pending[seq] = on_response
         frame = EthernetFrame(dst=dst_mac, src=self.host.mac,
                               ethertype=ETHERTYPE_TPP, payload=tpp)
         self.probes_sent += 1
@@ -151,24 +318,116 @@ class TPPEndpoint:
 
     def wrap(self, program: AssembledProgram, payload,
              task_id: int = 0,
-             on_response: Optional[ResponseCallback] = None) -> TPPSection:
+             on_response: Optional[ResponseCallback] = None,
+             on_timeout: Optional[TimeoutCallback] = None,
+             retry_policy: Optional[RetryPolicy] = None,
+             dst_mac: Optional[int] = None) -> TPPSection:
         """Build a data-carrying TPP (a piggybacked probe) and register
         its response callback; the caller transmits the frame.
 
         The receiving endpoint must have trimmed echoes enabled for this
         task id (see :meth:`enable_trimmed_echo`), otherwise no response
-        comes back.
+        comes back.  ``dst_mac`` (the intended receiver) is optional but
+        enables response matching and standalone retransmission on loss.
         """
-        seq = next(self._seq) & 0xFF
-        tpp = program.build(payload=payload, task_id=task_id, seq=seq)
-        if on_response is not None:
-            self._pending[seq] = on_response
-        return tpp
+        policy = (retry_policy if retry_policy is not None
+                  else self.retry_policy)
+        record = self._register(program, dst_mac, None, task_id,
+                                on_response, on_timeout, policy)
+        seq = record.seq if record is not None else self._alloc_free_seq()
+        return program.build(payload=payload, task_id=task_id, seq=seq)
 
     def enable_trimmed_echo(self, task_id: int) -> None:
         """Echo executed TPPs of this task back (payload stripped) even
         when they carry data."""
         self._trimmed_echo_tasks.add(task_id)
+
+    # ------------------------------------------------------------------ #
+    # Request records and the sequence window
+    # ------------------------------------------------------------------ #
+
+    def _alloc_free_seq(self) -> int:
+        """Next wire seq whose slot has no probe in flight."""
+        for _ in range(SEQ_SPACE):
+            seq = next(self._seq) % SEQ_SPACE
+            if seq not in self._pending:
+                return seq
+        raise ProbeWindowFull(
+            f"{self.host.name}: all {SEQ_SPACE} probe sequence numbers "
+            f"are in flight")
+
+    def _register(self, program: Optional[AssembledProgram],
+                  dst_mac: Optional[int], payload, task_id: int,
+                  on_response: Optional[ResponseCallback],
+                  on_timeout: Optional[TimeoutCallback],
+                  policy: Optional[RetryPolicy]) -> Optional[ProbeRequest]:
+        """Create and arm a request record (``None`` for fire-and-forget)."""
+        if on_response is None and on_timeout is None and policy is None:
+            return None
+        seq = self._alloc_free_seq()
+        record = ProbeRequest(
+            probe_id=next(self._probe_ids), seq=seq, task_id=task_id,
+            responder_mac=dst_mac, program=program, payload=payload,
+            on_response=on_response, on_timeout=on_timeout, policy=policy,
+            first_sent_ns=self.host.sim.now_ns)
+        self._pending[seq] = record
+        if policy is not None:
+            record.timer = OneShotTimer(self.host.sim,
+                                        self._on_deadline, record)
+            record.timer.start(policy.timeout_for(1, self._jitter_rng(),
+                                                  self.rtt_ewma_ns))
+        return record
+
+    def _jitter_rng(self) -> random.Random:
+        if self._retry_rng is None:
+            self._retry_rng = self.host.sim.rng.stream(
+                f"tpp-retry/{self.host.name}")
+        return self._retry_rng
+
+    def _on_deadline(self, record: ProbeRequest) -> None:
+        if self._pending.get(record.seq) is not record:
+            return  # answered in the same instant; stale timer
+        policy = record.policy
+        assert policy is not None
+        can_retry = (record.attempts < policy.max_attempts
+                     and record.program is not None
+                     and record.responder_mac is not None)
+        if not can_retry:
+            del self._pending[record.seq]
+            self._note_completed(record, "timeout")
+            self.timeouts += 1
+            if record.on_timeout is not None:
+                record.on_timeout(record)
+            return
+        record.attempts += 1
+        self.retries += 1
+        # Retransmit standalone: for piggybacked probes the data's own
+        # transport owns the payload, the probe layer only re-asks the
+        # question.  Same seq — it is the same logical request.
+        tpp = record.program.build(payload=record.payload,
+                                   task_id=record.task_id, seq=record.seq)
+        frame = EthernetFrame(dst=record.responder_mac, src=self.host.mac,
+                              ethertype=ETHERTYPE_TPP, payload=tpp)
+        self.probes_sent += 1
+        self.host.send_frame(frame)
+        assert record.timer is not None
+        record.timer.start(policy.timeout_for(record.attempts,
+                                              self._jitter_rng(),
+                                              self.rtt_ewma_ns))
+
+    def _note_completed(self, record: ProbeRequest, outcome: str) -> None:
+        key = (record.seq, record.task_id)
+        self._completed[key] = (outcome, record.first_sent_ns,
+                                record.attempts)
+        self._completed.move_to_end(key)
+        while len(self._completed) > _COMPLETED_MEMORY:
+            self._completed.popitem(last=False)
+
+    def _fold_rtt(self, rtt: float) -> None:
+        if self.rtt_ewma_ns:
+            self.rtt_ewma_ns += RTT_EWMA_ALPHA * (rtt - self.rtt_ewma_ns)
+        else:
+            self.rtt_ewma_ns = float(rtt)
 
     # ------------------------------------------------------------------ #
     # Receiving
@@ -183,7 +442,7 @@ class TPPEndpoint:
         if not isinstance(tpp, TPPSection):
             return
         if tpp.done:
-            self._on_response(tpp)
+            self._on_response(tpp, frame)
             return
         for tap in self._taps:
             tap(tpp, frame)
@@ -197,11 +456,55 @@ class TPPEndpoint:
         elif self.echo_probes:
             self._echo(tpp, frame)
 
-    def _on_response(self, tpp: TPPSection) -> None:
+    def _on_response(self, tpp: TPPSection, frame: EthernetFrame) -> None:
         self.responses_received += 1
-        callback = self._pending.pop(tpp.seq, None)
-        if callback is not None:
-            callback(TPPResultView(tpp, self.host.sim.now_ns))
+        record = self._pending.get(tpp.seq)
+        if record is None or not self._matches(record, tpp, frame):
+            entry = self._completed.get((tpp.seq, tpp.task_id))
+            outcome = entry[0] if entry is not None else None
+            if outcome == "done":
+                self.duplicate_responses += 1
+            elif outcome == "timeout":
+                self.late_responses += 1
+                # A late echo is still a valid RTT sample (Karn's rule
+                # permitting), and the most important one: it proves the
+                # deadline underestimated the path.  Folding it lets the
+                # adaptive deadline escape a too-small initial estimate
+                # even when *every* early probe is expiring.
+                _, sent_ns, attempts = entry
+                if attempts == 1:
+                    self._fold_rtt(self.host.sim.now_ns - sent_ns)
+            else:
+                self.orphan_responses += 1
+            return
+        del self._pending[tpp.seq]
+        if record.timer is not None:
+            record.timer.cancel()
+        self._note_completed(record, "done")
+        now = self.host.sim.now_ns
+        rtt = now - record.first_sent_ns
+        if record.attempts == 1:
+            # Karn's rule: a retransmitted probe's echo is ambiguous
+            # (original or retry?), so only clean samples feed the RTT.
+            self._fold_rtt(rtt)
+        if record.on_response is not None:
+            record.on_response(TPPResultView(tpp, now, rtt_ns=rtt))
+
+    @staticmethod
+    def _matches(record: ProbeRequest, tpp: TPPSection,
+                 frame: EthernetFrame) -> bool:
+        """Does this echo answer the recorded request?
+
+        Task id must agree, and when the request knew its responder the
+        echo must come from that host — a reflected or misrouted echo of
+        someone else's probe must not consume our record.
+        """
+        if tpp.task_id != record.task_id:
+            return False
+        if (record.responder_mac is not None
+                and frame.src != record.responder_mac):
+            return False
+        return True
 
     def _echo(self, tpp: TPPSection, frame: EthernetFrame) -> None:
         tpp.mark_done()

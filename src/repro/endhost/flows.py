@@ -97,7 +97,8 @@ class Flow:
     def bytes_sent(self) -> int:
         return self.sender.bytes_sent
 
-    def make_datagram(self, packet_bytes: int, shim_bytes: int = 0) -> Datagram:
+    def make_datagram(self, packet_bytes: int,
+                      shim_bytes: int = 0) -> Datagram:
         """Build one data datagram whose enclosing frame will have the
         target wire size (``shim_bytes`` accounts for extra headers the
         frame factory will add, e.g. an RCP shim or a TPP section)."""

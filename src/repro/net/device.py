@@ -23,7 +23,8 @@ class Device:
                  trace: Optional[TraceRecorder] = None) -> None:
         self.sim = sim
         self.name = name
-        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.trace = (trace if trace is not None
+                      else TraceRecorder(enabled=False))
         self.ports: List["Port"] = []
 
     def add_port(self, port: "Port") -> int:

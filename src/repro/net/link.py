@@ -6,10 +6,23 @@ transmit side is driven by the :class:`~repro.net.port.Port` that owns it —
 the port dequeues a packet, occupies the link for the packet's serialization
 time, and the link delivers the frame to the far device after the
 propagation delay.
+
+Impairments
+-----------
+
+A link may carry a seeded :class:`LinkImpairments` model (loss, corruption,
+duplication), the fault-injection layer the probe-reliability machinery in
+:mod:`repro.endhost.client` is tested against.  The unimpaired hot path
+pays a single ``is None`` check; all stochastic work lives behind it.
+Corruption damages the *packet memory* of a TPP in flight (truncation or
+bit-flips — what a mangled length field or soft error does to the part of
+the packet the reliability layer must parse defensively); a corrupted
+non-TPP frame is dropped at the receiver the way a bad-FCS frame would be.
 """
 
 from __future__ import annotations
 
+import random
 from typing import TYPE_CHECKING, Optional
 
 from repro import units
@@ -20,6 +33,31 @@ from repro.sim.simulator import Simulator
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.net.device import Device
     from repro.net.port import Port
+
+
+class LinkImpairments:
+    """Stochastic impairment profile for one link direction.
+
+    Rates are independent per-frame probabilities drawn, in a fixed order
+    (loss, then corruption, then duplication), from one seeded stream —
+    runs with the same seed and traffic replay bit-identically.
+    """
+
+    __slots__ = ("loss_rate", "corrupt_rate", "duplicate_rate", "rng")
+
+    def __init__(self, rng: random.Random, loss_rate: float = 0.0,
+                 corrupt_rate: float = 0.0,
+                 duplicate_rate: float = 0.0) -> None:
+        for name, rate in (("loss_rate", loss_rate),
+                           ("corrupt_rate", corrupt_rate),
+                           ("duplicate_rate", duplicate_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be a probability in [0, 1], got {rate}")
+        self.rng = rng
+        self.loss_rate = loss_rate
+        self.corrupt_rate = corrupt_rate
+        self.duplicate_rate = duplicate_rate
 
 
 class Link:
@@ -41,9 +79,14 @@ class Link:
         #: every frame handed to it (and everything already in flight
         #: arrives — photons in the fiber don't care about the failure).
         self.up = True
+        #: Impairment model, or ``None`` (the default) for a perfect link.
+        self.impairments: Optional[LinkImpairments] = None
         self.bytes_delivered = 0
         self.frames_delivered = 0
         self.frames_lost = 0
+        self.frames_impaired_lost = 0
+        self.frames_corrupted = 0
+        self.frames_duplicated = 0
 
     def attach_receiver(self, device: "Device", port_index: int) -> None:
         """Set the device/port that frames on this link arrive at."""
@@ -62,6 +105,25 @@ class Link:
         """Bring the link back up."""
         self.up = True
 
+    def set_impairments(self, loss_rate: float = 0.0,
+                        corrupt_rate: float = 0.0,
+                        duplicate_rate: float = 0.0,
+                        rng: Optional[random.Random] = None) -> None:
+        """Configure (or, with all rates zero, remove) the impairment model.
+
+        The RNG defaults to the simulator's named stream
+        ``impair/<link-name>``, so distinct links impair independently and
+        deterministically under one experiment seed.
+        """
+        if not (loss_rate or corrupt_rate or duplicate_rate):
+            self.impairments = None
+            return
+        if rng is None:
+            rng = self.sim.rng.stream(f"impair/{self.name or id(self)}")
+        self.impairments = LinkImpairments(
+            rng, loss_rate=loss_rate, corrupt_rate=corrupt_rate,
+            duplicate_rate=duplicate_rate)
+
     def deliver_after_propagation(self, frame: EthernetFrame) -> None:
         """Schedule arrival at the peer one propagation delay from now.
 
@@ -74,9 +136,86 @@ class Link:
             trace = self.peer_device.trace
             if trace.wants("link.lost"):
                 trace.emit(self.sim.now_ns, self.name or "link", "link.lost",
-                           frame_uid=frame.uid, size_bytes=frame.size_bytes)
+                           frame_uid=frame.uid, size_bytes=frame.size_bytes,
+                           reason="down")
+            return
+        if self.impairments is not None:
+            self._deliver_impaired(frame)
             return
         self.sim.schedule(self.delay_ns, self._arrive, frame)
+
+    # ------------------------------------------------------------------ #
+    # Impaired delivery (off the hot path: only runs when configured)
+    # ------------------------------------------------------------------ #
+
+    def _deliver_impaired(self, frame: EthernetFrame) -> None:
+        imp = self.impairments
+        assert imp is not None
+        rng = imp.rng
+        trace = self.peer_device.trace if self.peer_device else None
+        if imp.loss_rate and rng.random() < imp.loss_rate:
+            self.frames_lost += 1
+            self.frames_impaired_lost += 1
+            if trace is not None and trace.wants("link.lost"):
+                trace.emit(self.sim.now_ns, self.name or "link", "link.lost",
+                           frame_uid=frame.uid, size_bytes=frame.size_bytes,
+                           reason="impairment")
+            return
+        if imp.corrupt_rate and rng.random() < imp.corrupt_rate:
+            frame = self._corrupt(frame, rng, trace)
+            if frame is None:
+                return
+        self.sim.schedule(self.delay_ns, self._arrive, frame)
+        if imp.duplicate_rate and rng.random() < imp.duplicate_rate:
+            dup = frame.clone()
+            self.frames_duplicated += 1
+            if trace is not None and trace.wants("link.dup"):
+                trace.emit(self.sim.now_ns, self.name or "link", "link.dup",
+                           frame_uid=frame.uid, size_bytes=frame.size_bytes)
+            self.sim.schedule(self.delay_ns, self._arrive, dup)
+
+    def _corrupt(self, frame: EthernetFrame, rng: random.Random,
+                 trace) -> Optional[EthernetFrame]:
+        """Damage the frame in flight; ``None`` means it was unreceivable.
+
+        TPP frames get their packet memory truncated or bit-flipped —
+        exactly the malformed input :class:`~repro.endhost.client.
+        TPPResultView` and the ndb collector must survive.  Anything else
+        fails its FCS at the receiving NIC and is counted as lost.
+        """
+        from repro.core.tpp import TPPSection  # deferred: import cycle
+        tpp = frame.payload
+        if not isinstance(tpp, TPPSection):
+            self.frames_lost += 1
+            self.frames_impaired_lost += 1
+            if trace is not None and trace.wants("link.lost"):
+                trace.emit(self.sim.now_ns, self.name or "link", "link.lost",
+                           frame_uid=frame.uid, size_bytes=frame.size_bytes,
+                           reason="corrupt-fcs")
+            return None
+        self.frames_corrupted += 1
+        damage = "bitflip"
+        memory = tpp.memory
+        if memory and rng.random() < 0.5:
+            # Truncate to a shorter (still 4-aligned) memory: the short
+            # read a mangled length field produces downstream.
+            keep = rng.randrange(0, len(memory) // 4) * 4
+            del memory[keep:]
+            tpp.invalidate_length_cache()
+            frame.invalidate_size_cache()
+            damage = "truncate"
+        elif memory:
+            for _ in range(rng.randint(1, min(8, len(memory)))):
+                memory[rng.randrange(len(memory))] ^= 1 << rng.randrange(8)
+        else:
+            # No memory to damage: scramble the hop/SP field instead.
+            tpp.hop_or_sp ^= 1 << rng.randrange(16)
+            damage = "header"
+        if trace is not None and trace.wants("link.corrupt"):
+            trace.emit(self.sim.now_ns, self.name or "link", "link.corrupt",
+                       frame_uid=frame.uid, size_bytes=frame.size_bytes,
+                       damage=damage)
+        return frame
 
     def _arrive(self, frame: EthernetFrame) -> None:
         self.bytes_delivered += frame.size_bytes

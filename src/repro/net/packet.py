@@ -94,10 +94,12 @@ class Datagram:
     def size_bytes(self) -> int:
         """Wire size of IP + UDP headers plus options and inner payload."""
         inner = payload_size(self.payload)
-        shim = self.congestion_header.size_bytes if self.congestion_header else 0
+        shim = (self.congestion_header.size_bytes
+                if self.congestion_header else 0)
         # RFC 791 record-route option: 3 bytes of option header plus the
         # preallocated 4-byte slots (padded into the IP header options).
-        option = 3 + 4 * self.route_record_slots if self.route_record_slots else 0
+        option = (3 + 4 * self.route_record_slots
+                  if self.route_record_slots else 0)
         return IPV4_HEADER_BYTES + option + UDP_HEADER_BYTES + shim + inner
 
 
@@ -147,6 +149,26 @@ class EthernetFrame:
     def invalidate_size_cache(self) -> None:
         """Force recomputation after a payload mutation changed the size."""
         self._size_cache = None
+
+    def clone(self) -> "EthernetFrame":
+        """A wire-identical copy of the frame (same ``uid``).
+
+        Models duplication in flight: both copies are the *same* packet as
+        far as end-hosts can tell, so the uid — the simulator's stand-in
+        for packet identity — is preserved rather than reallocated.
+        Mutable payloads (TPP sections, whose packet memory switches write
+        into) are deep-copied so the twins diverge independently; opaque
+        payloads are shared.
+        """
+        payload = self.payload
+        copier = getattr(payload, "copy", None)
+        if copier is not None:
+            payload = copier()
+        twin = EthernetFrame(dst=self.dst, src=self.src,
+                             ethertype=self.ethertype, payload=payload)
+        twin.uid = self.uid
+        twin.hops = list(self.hops)
+        return twin
 
 
 def payload_size(payload: Any) -> int:

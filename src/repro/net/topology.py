@@ -24,7 +24,6 @@ from repro.net.device import Device
 from repro.net.host import Host
 from repro.net.link import connect
 from repro.net.port import Port
-from repro.sim.rng import SeededRNG
 from repro.sim.simulator import Simulator
 from repro.sim.trace import TraceRecorder
 
@@ -45,9 +44,12 @@ class Network:
     """All simulation state for one experiment."""
 
     def __init__(self, seed: int = 0, trace_enabled: bool = True) -> None:
-        self.sim = Simulator()
+        self.sim = Simulator(seed=seed)
         self.trace = TraceRecorder(enabled=trace_enabled)
-        self.rng = SeededRNG(seed)
+        #: The simulator's RNG family (one object, two handles): components
+        #: created from a ``Network`` and components that only hold a
+        #: ``sim`` reference draw from the same seeded streams.
+        self.rng = self.sim.rng
         self.hosts: Dict[str, Host] = {}
         self.switches: Dict[str, Device] = {}
         self.edges: List[Edge] = []
@@ -112,6 +114,25 @@ class Network:
         self.edges.append(Edge(a.name, port_a.index, b.name, port_b.index,
                                rate_bps, delay_ns))
         return port_a, port_b
+
+    def impair_links(self, loss_rate: float = 0.0,
+                     corrupt_rate: float = 0.0,
+                     duplicate_rate: float = 0.0) -> int:
+        """Apply one impairment profile to every link in the network.
+
+        Each link direction draws from its own named RNG stream
+        (``impair/<link-name>``), so adding or removing traffic on one
+        link never perturbs the impairment pattern on another.  Returns
+        the number of link directions configured.
+        """
+        impaired = 0
+        for device in self.all_devices():
+            for port in device.ports:
+                port.link.set_impairments(loss_rate=loss_rate,
+                                          corrupt_rate=corrupt_rate,
+                                          duplicate_rate=duplicate_rate)
+                impaired += 1
+        return impaired
 
     # ------------------------------------------------------------------ #
     # Lookup

@@ -11,6 +11,7 @@ from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
 from repro.sim.events import Event, EventQueue
+from repro.sim.rng import SeededRNG
 
 
 class Simulator:
@@ -25,14 +26,22 @@ class Simulator:
     The loop processes events in ``(time, schedule-order)`` order until the
     queue drains, ``until_ns`` is reached, or :meth:`stop` is called from
     inside a callback.
+
+    The simulator also anchors the experiment's :class:`SeededRNG` family:
+    any component holding a ``sim`` reference can draw from a named,
+    deterministically seeded stream (``sim.rng.stream("impair/sw0->sw1")``)
+    without threading an RNG through every constructor.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, seed: int = 0) -> None:
         self._now_ns = 0
         self._queue = EventQueue()
         self._running = False
         self._stopped = False
         self.events_processed = 0
+        #: Named-stream RNG family for every stochastic component in this
+        #: simulation (link impairments, probe jitter, workloads).
+        self.rng = SeededRNG(seed)
 
     @property
     def now_ns(self) -> int:
@@ -65,7 +74,8 @@ class Simulator:
         """
         if delay_ns < 0:
             raise SimulationError(
-                f"cannot schedule {delay_ns} ns in the past at t={self._now_ns}"
+                f"cannot schedule {delay_ns} ns in the past"
+                f" at t={self._now_ns}"
             )
         return self._queue.push(self._now_ns + delay_ns, callback, args)
 

@@ -46,9 +46,14 @@ class TraceLevel(enum.IntEnum):
 
 #: Default level per record kind; kinds not listed here are INFO.
 DEFAULT_KIND_LEVELS: Dict[str, TraceLevel] = {
-    # Per-frame firehose (opt-in).
+    # Per-frame firehose (opt-in).  The link impairment kinds live here
+    # too: under an injected loss_rate they fire on a fixed fraction of
+    # *all* frames, which is firehose volume, not rare-event evidence.
     "link.deliver": TraceLevel.DEBUG,
     "queue.enqueue": TraceLevel.DEBUG,
+    "link.lost": TraceLevel.DEBUG,
+    "link.corrupt": TraceLevel.DEBUG,
+    "link.dup": TraceLevel.DEBUG,
     # Loss and fault evidence.
     "queue.drop": TraceLevel.WARNING,
     "switch.no_route": TraceLevel.WARNING,
@@ -56,7 +61,6 @@ DEFAULT_KIND_LEVELS: Dict[str, TraceLevel] = {
     "tpp.dropped": TraceLevel.WARNING,
     "tpp.stripped": TraceLevel.WARNING,
     "host.undelivered": TraceLevel.WARNING,
-    "link.lost": TraceLevel.WARNING,
 }
 
 
@@ -140,7 +144,8 @@ class TraceRecorder:
             return False
         wanted = self._wants_cache.get(kind)
         if wanted is None:
-            wanted = self._kind_levels.get(kind, TraceLevel.INFO) >= self._level
+            wanted = (self._kind_levels.get(kind, TraceLevel.INFO)
+                      >= self._level)
             self._wants_cache[kind] = wanted
         return wanted
 

@@ -21,7 +21,7 @@ import sys
 from typing import List, Optional
 
 from repro.core.assembler import assemble
-from repro.core.disassembler import disassemble, format_tpp
+from repro.core.disassembler import format_tpp
 from repro.core.exceptions import AssemblerError, TPPEncodingError
 from repro.core.memory_map import MemoryMap
 from repro.core.tpp import TPPSection

@@ -1,6 +1,5 @@
 """AIMD baseline controller."""
 
-import pytest
 
 from repro import units
 from repro.apps.aimd import AIMDFlow

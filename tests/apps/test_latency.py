@@ -3,11 +3,7 @@
 import pytest
 
 from repro import quickstart_network, units
-from repro.apps.latency import (
-    LatencyProfiler,
-    clock_delta_ns,
-    decode_profile,
-)
+from repro.apps.latency import LatencyProfiler, clock_delta_ns
 from repro.endhost.flows import Flow, FlowSink
 
 

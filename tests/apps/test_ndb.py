@@ -9,7 +9,6 @@ from repro.apps.ndb import (
     NdbTagger,
     PacketJourney,
     PathVerifier,
-    Violation,
     trace_program,
 )
 from repro.asic.tables import TcamRule
@@ -167,6 +166,66 @@ class TestPathVerifier:
                             hops=[HopRecord(9, 0, 0, 0)])
         assert verifier.verify([old], since_ns=200) == []
         assert len(verifier.verify([old], since_ns=0)) == 1
+
+
+def truncated_trace_tpp(hops_executed=3, keep_bytes=40):
+    """A trace TPP whose memory tail was lost in flight."""
+    tpp = trace_program(hops=4).build()
+    tpp.hop = hops_executed
+    del tpp.memory[keep_bytes:]
+    tpp.invalidate_length_cache()
+    return tpp
+
+
+class TestGapHops:
+    def test_truncated_trace_marks_gap_hops(self, ndb_net):
+        from repro.net.packet import ETHERTYPE_TPP, EthernetFrame
+
+        net, _ = ndb_net
+        h0, h1 = net.host("h0"), net.host("h1")
+        collector = NdbCollector(h1)
+        tpp = truncated_trace_tpp()  # 3 hops executed, 2.5 records left
+        h1.receive(EthernetFrame(dst=h1.mac, src=h0.mac,
+                                 ethertype=ETHERTYPE_TPP, payload=tpp),
+                   in_port=0)
+        assert collector.truncated_traces == 1
+        journey = collector.journeys[0]
+        assert len(journey.hops) == 3
+        assert journey.has_gaps()
+        assert [hop.gap for hop in journey.hops] == [False, False, True]
+        assert journey.switch_ids()[2] == -1
+
+    def test_gapped_journey_gets_no_path_verdict(self):
+        """Incomplete evidence must not page an operator for a wrong
+        path; surviving hops are still checked against the rules."""
+        journey = PacketJourney(frame_uid=7, received_at_ns=0, hops=[
+            HopRecord(1, entry_id=5, entry_version=1, input_port=0),
+            HopRecord(-1, -1, -1, -1, gap=True)])
+        verifier = PathVerifier([1, 2], {1: (5, 1), 2: (6, 1)})
+        violations = verifier.verify_one(journey)
+        assert [v.kind for v in violations] == ["trace-gap"]
+
+    def test_surviving_hops_still_rule_checked(self):
+        journey = PacketJourney(frame_uid=8, received_at_ns=0, hops=[
+            HopRecord(1, entry_id=99, entry_version=1, input_port=0),
+            HopRecord(-1, -1, -1, -1, gap=True)])
+        verifier = PathVerifier([1, 2], {1: (5, 1)})
+        kinds = {v.kind for v in verifier.verify_one(journey)}
+        assert kinds == {"trace-gap", "unknown-rule"}
+
+    def test_corrupting_link_does_not_break_reassembly(self, ndb_net):
+        """End to end: a corrupting link feeds the collector mangled
+        traces; it keeps reassembling instead of crashing."""
+        net, _ = ndb_net
+        sw1 = net.switch("sw1")
+        toward_sw2 = [p for p in sw1.ports
+                      if p.link.name == "sw1->sw2"][0]
+        toward_sw2.link.set_impairments(corrupt_rate=0.5)
+        collector, tagger, sink = run_tagged_flow(net, seconds=0.02)
+        assert toward_sw2.link.frames_corrupted > 0
+        assert len(collector.journeys) > 0
+        gapped = [j for j in collector.journeys if j.has_gaps()]
+        assert len(gapped) == collector.truncated_traces
 
 
 class TestTraceProgram:

@@ -9,7 +9,7 @@ from repro.apps.pathprobe import (
 )
 from repro.endhost.client import TPPEndpoint
 from repro.net.routing import install_shortest_path_routes
-from repro.net.topology import Network, TopologyBuilder
+from repro.net.topology import Network
 
 
 @pytest.fixture

@@ -6,7 +6,6 @@ from repro import units
 from repro.apps.rcp import RCPStarFlow, RCPStarTask
 from repro.control.agent import ControlPlaneAgent
 from repro.core.memory_map import MemoryMap
-from repro.net.packet import ETHERTYPE_TPP
 from repro.net.routing import install_shortest_path_routes
 from repro.net.topology import TopologyBuilder
 

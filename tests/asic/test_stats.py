@@ -3,7 +3,7 @@
 import pytest
 
 from repro import units
-from repro.asic.stats import QueueAverager, SwitchStats, UtilizationMeter
+from repro.asic.stats import QueueAverager, UtilizationMeter
 
 
 class Counter:

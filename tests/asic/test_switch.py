@@ -1,6 +1,5 @@
 """The switch pipeline end to end."""
 
-import pytest
 
 from repro import units
 from repro.asic.tables import DROP, TcamRule

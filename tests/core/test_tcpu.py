@@ -1,15 +1,12 @@
 """TCPU execution semantics: Table 1's instructions plus faults/cycles."""
 
-import pytest
 
 from repro.asic.metadata import PacketMetadata
 from repro.core.assembler import assemble
 from repro.core.exceptions import FaultCode
-from repro.core.isa import Instruction, Opcode
 from repro.core.memory_map import SRAM_BASE
 from repro.core.mmu import MMU, ExecutionContext
 from repro.core.tcpu import TCPU, PipelineModel, pipeline_cycles
-from repro.core.tpp import AddressingMode, TPPSection
 
 
 class FakeQueue:
@@ -71,7 +68,7 @@ class TestPushPop:
 
     def test_pop_copies_packet_to_switch(self):
         harness = Harness()
-        tpp = build(f"""
+        tpp = build("""
             .memory 2
             .data 0 1234
             PUSH [Queue:QueueSize]

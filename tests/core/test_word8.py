@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro import quickstart_network, units
+from repro import quickstart_network
 from repro.core.assembler import assemble
-from repro.endhost.flows import Flow, FlowSink
 
 
 @pytest.fixture

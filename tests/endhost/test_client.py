@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.assembler import assemble
-from repro.endhost.client import TPPEndpoint, TPPResultView
+from repro.endhost.client import TPPEndpoint
 from repro.net.packet import Datagram, RawPayload
 
 

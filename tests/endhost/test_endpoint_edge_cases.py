@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.assembler import assemble
-from repro.core.tpp import TPPSection
 from repro.endhost.client import TPPEndpoint
 from repro.net.packet import (
     ETHERTYPE_TPP,

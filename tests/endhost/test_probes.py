@@ -62,6 +62,36 @@ class TestPeriodicProber:
         gaps = {b - a for a, b in zip(times, times[1:])}
         assert len(gaps) > 3  # intervals actually vary
 
+    def test_jitter_applies_without_explicit_rng(self, linear_net):
+        """Regression: jitter used to be silently dropped (fixed
+        intervals) when no RNG was passed; the prober now defaults to a
+        named stream from the simulator's seeded family."""
+        results = []
+        prober = make_prober(linear_net, units.milliseconds(10), results,
+                             jitter_fraction=0.3)
+        prober.start()
+        linear_net.run(until_seconds=0.2)
+        times = [r.time_ns for r in results]
+        gaps = {b - a for a, b in zip(times, times[1:])}
+        assert len(gaps) > 3  # intervals vary: jitter is really applied
+
+    def test_default_rng_deterministic_per_seed(self):
+        from repro.net.routing import install_shortest_path_routes
+        from repro.net.topology import TopologyBuilder
+
+        def run_once(seed):
+            net = TopologyBuilder(seed=seed).linear(2)
+            install_shortest_path_routes(net)
+            results = []
+            prober = make_prober(net, units.milliseconds(10), results,
+                                 jitter_fraction=0.3)
+            prober.start()
+            net.run(until_seconds=0.1)
+            return [r.time_ns for r in results]
+
+        assert run_once(5) == run_once(5)
+        assert run_once(5) != run_once(6)
+
     def test_jitter_deterministic_with_seed(self):
         from repro.net.routing import install_shortest_path_routes
         from repro.net.topology import TopologyBuilder

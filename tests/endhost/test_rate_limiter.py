@@ -4,7 +4,6 @@ import pytest
 
 from repro import units
 from repro.endhost.rate_limiter import PacedSender, TokenBucket
-from repro.sim.simulator import Simulator
 
 
 class TestTokenBucket:

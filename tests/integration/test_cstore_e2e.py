@@ -8,9 +8,7 @@ paper promises.
 import pytest
 
 from repro import units
-from repro.control.agent import ControlPlaneAgent
 from repro.core.assembler import assemble
-from repro.core.memory_map import MemoryMap, SRAM_BASE
 from repro.endhost.client import TPPEndpoint
 from repro.net.routing import install_shortest_path_routes
 from repro.net.topology import TopologyBuilder

@@ -16,7 +16,7 @@ import pytest
 
 from repro import units
 from repro.apps.latency import LatencyProfiler
-from repro.apps.microburst import BurstDetector, TelemetryStream
+from repro.apps.microburst import TelemetryStream
 from repro.apps.ndb import NdbCollector, NdbTagger, PathVerifier
 from repro.apps.rcp import RCPStarFlow, RCPStarTask
 from repro.control.agent import ControlPlaneAgent

@@ -6,7 +6,6 @@ it: journeys for the affected flow simply stop arriving while other flows'
 journeys continue, and the last observed hop sequence names the segment.
 """
 
-import pytest
 
 from repro import units
 from repro.apps.ndb import NdbCollector, NdbTagger

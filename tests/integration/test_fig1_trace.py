@@ -9,7 +9,6 @@ import pytest
 
 from repro import quickstart_network, units
 from repro.core.assembler import assemble
-from repro.net.packet import ETHERTYPE_TPP
 
 
 @pytest.fixture

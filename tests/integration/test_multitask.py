@@ -4,7 +4,6 @@ RCP* and ndb run concurrently on the same network, with the control-plane
 agent giving them disjoint state, exactly the scenario the paper sketches.
 """
 
-import pytest
 
 from repro import units
 from repro.apps.ndb import NdbCollector, NdbTagger

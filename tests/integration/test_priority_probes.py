@@ -9,7 +9,6 @@ against the same standing data queue (the bench version with the printed
 table is ``benchmarks/test_ablation_probe_priority.py``).
 """
 
-import pytest
 
 from repro import units
 from repro.asic.tables import TcamRule

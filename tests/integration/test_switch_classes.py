@@ -6,7 +6,6 @@ roles in the switch-id space — ToR ids carry a tag bit — and a single
 CEXEC with a mask selects the whole class.
 """
 
-import pytest
 
 from repro import units
 from repro.core.assembler import assemble

@@ -118,7 +118,7 @@ class TestInstallRed:
         without any datagram hook."""
         from repro.net.routing import install_shortest_path_routes
         from repro.net.topology import TopologyBuilder
-        from repro.endhost.flows import Flow, FlowSink
+        from repro.endhost.flows import Flow
 
         capacity = 10 * units.MEGABITS_PER_SEC
         builder = TopologyBuilder(rate_bps=10 * capacity,

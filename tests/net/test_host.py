@@ -12,7 +12,6 @@ from repro.net.packet import (
     EthernetFrame,
     RawPayload,
 )
-from repro.sim.simulator import Simulator
 
 
 @pytest.fixture

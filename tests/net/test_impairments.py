@@ -1,0 +1,183 @@
+"""Link impairments: seeded loss, corruption, and duplication."""
+
+import pytest
+
+from repro import units
+from repro.core.assembler import assemble
+from repro.endhost.client import TPPEndpoint
+from repro.endhost.flows import Flow, FlowSink
+from repro.errors import ConfigurationError
+from repro.net.link import Link
+from repro.net.routing import install_shortest_path_routes
+from repro.net.topology import TopologyBuilder
+from repro.sim.trace import TraceLevel
+
+
+def build_net(seed=0):
+    builder = TopologyBuilder(seed=seed, rate_bps=units.GIGABITS_PER_SEC,
+                              delay_ns=1_000)
+    net = builder.linear(n_switches=2)
+    install_shortest_path_routes(net)
+    return net
+
+
+def first_link(net):
+    h0 = net.host("h0")
+    return h0.ports[0].link
+
+
+def run_flow(net, seconds=0.02, rate_bps=50_000_000):
+    h0, h1 = net.host("h0"), net.host("h1")
+    FlowSink(h1, 9)
+    flow = Flow(h0, h1, h1.mac, 9, rate_bps=rate_bps, packet_bytes=500)
+    flow.start()
+    net.run(until_seconds=seconds)
+    flow.stop()
+
+
+class TestConfiguration:
+    def test_rates_validated(self, sim):
+        link = Link(sim, rate_bps=1_000_000)
+        for bad in ({"loss_rate": 1.5}, {"corrupt_rate": -0.1},
+                    {"duplicate_rate": 2.0}):
+            with pytest.raises(ConfigurationError):
+                link.set_impairments(**bad)
+
+    def test_all_zero_rates_clear_model(self, sim):
+        link = Link(sim, rate_bps=1_000_000)
+        link.set_impairments(loss_rate=0.1)
+        assert link.impairments is not None
+        link.set_impairments()
+        assert link.impairments is None
+
+    def test_network_impair_links_covers_every_link(self):
+        net = build_net()
+        count = net.impair_links(loss_rate=0.01)
+        impaired = [port.link
+                    for device in net.all_devices()
+                    for port in device.ports
+                    if port.link.impairments is not None]
+        assert count == len(impaired) > 0
+
+
+class TestLoss:
+    def test_seeded_loss_drops_about_the_configured_fraction(self):
+        net = build_net()
+        link = first_link(net)
+        link.set_impairments(loss_rate=0.2)
+        run_flow(net)
+        total = link.frames_delivered + link.frames_impaired_lost
+        assert total > 200
+        assert link.frames_impaired_lost == pytest.approx(0.2 * total,
+                                                          rel=0.5)
+        assert link.frames_lost == link.frames_impaired_lost
+
+    def test_identical_seeds_impair_identically(self):
+        def run_once():
+            net = build_net(seed=42)
+            link = first_link(net)
+            link.set_impairments(loss_rate=0.1, corrupt_rate=0.02,
+                                 duplicate_rate=0.02)
+            run_flow(net)
+            return (link.frames_delivered, link.frames_impaired_lost,
+                    link.frames_corrupted, link.frames_duplicated)
+
+        first, second = run_once(), run_once()
+        assert first == second
+        assert first[1] > 0
+
+    def test_different_seeds_impair_differently(self):
+        counts = []
+        for seed in (1, 2):
+            net = build_net(seed=seed)
+            link = first_link(net)
+            link.set_impairments(loss_rate=0.1)
+            run_flow(net)
+            counts.append(link.frames_impaired_lost)
+        assert counts[0] != counts[1]
+
+
+class TestDuplication:
+    def test_duplicates_arrive_and_are_counted(self):
+        net = build_net()
+        link = first_link(net)
+        link.set_impairments(duplicate_rate=1.0)
+        run_flow(net, seconds=0.005, rate_bps=10_000_000)
+        assert link.frames_duplicated > 0
+        # Every frame arrived twice.
+        assert link.frames_delivered == 2 * link.frames_duplicated
+
+    def test_duplicate_preserves_frame_identity(self):
+        net = build_net()
+        link = first_link(net)
+        link.set_impairments(duplicate_rate=1.0)
+        seen = []
+        original = net.host("h1").receive
+
+        def spy(frame, in_port):
+            seen.append(frame.uid)
+            return original(frame, in_port)
+
+        net.host("h1").receive = spy
+        run_flow(net, seconds=0.002, rate_bps=10_000_000)
+        # Duplicates carry the original uid: same packet, twice.
+        assert seen and len(seen) == 2 * len(set(seen))
+
+
+class TestCorruption:
+    def test_corrupted_non_tpp_frame_dropped(self):
+        net = build_net()
+        link = first_link(net)
+        link.set_impairments(corrupt_rate=1.0)
+        run_flow(net, seconds=0.002, rate_bps=10_000_000)
+        # Non-TPP frames fail their FCS: everything was lost, nothing
+        # "corrupted in place".
+        assert link.frames_impaired_lost > 0
+        assert link.frames_delivered == 0
+        assert link.frames_corrupted == 0
+
+    def test_corrupted_tpp_still_delivered(self):
+        net = build_net()
+        h0, h1 = net.host("h0"), net.host("h1")
+        client = TPPEndpoint(h0)
+        TPPEndpoint(h1)
+        link = first_link(net)
+        link.set_impairments(corrupt_rate=1.0)
+        program = assemble("PUSH [Switch:SwitchID]", hops=4)
+        for _ in range(20):
+            client.send(program, dst_mac=h1.mac)
+        net.run(until_seconds=0.02)
+        assert link.frames_corrupted == 20
+        assert link.frames_delivered == 20
+
+
+class TestTraceKinds:
+    def test_impairment_kinds_are_debug_only(self):
+        net = build_net()
+        link = first_link(net)
+        link.set_impairments(loss_rate=0.3, duplicate_rate=0.3)
+        run_flow(net, seconds=0.005)
+        assert net.trace.records(kind="link.lost") == []
+        assert net.trace.records(kind="link.dup") == []
+
+    def test_impairment_kinds_recorded_at_debug(self):
+        net = build_net()
+        net.trace.set_level(TraceLevel.DEBUG)
+        h0, h1 = net.host("h0"), net.host("h1")
+        client = TPPEndpoint(h0)
+        TPPEndpoint(h1)
+        link = first_link(net)
+        link.set_impairments(loss_rate=0.3, corrupt_rate=0.3,
+                             duplicate_rate=0.3)
+        program = assemble("PUSH [Switch:SwitchID]", hops=4)
+        for _ in range(60):
+            client.send(program, dst_mac=h1.mac)
+        net.run(until_seconds=0.05)
+        lost = net.trace.records(kind="link.lost")
+        assert lost and all(r.detail["reason"] == "impairment"
+                            for r in lost)
+        corrupt = net.trace.records(kind="link.corrupt")
+        assert corrupt and all(r.detail["damage"] in
+                               ("truncate", "bitflip", "header")
+                               for r in corrupt)
+        assert net.trace.records(kind="link.dup")

@@ -7,7 +7,6 @@ from repro.errors import ConfigurationError
 from repro.net.device import Device
 from repro.net.link import Link, connect
 from repro.net.packet import EthernetFrame, RawPayload
-from repro.sim.simulator import Simulator
 
 
 class RecordingDevice(Device):

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import units
 from repro.errors import ConfigurationError
 from repro.net.routing import (
     host_path,
