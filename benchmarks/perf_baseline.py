@@ -11,7 +11,11 @@ Measures, on fixed-seed workloads:
 - ``packet_forwarding`` — simulated packets/sec (and packet-hops/sec) of
   wall time through the full switch pipeline on a 3-switch linear topology;
 - ``tpp_exec``     — TPP executions/sec and instructions/sec on a bare
-  TCPU + MMU (the dataplane interpreter alone).
+  TCPU + MMU, compiled fast path vs the reference interpreter (the
+  speedup ratio is measured, not asserted);
+- ``tpp_exec_cached`` — the warm-cache steady state: one pre-built TPP
+  re-executed with its state reset, isolating per-execution cost with
+  zero per-iteration build cost.
 
 ``tools/run_bench.py`` drives :func:`run_all` and emits
 ``BENCH_simcore.json`` so every future PR's perf delta is visible.  The
@@ -22,9 +26,11 @@ workloads, wall-clock timing via ``time.perf_counter``.
 from __future__ import annotations
 
 import heapq
+import math
 import random
 import time
 from dataclasses import dataclass, field
+from datetime import datetime, timezone
 from typing import Any, Callable, Dict, Tuple
 
 from repro import units
@@ -38,7 +44,7 @@ from repro.sim.events import EventQueue
 from repro.sim.simulator import Simulator
 from repro.sim.timers import OneShotTimer
 
-SCHEMA = "simcore-bench/v1"
+SCHEMA = "simcore-bench/v2"
 DEFAULT_SEED = 20260806
 
 
@@ -81,10 +87,19 @@ class _LegacyEventQueue:
 # Workloads
 # --------------------------------------------------------------------- #
 
+#: ``_timed`` repetitions; the best (minimum) elapsed time is kept, the
+#: standard defence against co-tenant scheduling noise (same rationale
+#: as ``timeit.repeat``: slowdowns are never the code's true speed).
+TIMING_REPEATS = 3
+
+
 def _timed(fn: Callable[[], Any]) -> Tuple[Any, float]:
-    start = time.perf_counter()
-    result = fn()
-    return result, time.perf_counter() - start
+    best = math.inf
+    for _ in range(TIMING_REPEATS):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
 
 
 def bench_event_core(n_events: int = 100_000,
@@ -200,43 +215,110 @@ def bench_packet_forwarding(n_switches: int = 3,
     }
 
 
-def bench_tpp_exec(n_executions: int = 50_000) -> Dict[str, Any]:
-    """TPP executions/sec on a bare TCPU (interpreter hot path only)."""
+class _FakeQueue:
+    occupancy_bytes = 500
 
-    class _FakeQueue:
-        occupancy_bytes = 500
 
-    class _FakePort:
-        index = 0
-        queue = _FakeQueue()
+class _FakePort:
+    index = 0
+    queue = _FakeQueue()
 
+
+def _bench_mmu() -> MMU:
     mmu = MMU(name="bench")
     mmu.bind_reader("Switch:SwitchID", lambda ctx: 7)
     mmu.bind_reader("Queue:QueueSize",
                     lambda ctx: ctx.queue.occupancy_bytes)
-    tcpu = TCPU(mmu)
-    program = assemble("""
-        PUSH [Switch:SwitchID]
-        PUSH [Queue:QueueSize]
-    """, hops=1)
+    return mmu
 
-    def drive() -> int:
+
+_BENCH_SOURCE = """
+    PUSH [Switch:SwitchID]
+    PUSH [Queue:QueueSize]
+"""
+
+
+def bench_tpp_exec(n_executions: int = 50_000) -> Dict[str, Any]:
+    """TPP executions/sec on a bare TCPU: fast path vs interpreter.
+
+    Each iteration rebuilds the TPP section and execution context, as the
+    switch pipeline does per packet — so this includes the per-packet
+    setup cost, and the compiled/interpreted ratio is measured on the
+    same workload rather than asserted.
+    """
+    mmu = _bench_mmu()
+    # The primary TCPU follows REPRO_TPP_FASTPATH so a --no-fastpath
+    # bench run measures the interpreter end to end (speedup ~1.0x).
+    tcpu = TCPU(mmu)
+    interp = TCPU(mmu, compile=False)
+    program = assemble(_BENCH_SOURCE, hops=1)
+
+    def drive(cpu: TCPU) -> int:
         executed = 0
         for _ in range(n_executions):
             tpp = program.build()
             ctx = ExecutionContext(metadata=PacketMetadata(),
                                    egress_port=_FakePort(), time_ns=1000)
+            report = cpu.execute(tpp, ctx)
+            executed += report.executed
+        return executed
+
+    drive(tcpu)  # warm-up (also compiles + caches the program)
+    executed, elapsed = _timed(lambda: drive(tcpu))
+    drive(interp)  # warm-up
+    interp_executed, interp_elapsed = _timed(lambda: drive(interp))
+    assert executed == interp_executed
+    execs_per_sec = n_executions / elapsed
+    interp_per_sec = n_executions / interp_elapsed
+    return {
+        "n_executions": n_executions,
+        "instructions_executed": executed,
+        "tpp_execs_per_sec": execs_per_sec,
+        "instructions_per_sec": executed / elapsed,
+        "interp_execs_per_sec": interp_per_sec,
+        "speedup_vs_interpreter": execs_per_sec / interp_per_sec,
+    }
+
+
+def bench_tpp_exec_cached(n_executions: int = 50_000) -> Dict[str, Any]:
+    """Warm-cache steady state: one pre-built TPP, state reset per run.
+
+    Execute-many in its purest form — the program is compiled once and
+    every subsequent execution must hit the cache, so this isolates the
+    per-execution cost of the compiled closures themselves.  The cache
+    hit/miss counters are exported so a report can *prove* the cache
+    stayed warm instead of assuming it.
+    """
+    mmu = _bench_mmu()
+    tcpu = TCPU(mmu)
+    program = assemble(_BENCH_SOURCE, hops=1)
+    tpp = program.build()
+    initial_memory = bytes(tpp.memory)
+    initial_hop_or_sp = tpp.hop_or_sp
+    initial_flags = tpp.flags
+    ctx = ExecutionContext(metadata=PacketMetadata(),
+                           egress_port=_FakePort(), time_ns=1000)
+
+    def drive() -> int:
+        executed = 0
+        for _ in range(n_executions):
+            tpp.hop_or_sp = initial_hop_or_sp
+            tpp.flags = initial_flags
+            tpp.memory[:] = initial_memory
             report = tcpu.execute(tpp, ctx)
             executed += report.executed
         return executed
 
     drive()  # warm-up
     executed, elapsed = _timed(drive)
+    cache = tcpu.cache.stats()
     return {
         "n_executions": n_executions,
         "instructions_executed": executed,
         "tpp_execs_per_sec": n_executions / elapsed,
         "instructions_per_sec": executed / elapsed,
+        "cache_hits": cache["hits"],
+        "cache_misses": cache["misses"],
     }
 
 
@@ -253,11 +335,17 @@ def run_all(quick: bool = False, seed: int = DEFAULT_SEED) -> Dict[str, Any]:
         "packet_forwarding": bench_packet_forwarding(
             duration_s=0.02 / scale),
         "tpp_exec": bench_tpp_exec(50_000 // scale),
+        "tpp_exec_cached": bench_tpp_exec_cached(50_000 // scale),
     }
+    now = time.time()
     return {
         "schema": SCHEMA,
         "quick": quick,
         "seed": seed,
-        "timestamp": time.time(),
+        # Raw float for arithmetic, ISO-8601 UTC for humans and tooling
+        # that should not have to guess the epoch/timezone (v2 addition).
+        "timestamp": now,
+        "timestamp_iso": datetime.fromtimestamp(
+            now, tz=timezone.utc).isoformat(),
         "workloads": workloads,
     }

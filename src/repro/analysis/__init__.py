@@ -11,7 +11,12 @@ from repro.analysis.convergence import (
     jain_fairness,
     steady_state_mean,
 )
-from repro.analysis.reporting import ascii_plot, format_table
+from repro.analysis.reporting import (
+    ascii_plot,
+    fastpath_report,
+    format_table,
+    reliability_report,
+)
 
 __all__ = [
     "TimeSeries",
@@ -19,5 +24,7 @@ __all__ = [
     "jain_fairness",
     "steady_state_mean",
     "ascii_plot",
+    "fastpath_report",
     "format_table",
+    "reliability_report",
 ]

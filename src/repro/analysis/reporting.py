@@ -71,6 +71,32 @@ def reliability_report(links: Iterable = (),
     return "\n\n".join(sections)
 
 
+def fastpath_report(switches: Iterable = ()) -> str:
+    """Program-cache and accessor counters per switch, as one table.
+
+    ``switches`` are :class:`repro.asic.switch.TPPSwitch` instances; the
+    row answers "did the compile-once fast path actually stay warm?" —
+    a healthy run shows hits ≫ misses and zero invalidations unless the
+    control plane re-bound statistics mid-run.
+    """
+    rows = []
+    for switch in switches:
+        stats = switch.fastpath_stats()
+        rows.append([
+            switch.name,
+            "on" if stats["compile_enabled"] else "off",
+            stats["hits"], stats["misses"], stats["evictions"],
+            stats["invalidations"], stats["size"],
+            stats["accessor_resolutions"],
+        ])
+    if not rows:
+        return "(nothing to report)"
+    return format_table(
+        ["switch", "fastpath", "hits", "misses", "evictions",
+         "invalidated", "cached", "accessors"],
+        rows, title="Execution fast path")
+
+
 def ascii_plot(series: TimeSeries, width: int = 72, height: int = 16,
                title: str = "", y_min: Optional[float] = None,
                y_max: Optional[float] = None) -> str:

@@ -32,7 +32,20 @@ class ParsedHeaders:
 
 
 def parse_frame(frame: EthernetFrame) -> ParsedHeaders:
-    """Parse a frame's header stack."""
+    """Parse a frame's header stack.
+
+    The parsed view is cached on the frame and travels with it across
+    hops, so a multi-hop journey parses the header stack once instead of
+    once per switch.  Any mutation that reshapes the payload chain
+    (switch strip action, link truncation) must call
+    :meth:`~repro.net.packet.EthernetFrame.invalidate_size_cache`, which
+    drops this cache too; per-hop writes into TPP packet memory mutate
+    the same :class:`TPPSection` object the cached view points at, so
+    they need no invalidation.
+    """
+    cached = frame._parsed_cache
+    if cached is not None:
+        return cached
     headers = ParsedHeaders(src_mac=frame.src, dst_mac=frame.dst,
                             ethertype=frame.ethertype)
     payload = frame.payload
@@ -46,4 +59,5 @@ def parse_frame(frame: EthernetFrame) -> ParsedHeaders:
         headers.src_port = payload.src_port
         headers.dst_port = payload.dst_port
         headers.tos = payload.tos
+    frame._parsed_cache = headers
     return headers

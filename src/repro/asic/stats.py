@@ -17,7 +17,7 @@ periodic sampler:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.net.port import Port
 from repro.sim.simulator import Simulator
@@ -124,11 +124,16 @@ class SwitchStats:
 
     def __init__(self, sim: Simulator, ports: List[Port],
                  interval_ns: int = DEFAULT_STATS_INTERVAL_NS,
-                 alpha: float = DEFAULT_EWMA_ALPHA) -> None:
+                 alpha: float = DEFAULT_EWMA_ALPHA,
+                 fastpath: Optional[Callable[[], Dict]] = None) -> None:
         self.interval_ns = interval_ns
         self._per_port: Dict[int, PortStats] = {
             port.index: PortStats(port, alpha) for port in ports
         }
+        #: Snapshot callable for the switch's execution fast path (program
+        #: cache + accessor counters); wired up by ``start_stats`` so the
+        #: sampler is the one-stop shop for a switch's health numbers.
+        self._fastpath = fastpath
         self._timer = PeriodicTimer(sim, interval_ns, self._tick)
 
     def start(self) -> None:
@@ -142,6 +147,14 @@ class SwitchStats:
     def port(self, index: int) -> PortStats:
         """The statistics block for a port index."""
         return self._per_port[index]
+
+    @property
+    def fastpath(self) -> Dict:
+        """Current fast-path counters (empty when no snapshot callable
+        was wired up, e.g. for a bare sampler built in tests)."""
+        if self._fastpath is None:
+            return {}
+        return self._fastpath()
 
     def _tick(self) -> None:
         for stats in self._per_port.values():

@@ -108,9 +108,34 @@ class TPPSwitch(Device):
     def start_stats(self, interval_ns: int = DEFAULT_STATS_INTERVAL_NS,
                     alpha: float = DEFAULT_EWMA_ALPHA) -> SwitchStats:
         """Start the periodic statistics sampler over the current ports."""
-        self.stats = SwitchStats(self.sim, self.ports, interval_ns, alpha)
+        self.stats = SwitchStats(self.sim, self.ports, interval_ns, alpha,
+                                 fastpath=self.fastpath_stats)
         self.stats.start()
         return self.stats
+
+    def fastpath_stats(self) -> dict:
+        """Counters for the compile-once execution fast path.
+
+        Program-cache hits/misses/evictions/invalidations from the TCPU,
+        plus the MMU's accessor-resolution count and layout version —
+        enough to answer "is the cache actually warm?" without attaching
+        a profiler.
+        """
+        stats = dict(self.tcpu.cache.stats())
+        stats["compile_enabled"] = self.tcpu.compile_enabled
+        stats["accessor_resolutions"] = self.mmu.accessor_resolutions
+        stats["layout_version"] = self.mmu.layout_version
+        return stats
+
+    def emit_fastpath_summary(self) -> dict:
+        """Emit one ``fastpath.summary`` INFO trace record and return the
+        counter snapshot (for end-of-run reporting, mirroring how
+        ``reliability_report`` consumes link/endpoint counters)."""
+        stats = self.fastpath_stats()
+        if self.trace.wants("fastpath.summary"):
+            self.trace.emit(self.sim.now_ns, self.name, "fastpath.summary",
+                            **stats)
+        return stats
 
     # ------------------------------------------------------------------ #
     # Dataplane

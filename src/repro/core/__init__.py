@@ -14,6 +14,9 @@ Layout (mirrors Section 3 of the paper):
   paper's listings, with ``[Namespace:Statistic]`` mnemonics.
 - :mod:`repro.core.tcpu` — the RISC interpreter of §3.3 with its 5-stage
   pipeline cycle model.
+- :mod:`repro.core.fastpath` — the compile-once, execute-many fast path:
+  per-opcode closures with pre-resolved address accessors, cached in a
+  bounded LRU keyed by the program's instruction bytes.
 """
 
 from repro.core.isa import Instruction, Opcode
@@ -22,6 +25,7 @@ from repro.core.memory_map import MemoryMap
 from repro.core.mmu import ExecutionContext, MMU
 from repro.core.assembler import AssembledProgram, assemble
 from repro.core.disassembler import disassemble
+from repro.core.fastpath import ProgramCache, compile_program
 from repro.core.tcpu import TCPU, ExecutionReport, PipelineModel
 from repro.core.exceptions import AssemblerError, TCPUFault, TPPError
 
@@ -37,6 +41,8 @@ __all__ = [
     "AssembledProgram",
     "assemble",
     "disassemble",
+    "ProgramCache",
+    "compile_program",
     "TCPU",
     "ExecutionReport",
     "PipelineModel",

@@ -44,7 +44,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.exceptions import AssemblerError
 from repro.core.isa import Instruction, Opcode, PAIR_OPERAND_OPCODES
@@ -87,6 +87,10 @@ class AssembledProgram:
     pool_base_word: int
     source: str = ""
     symbols: Dict[str, int] = field(default_factory=dict)
+    #: Program fingerprint stamped onto every built section so the TCPU's
+    #: compile-once cache never re-encodes the instruction block per
+    #: probe.  Computed lazily; instructions are fixed after assembly.
+    _program_key: Any = field(default=None, repr=False, compare=False)
 
     @property
     def n_instructions(self) -> int:
@@ -105,7 +109,7 @@ class AssembledProgram:
     def build(self, payload=None, task_id: int = 0,
               seq: int = 0) -> TPPSection:
         """Instantiate a fresh TPP section (new packet-memory copy)."""
-        return TPPSection(
+        section = TPPSection(
             instructions=list(self.instructions),
             memory=bytearray(self.initial_memory),
             mode=self.mode,
@@ -116,6 +120,12 @@ class AssembledProgram:
             seq=seq,
             payload=payload,
         )
+        key = self._program_key
+        if key is None:
+            self._program_key = section.program_key
+        else:
+            section._program_key = key
+        return section
 
 
 def assemble(source: str, memory_map: Optional[MemoryMap] = None,

@@ -1,0 +1,322 @@
+"""Compile-once, execute-many TPP execution (the fast path).
+
+The paper's execution model is *tiny and repetitive*: the same
+5-instruction program is carried by millions of probes and executed at
+every hop ("Millions of Little Minions" makes this execute-many model
+explicit — the ASIC decodes a TPP once into its pipeline and then simply
+re-runs it).  The interpreter in :mod:`repro.core.tcpu` instead re-decodes
+the opcode and re-resolves every memory-mapped address on every single
+instruction of every execution.
+
+This module removes that per-execution work in two layers:
+
+- :func:`compile_program` turns a decoded instruction list into a flat
+  tuple of specialized per-opcode closures.  Each closure has its operands
+  — word size, packet-memory offsets, and the switch's pre-resolved
+  getter/setter for the instruction's virtual address (see
+  :meth:`repro.core.mmu.MMU.reader_for`) — bound at compile time, so the
+  per-hop cost is one Python call per instruction.
+- :class:`ProgramCache` is a bounded LRU keyed by the TPP's
+  *program key* (the instruction wire bytes plus addressing mode and word
+  size, :attr:`repro.core.tpp.TPPSection.program_key`), so a program is
+  compiled once per switch and every later execution — of any packet
+  carrying the same program — skips decode and address resolution
+  entirely.
+
+Compiled closures are bit-compatible with the interpreter: same fault
+codes in the same order, same packet-memory bytes, same
+:class:`~repro.core.tcpu.ExecutionReport` contents.  The differential
+test suite (``tests/core/test_fastpath_differential.py``) runs both paths
+side by side on every opcode and fault path to enforce this.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import OrderedDict
+from typing import Callable, Dict, List, Tuple
+
+from repro.core.exceptions import FaultCode, TCPUFault
+from repro.core.isa import HOP_RELATIVE_OPCODES, Instruction, Opcode
+from repro.core.mmu import MMU
+from repro.core.tpp import AddressingMode
+
+#: One compiled instruction: ``step(tpp, ctx, report) -> enabled`` with the
+#: exact raise/return contract of ``TCPU._step``.
+Step = Callable[..., bool]
+
+#: Default LRU capacity of a per-TCPU program cache.  An experiment runs a
+#: handful of distinct programs (the paper's apps use one or two each), so
+#: this is generous; it exists to bound a hostile workload, not to be hit.
+DEFAULT_PROGRAM_CACHE_CAPACITY = 128
+
+#: Pre-compiled big-endian codecs per supported word size
+#: (``SUPPORTED_WORD_SIZES``).  ``pack_into``/``unpack_from`` write and
+#: read packet memory in place — byte-identical to
+#: ``int.to_bytes(word, "big")`` on masked values, without the
+#: intermediate ``bytes`` object per instruction.
+_WORD_STRUCTS = {4: struct.Struct(">I"), 8: struct.Struct(">Q")}
+
+_ARITHMETIC = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.MIN: min,
+    Opcode.MAX: max,
+}
+
+
+def _bounds_message(byte_offset: int, memory_len: int) -> str:
+    """The exact message ``TPPSection._check_bounds`` raises with."""
+    return (f"word access at byte {byte_offset} outside packet memory "
+            f"of {memory_len} bytes")
+
+
+class ProgramCache:
+    """Bounded LRU of compiled programs with hit/miss accounting.
+
+    Keys are opaque program fingerprints (byte strings).  Two programs of
+    the same length but different instruction bytes necessarily have
+    different keys, so a collision can only mean byte-identical programs —
+    which compile identically.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "evictions",
+                 "invalidations", "_entries")
+
+    def __init__(self,
+                 capacity: int = DEFAULT_PROGRAM_CACHE_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self._entries: "OrderedDict[bytes, Tuple[Step, ...]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._entries
+
+    def get(self, key: bytes):
+        """Compiled steps for ``key``, or ``None`` (counts hit/miss)."""
+        entries = self._entries
+        steps = entries.get(key)
+        if steps is None:
+            self.misses += 1
+            return None
+        entries.move_to_end(key)
+        self.hits += 1
+        return steps
+
+    def put(self, key: bytes, steps: Tuple[Step, ...]) -> None:
+        """Insert (or refresh) an entry, evicting the LRU past capacity."""
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        entries[key] = steps
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (switch address-space layout changed)."""
+        if self._entries:
+            self._entries.clear()
+        self.invalidations += 1
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot for reporting."""
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+
+def compile_program(instructions: List[Instruction], mode: AddressingMode,
+                    word_size: int, mmu: MMU) -> Tuple[Step, ...]:
+    """Compile a program into per-opcode closures bound to one MMU.
+
+    The result is valid until the MMU's address-space layout changes
+    (:attr:`repro.core.mmu.MMU.layout_version`); the TCPU clears its
+    program cache when it observes a version bump.
+    """
+    hop_mode = mode == AddressingMode.HOP
+    return tuple(
+        _compile_instruction(instruction, hop_mode, word_size, mmu)
+        for instruction in instructions)
+
+
+def _compile_instruction(instruction: Instruction, hop_mode: bool,
+                         word: int, mmu: MMU) -> Step:
+    opcode = instruction.opcode
+    addr = instruction.addr
+    offset_bytes = instruction.offset * word
+    mask = (1 << (8 * word)) - 1
+    hop_relative = hop_mode and opcode in HOP_RELATIVE_OPCODES
+    codec = _WORD_STRUCTS[word]
+    pack_into = codec.pack_into
+    unpack_from = codec.unpack_from
+
+    if opcode == Opcode.NOP:
+        return _step_nop
+
+    if opcode == Opcode.PUSH:
+        read = mmu.reader_for(addr)
+
+        def step_push(tpp, ctx, report) -> bool:
+            value = read(ctx)
+            sp = tpp.hop_or_sp
+            memory = tpp.memory
+            if sp + word > len(memory):
+                raise TCPUFault(
+                    FaultCode.STACK_OVERFLOW,
+                    f"PUSH at SP={sp} past {len(memory)} bytes")
+            pack_into(memory, sp, value & mask)
+            tpp.hop_or_sp = sp + word
+            tpp._wire_cache = None
+            return True
+
+        return step_push
+
+    if opcode == Opcode.POP:
+        write = mmu.writer_for(addr)
+
+        def step_pop(tpp, ctx, report) -> bool:
+            sp = tpp.hop_or_sp
+            if sp < word:
+                raise TCPUFault(FaultCode.STACK_UNDERFLOW,
+                                f"POP with SP={sp}")
+            sp -= word
+            tpp.hop_or_sp = sp
+            tpp._wire_cache = None
+            memory = tpp.memory
+            if sp + word > len(memory):
+                raise IndexError(_bounds_message(sp, len(memory)))
+            value = unpack_from(memory, sp)[0]
+            write(ctx, value)
+            report.switch_writes.append((addr, value))
+            return True
+
+        return step_pop
+
+    if opcode == Opcode.LOAD:
+        read = mmu.reader_for(addr)
+
+        def step_load(tpp, ctx, report) -> bool:
+            value = read(ctx)
+            if hop_relative:
+                ea = tpp.hop_or_sp * tpp.perhop_len_bytes + offset_bytes
+            else:
+                ea = offset_bytes
+            memory = tpp.memory
+            if ea + word > len(memory):
+                raise IndexError(_bounds_message(ea, len(memory)))
+            pack_into(memory, ea, value & mask)
+            tpp._wire_cache = None
+            return True
+
+        return step_load
+
+    if opcode == Opcode.STORE:
+        write = mmu.writer_for(addr)
+
+        def step_store(tpp, ctx, report) -> bool:
+            if hop_relative:
+                ea = tpp.hop_or_sp * tpp.perhop_len_bytes + offset_bytes
+            else:
+                ea = offset_bytes
+            memory = tpp.memory
+            if ea + word > len(memory):
+                raise IndexError(_bounds_message(ea, len(memory)))
+            value = unpack_from(memory, ea)[0]
+            write(ctx, value)
+            report.switch_writes.append((addr, value))
+            return True
+
+        return step_store
+
+    if opcode == Opcode.CSTORE:
+        # CSTORE dst, cond, src — conditional operands use absolute word
+        # offsets even in hop mode (see repro.core.isa module docs).
+        read = mmu.reader_for(addr)
+        write = mmu.writer_for(addr)
+        cond_offset = offset_bytes
+        src_offset = cond_offset + word
+
+        def step_cstore(tpp, ctx, report) -> bool:
+            memory = tpp.memory
+            n = len(memory)
+            if cond_offset + word > n:
+                raise IndexError(_bounds_message(cond_offset, n))
+            cond = unpack_from(memory, cond_offset)[0]
+            if src_offset + word > n:
+                raise IndexError(_bounds_message(src_offset, n))
+            src = unpack_from(memory, src_offset)[0]
+            old = read(ctx)
+            pack_into(memory, cond_offset, old & mask)
+            tpp._wire_cache = None
+            if old == cond:
+                write(ctx, src)
+                report.switch_writes.append((addr, src))
+            return True
+
+        return step_cstore
+
+    if opcode == Opcode.CEXEC:
+        read = mmu.reader_for(addr)
+        mask_offset = offset_bytes
+        value_offset = mask_offset + word
+
+        def step_cexec(tpp, ctx, report) -> bool:
+            memory = tpp.memory
+            n = len(memory)
+            if mask_offset + word > n:
+                raise IndexError(_bounds_message(mask_offset, n))
+            mask_value = unpack_from(memory, mask_offset)[0]
+            if value_offset + word > n:
+                raise IndexError(_bounds_message(value_offset, n))
+            expected = unpack_from(memory, value_offset)[0]
+            register = read(ctx)
+            return (register & mask_value) == expected
+
+        return step_cexec
+
+    operation = _ARITHMETIC.get(opcode)
+    if operation is not None:
+        read = mmu.reader_for(addr)
+
+        def step_arithmetic(tpp, ctx, report) -> bool:
+            if hop_relative:
+                ea = tpp.hop_or_sp * tpp.perhop_len_bytes + offset_bytes
+            else:
+                ea = offset_bytes
+            memory = tpp.memory
+            if ea + word > len(memory):
+                raise IndexError(_bounds_message(ea, len(memory)))
+            current = unpack_from(memory, ea)[0]
+            operand = read(ctx)
+            pack_into(memory, ea, operation(current, operand) & mask)
+            tpp._wire_cache = None
+            return True
+
+        return step_arithmetic
+
+    def step_bad(tpp, ctx, report) -> bool:
+        raise TCPUFault(FaultCode.BAD_INSTRUCTION,
+                        f"opcode {opcode!r} not implemented")
+
+    return step_bad
+
+
+def _step_nop(tpp, ctx, report) -> bool:
+    return True

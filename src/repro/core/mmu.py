@@ -34,7 +34,7 @@ from repro.core.memory_map import (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecutionContext:
     """Everything an instruction's operands can resolve against.
 
@@ -66,6 +66,7 @@ class ExecutionContext:
 
 
 Reader = Callable[[ExecutionContext], int]
+Writer = Callable[[ExecutionContext, int], None]
 
 
 @dataclass
@@ -92,20 +93,146 @@ class MMU:
         self._sram_regions: List[SRAMRegion] = []
         self._link_scratch: Dict[int, List[int]] = {}
         self.enforce_sram_protection = False
+        # Pre-resolved accessor tables (the fast path): virtual address ->
+        # bound getter/setter, built at first touch so namespace + offset
+        # resolution is hoisted out of the per-instruction path.
+        self._reader_accessors: Dict[int, Reader] = {}
+        self._writer_accessors: Dict[int, Writer] = {}
+        #: Bumped whenever the address-space layout changes (a reader is
+        #: re-bound); compiled programs bound against an older version are
+        #: stale and must be recompiled.
+        self.layout_version = 0
+        #: Accessor closures built so far (resolution work actually done).
+        self.accessor_resolutions = 0
 
     # ------------------------------------------------------------------ #
     # Binding read-only statistics
     # ------------------------------------------------------------------ #
 
     def bind_reader(self, name_or_vaddr, reader: Reader) -> None:
-        """Expose a statistic at an address (or mnemonic) read-only."""
+        """Expose a statistic at an address (or mnemonic) read-only.
+
+        Binding (or re-binding) changes the address-space layout, so every
+        pre-resolved accessor — and every compiled program holding one —
+        is invalidated.
+        """
         vaddr = self._to_vaddr(name_or_vaddr)
         self._readers[vaddr] = reader
+        self.invalidate_accessors()
 
     def _to_vaddr(self, name_or_vaddr) -> int:
         if isinstance(name_or_vaddr, str):
             return self.memory_map.resolve(name_or_vaddr)
         return int(name_or_vaddr)
+
+    # ------------------------------------------------------------------ #
+    # Pre-resolved accessors (the compiled fast path)
+    # ------------------------------------------------------------------ #
+
+    def invalidate_accessors(self) -> None:
+        """Drop every pre-resolved accessor after a layout change.
+
+        Bumps :attr:`layout_version` so TCPUs holding compiled programs
+        (whose closures bound the old accessors) recompile as well.
+        """
+        self._reader_accessors.clear()
+        self._writer_accessors.clear()
+        self.layout_version += 1
+
+    def reader_for(self, vaddr: int) -> Reader:
+        """A bound getter for ``vaddr``, resolved once and cached.
+
+        Resolution never raises: an unmapped address yields an accessor
+        that raises :class:`TCPUFault` *when called*, preserving the
+        interpreter's read-time fault semantics (an instruction behind a
+        disabling CEXEC must not fault at compile time).
+        """
+        accessor = self._reader_accessors.get(vaddr)
+        if accessor is None:
+            accessor = self._build_reader(vaddr)
+            self._reader_accessors[vaddr] = accessor
+            self.accessor_resolutions += 1
+        return accessor
+
+    def writer_for(self, vaddr: int) -> Writer:
+        """A bound setter for ``vaddr``, resolved once and cached.
+
+        Read-only and unmapped addresses yield accessors that raise the
+        interpreter's exact fault codes when called.
+        """
+        accessor = self._writer_accessors.get(vaddr)
+        if accessor is None:
+            accessor = self._build_writer(vaddr)
+            self._writer_accessors[vaddr] = accessor
+            self.accessor_resolutions += 1
+        return accessor
+
+    def _build_reader(self, vaddr: int) -> Reader:
+        if is_sram(vaddr):
+            word = vaddr - SRAM_BASE
+            sram = self._sram
+
+            def read_sram(ctx: ExecutionContext) -> int:
+                if self.enforce_sram_protection:
+                    self._check_sram_access(word, ctx.task_id)
+                return sram[word]
+
+            return read_sram
+        if is_link_scratch(vaddr):
+            slot = vaddr - LINK_SCRATCH_BASE
+
+            def read_scratch(ctx: ExecutionContext) -> int:
+                return self._port_scratch(ctx.egress_port.index)[slot]
+
+            return read_scratch
+        reader = self._readers.get(vaddr)
+        if reader is None:
+            message = (f"{self.name}: no statistic at {vaddr:#06x} "
+                       f"({region_of(vaddr)} region)")
+
+            def read_unmapped(ctx: ExecutionContext) -> int:
+                raise TCPUFault(FaultCode.BAD_ADDRESS, message)
+
+            return read_unmapped
+
+        def read_stat(ctx: ExecutionContext) -> int:
+            return int(reader(ctx))
+
+        return read_stat
+
+    def _build_writer(self, vaddr: int) -> Writer:
+        if is_sram(vaddr):
+            word = vaddr - SRAM_BASE
+            sram = self._sram
+
+            def write_sram(ctx: ExecutionContext, value: int) -> None:
+                if self.enforce_sram_protection:
+                    self._check_sram_access(word, ctx.task_id)
+                sram[word] = int(value)
+
+            return write_sram
+        if is_link_scratch(vaddr):
+            slot = vaddr - LINK_SCRATCH_BASE
+
+            def write_scratch(ctx: ExecutionContext, value: int) -> None:
+                self._port_scratch(ctx.egress_port.index)[slot] = int(value)
+
+            return write_scratch
+        if vaddr in self._readers:
+            protected = (f"{self.name}: {self.memory_map.name_of(vaddr)} "
+                         f"is read-only")
+
+            def write_protected(ctx: ExecutionContext, value: int) -> None:
+                raise TCPUFault(FaultCode.WRITE_PROTECTED, protected)
+
+            return write_protected
+        unmapped = (f"{self.name}: no memory at {vaddr:#06x} "
+                    f"({region_of(vaddr)} region)")
+
+        def write_unmapped(ctx: ExecutionContext, value: int) -> None:
+            raise TCPUFault(FaultCode.BAD_ADDRESS, unmapped)
+
+        return write_unmapped
 
     # ------------------------------------------------------------------ #
     # SRAM allocation (driven by the control-plane agent)

@@ -20,24 +20,40 @@ Two things live here:
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.core.exceptions import FaultCode, TCPUFault
+from repro.core.fastpath import (
+    DEFAULT_PROGRAM_CACHE_CAPACITY,
+    ProgramCache,
+    compile_program,
+)
 from repro.core.isa import HOP_RELATIVE_OPCODES, Instruction, Opcode
 from repro.core.mmu import MMU, ExecutionContext
-from repro.core.tpp import AddressingMode, TPPSection
+from repro.core.tpp import AddressingMode, FLAG_DONE, TPPSection
 
 #: Default per-TPP instruction budget: the paper's "restricting TPPs to
 #: (say) five instructions per-packet requires only 20 bytes".
 DEFAULT_MAX_INSTRUCTIONS = 5
+
+
+def _fastpath_default() -> bool:
+    """Compile-once fast path is on unless ``REPRO_TPP_FASTPATH=0``.
+
+    The environment switch exists so CI (and a debugging session) can run
+    the whole simulator through the reference interpreter without touching
+    any construction site.
+    """
+    return os.environ.get("REPRO_TPP_FASTPATH", "1") != "0"
 
 #: Pipeline stages after the header parser has fetched the instructions.
 PIPELINE_STAGES = ("decode", "execute", "memory-read", "memory-write")
 PIPELINE_LATENCY_CYCLES = len(PIPELINE_STAGES)  # 4, as in the paper
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecutionReport:
     """What happened when one switch executed one TPP."""
 
@@ -59,13 +75,28 @@ class TCPU:
 
     def __init__(self, mmu: MMU,
                  max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
-                 name: str = "tcpu") -> None:
+                 name: str = "tcpu", compile: Optional[bool] = None,
+                 cache_capacity: int = DEFAULT_PROGRAM_CACHE_CAPACITY
+                 ) -> None:
         self.mmu = mmu
         self.max_instructions = max_instructions
         self.name = name
         self.tpps_executed = 0
         self.instructions_executed = 0
         self.faults = 0
+        #: ``compile=False`` forces the reference interpreter (debugging,
+        #: differential testing); ``None`` follows ``REPRO_TPP_FASTPATH``.
+        self.compile_enabled = (_fastpath_default() if compile is None
+                                else bool(compile))
+        #: Compile-once program cache (LRU, per-TCPU because compiled
+        #: closures bind this switch's pre-resolved MMU accessors).
+        self.cache = ProgramCache(cache_capacity)
+        self._cache_layout_version = mmu.layout_version
+        # One-entry memo over the LRU: back-to-back executions of the
+        # same program (the overwhelmingly common case on a switch that
+        # serves one active task) skip the OrderedDict bookkeeping.
+        self._last_key: Optional[bytes] = None
+        self._last_steps = None
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -76,7 +107,7 @@ class TCPU:
         """Run a TPP at this switch.  Never raises on program errors:
         faults are stamped into the TPP's flags and reported."""
         report = ExecutionReport()
-        if tpp.done:
+        if tpp.flags & FLAG_DONE:
             return report
 
         if len(tpp.instructions) > self.max_instructions:
@@ -89,22 +120,52 @@ class TCPU:
 
         ctx.task_id = tpp.task_id
         enabled = True
-        for index, instruction in enumerate(tpp.instructions):
-            if not enabled:
-                report.skipped += 1
-                continue
+        if self.compile_enabled:
+            steps = self._compiled_steps(tpp)
+            executed = 0
+            index = 0
+            # The faulting instruction is *not* counted as executed (the
+            # increment sits after the step call), matching the
+            # interpreter loop below exactly.
             try:
-                enabled = self._step(tpp, ctx, instruction, report)
-                report.executed += 1
-                if not enabled and report.cexec_disabled_at is None:
-                    report.cexec_disabled_at = index
+                for step in steps:
+                    if enabled:
+                        enabled = step(tpp, ctx, report)
+                        executed += 1
+                        if not enabled:
+                            report.cexec_disabled_at = index
+                    else:
+                        report.skipped += 1
+                    index += 1
             except TCPUFault as fault:
                 self._fault(tpp, report, fault)
-                break
             except IndexError as exc:
                 self._fault(tpp, report, TCPUFault(
                     FaultCode.MEMORY_BOUNDS, str(exc)))
-                break
+            report.executed = executed
+            self._advance_hop(tpp)
+            if executed:
+                report.cycles = PIPELINE_LATENCY_CYCLES + executed - 1
+            self.tpps_executed += 1
+            self.instructions_executed += executed
+            return report
+        else:
+            for index, instruction in enumerate(tpp.instructions):
+                if not enabled:
+                    report.skipped += 1
+                    continue
+                try:
+                    enabled = self._step(tpp, ctx, instruction, report)
+                    report.executed += 1
+                    if not enabled and report.cexec_disabled_at is None:
+                        report.cexec_disabled_at = index
+                except TCPUFault as fault:
+                    self._fault(tpp, report, fault)
+                    break
+                except IndexError as exc:
+                    self._fault(tpp, report, TCPUFault(
+                        FaultCode.MEMORY_BOUNDS, str(exc)))
+                    break
 
         self._advance_hop(tpp)
 
@@ -112,6 +173,34 @@ class TCPU:
         self.tpps_executed += 1
         self.instructions_executed += report.executed
         return report
+
+    def _compiled_steps(self, tpp: TPPSection):
+        """Compiled closures for this program, from the cache when warm.
+
+        An MMU layout change (re-bound reader) invalidates every compiled
+        program wholesale: the closures hold the old accessors, so the
+        cache is cleared and programs recompile on next execution.
+        """
+        mmu = self.mmu
+        version = mmu.layout_version
+        if version != self._cache_layout_version:
+            self.cache.clear()
+            self._cache_layout_version = version
+            self._last_key = None
+        key = tpp._program_key
+        if key is None:
+            key = tpp.program_key
+        if key == self._last_key:
+            self.cache.hits += 1
+            return self._last_steps
+        steps = self.cache.get(key)
+        if steps is None:
+            steps = compile_program(tpp.instructions, tpp.mode,
+                                    tpp.word_size, mmu)
+            self.cache.put(key, steps)
+        self._last_key = key
+        self._last_steps = steps
+        return steps
 
     @staticmethod
     def _advance_hop(tpp: TPPSection) -> None:

@@ -60,7 +60,7 @@ class AddressingMode(enum.IntEnum):
     ABSOLUTE = 2  #: offsets are absolute words into packet memory.
 
 
-@dataclass
+@dataclass(slots=True)
 class TPPSection:
     """A TPP carried inside a packet, with live (mutable) packet memory."""
 
@@ -76,6 +76,14 @@ class TPPSection:
     payload: Any = None
     _length_cache: Any = field(default=None, init=False, repr=False,
                                compare=False)
+    #: Memoized program fingerprint (see :attr:`program_key`).
+    _program_key: Any = field(default=None, init=False, repr=False,
+                              compare=False)
+    #: Memoized wire bytes of the whole section (see :meth:`encode`);
+    #: dropped (set to ``None``) by every mutator, so serialization only
+    #: happens when a hop actually wrote the packet.
+    _wire_cache: Any = field(default=None, init=False, repr=False,
+                             compare=False)
 
     def __post_init__(self) -> None:
         if self.word_size not in SUPPORTED_WORD_SIZES:
@@ -124,6 +132,42 @@ class TPPSection:
         damaged section must see its real (shorter) size.
         """
         self._length_cache = None
+        self._wire_cache = None
+
+    # ------------------------------------------------------------------ #
+    # Fast-path caches
+    # ------------------------------------------------------------------ #
+
+    @property
+    def program_key(self) -> bytes:
+        """Fingerprint of the *program*: instruction wire bytes plus the
+        addressing mode and word size (everything that affects how the
+        instructions compile, nothing that changes per hop).
+
+        This is the key of the TCPU's compile-once program cache
+        (:mod:`repro.core.fastpath`).  Memoized because the instruction
+        block never changes inside the network; anything that damages it
+        (the link corruption injector) must call
+        :meth:`invalidate_caches`.
+        """
+        key = self._program_key
+        if key is None:
+            key = (encode_program(self.instructions)
+                   + bytes((int(self.mode), self.word_size)))
+            self._program_key = key
+        return key
+
+    def invalidate_caches(self) -> None:
+        """Drop every memoized view of this section.
+
+        The corruption injector calls this after mutating the section in
+        place (truncated/bit-flipped memory, scrambled header fields), so
+        the program key, wire bytes, and length are all recomputed from
+        the damaged state.
+        """
+        self._program_key = None
+        self._wire_cache = None
+        self._length_cache = None
 
     @property
     def size_bytes(self) -> int:
@@ -143,6 +187,7 @@ class TPPSection:
     @sp.setter
     def sp(self, value: int) -> None:
         self.hop_or_sp = value
+        self._wire_cache = None
 
     @property
     def hop(self) -> int:
@@ -152,6 +197,7 @@ class TPPSection:
     @hop.setter
     def hop(self, value: int) -> None:
         self.hop_or_sp = value
+        self._wire_cache = None
 
     def hops_executed(self) -> int:
         """How many switches have executed this TPP so far.
@@ -179,6 +225,7 @@ class TPPSection:
     def mark_done(self) -> None:
         """Set the done-bit; switches will forward without executing."""
         self.flags |= FLAG_DONE
+        self._wire_cache = None
 
     @property
     def fault(self) -> FaultCode:
@@ -192,6 +239,7 @@ class TPPSection:
         if self.flags & FLAG_FAULT:
             return
         self.flags |= FLAG_FAULT | (int(code) << _FAULT_SHIFT)
+        self._wire_cache = None
 
     # ------------------------------------------------------------------ #
     # Packet memory access (word granularity)
@@ -210,6 +258,7 @@ class TPPSection:
         mask = (1 << (8 * self.word_size)) - 1
         self.memory[byte_offset:end] = (value & mask).to_bytes(
             self.word_size, "big")
+        self._wire_cache = None
 
     def words(self) -> List[int]:
         """All of packet memory as a list of words.
@@ -237,7 +286,17 @@ class TPPSection:
 
         The encapsulated payload is a simulation object and is not
         serialized (its size is accounted separately).
+
+        The result is memoized with dirty-tracking: every mutator
+        (word writes, SP/hop updates, flag changes) drops the cached
+        bytes, so repeated serialization of a section no hop has touched
+        since is free.  Direct mutation of :attr:`memory` bypasses the
+        tracking and must be followed by :meth:`invalidate_caches` (the
+        link corruption injector does this).
         """
+        cached = self._wire_cache
+        if cached is not None:
+            return cached
         header = _HEADER_STRUCT.pack(
             self.tpp_length_bytes,
             len(self.memory),
@@ -249,7 +308,10 @@ class TPPSection:
             self.task_id,
             self.seq,
         )
-        return header + encode_program(self.instructions) + bytes(self.memory)
+        encoded = (header + encode_program(self.instructions)
+                   + bytes(self.memory))
+        self._wire_cache = encoded
+        return encoded
 
     @classmethod
     def decode(cls, raw: bytes, payload: Any = None) -> "TPPSection":

@@ -201,7 +201,6 @@ class Link:
             # read a mangled length field produces downstream.
             keep = rng.randrange(0, len(memory) // 4) * 4
             del memory[keep:]
-            tpp.invalidate_length_cache()
             frame.invalidate_size_cache()
             damage = "truncate"
         elif memory:
@@ -211,6 +210,9 @@ class Link:
             # No memory to damage: scramble the hop/SP field instead.
             tpp.hop_or_sp ^= 1 << rng.randrange(16)
             damage = "header"
+        # Every damage mode bypasses the TPP's mutator methods, so its
+        # memoized fingerprint / wire bytes / length are all stale now.
+        tpp.invalidate_caches()
         if trace is not None and trace.wants("link.corrupt"):
             trace.emit(self.sim.now_ns, self.name or "link", "link.corrupt",
                        frame_uid=frame.uid, size_bytes=frame.size_bytes,

@@ -124,6 +124,12 @@ class EthernetFrame:
     hops: List[str] = field(default_factory=list)
     _size_cache: Optional[int] = field(default=None, init=False, repr=False,
                                        compare=False)
+    #: Parsed-header view cached by the first switch parser to touch the
+    #: frame; later hops reuse it (zero-reparse).  Cleared together with
+    #: the size cache, since both are stale for the same reason: the
+    #: payload chain changed shape.
+    _parsed_cache: Optional[Any] = field(default=None, init=False,
+                                         repr=False, compare=False)
 
     @property
     def size_bytes(self) -> int:
@@ -147,8 +153,14 @@ class EthernetFrame:
         return size
 
     def invalidate_size_cache(self) -> None:
-        """Force recomputation after a payload mutation changed the size."""
+        """Force recomputation after a payload mutation changed the size.
+
+        Also drops the cached parsed-header view: any mutation that can
+        change the frame's size (payload swap, TPP truncation) can change
+        what the parser would extract.
+        """
         self._size_cache = None
+        self._parsed_cache = None
 
     def clone(self) -> "EthernetFrame":
         """A wire-identical copy of the frame (same ``uid``).

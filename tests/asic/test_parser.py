@@ -53,3 +53,53 @@ class TestParseFrame:
         assert headers.ethertype == 0x88CC
         assert headers.src_ip is None
         assert headers.tpp is None
+
+
+class TestParsedViewCache:
+    """Zero-reparse: the parsed view travels with the frame across hops."""
+
+    def test_reparse_returns_cached_view(self):
+        frame = EthernetFrame(dst=2, src=1, ethertype=ETHERTYPE_IPV4,
+                              payload=datagram())
+        first = parse_frame(frame)
+        assert parse_frame(frame) is first
+
+    def test_tpp_memory_writes_need_no_invalidation(self):
+        """Per-hop writes mutate the same TPPSection object the cached
+        view points at — the next hop sees them through the cache."""
+        tpp = assemble("PUSH [Queue:QueueSize]").build()
+        frame = EthernetFrame(dst=2, src=1, ethertype=ETHERTYPE_TPP,
+                              payload=tpp)
+        headers = parse_frame(frame)
+        tpp.write_word(0, 0xBEEF)
+        again = parse_frame(frame)
+        assert again is headers
+        assert again.tpp.read_word(0) == 0xBEEF
+
+    def test_size_cache_invalidation_drops_parsed_view(self):
+        tpp = assemble("PUSH [Queue:QueueSize]").build(payload=datagram())
+        frame = EthernetFrame(dst=2, src=1, ethertype=ETHERTYPE_TPP,
+                              payload=tpp)
+        stale = parse_frame(frame)
+        assert stale.tpp is tpp
+        # The strip action: payload swap + explicit invalidation.
+        frame.payload = tpp.payload
+        frame.ethertype = ETHERTYPE_IPV4
+        frame.invalidate_size_cache()
+        fresh = parse_frame(frame)
+        assert fresh is not stale
+        assert fresh.tpp is None
+        assert fresh.dst_ip == 0x0A000002
+
+    def test_clone_does_not_share_the_cached_view(self):
+        tpp = assemble("PUSH [Queue:QueueSize]").build()
+        frame = EthernetFrame(dst=2, src=1, ethertype=ETHERTYPE_TPP,
+                              payload=tpp)
+        cached = parse_frame(frame)
+        twin = frame.clone()
+        twin_headers = parse_frame(twin)
+        assert twin_headers is not cached
+        # Clones deep-copy mutable TPP payloads, and the twin's parsed
+        # view must point at the twin's copy, not the original's.
+        assert twin_headers.tpp is twin.payload
+        assert twin_headers.tpp is not tpp

@@ -111,3 +111,66 @@ class TestSwitchStats:
         frozen = stats.port(0).rx_utilization.utilization
         net.run(until_seconds=0.02)
         assert stats.port(0).rx_utilization.utilization == frozen
+
+
+@pytest.fixture
+def force_fastpath(monkeypatch):
+    """Pin the fast path on regardless of the ambient environment (CI
+    also runs the whole suite with REPRO_TPP_FASTPATH=0)."""
+    monkeypatch.setenv("REPRO_TPP_FASTPATH", "1")
+
+
+class TestFastpathSurface:
+    """Cache/accessor counters exposed via switch stats and the trace."""
+
+    def _probe(self, net, n=3):
+        from repro.core.assembler import assemble
+        from repro.endhost.client import TPPEndpoint
+        h0, h1 = net.host("h0"), net.host("h1")
+        client = TPPEndpoint(h0)
+        TPPEndpoint(h1)
+        program = assemble("PUSH [Queue:QueueSize]", hops=2)
+        for _ in range(n):
+            client.send(program, dst_mac=h1.mac)
+        net.run(until_seconds=0.01)
+
+    def test_switch_fastpath_stats(self, force_fastpath,
+                                   single_switch_net):
+        net = single_switch_net
+        switch = net.switch("sw0")
+        self._probe(net)
+        stats = switch.fastpath_stats()
+        assert stats["compile_enabled"] is True
+        assert stats["misses"] == 1          # compiled once...
+        assert stats["hits"] >= 2            # ...then served from cache
+        assert stats["accessor_resolutions"] >= 1
+
+    def test_sampler_exposes_fastpath(self, force_fastpath,
+                                      single_switch_net):
+        net = single_switch_net
+        switch = net.switch("sw0")
+        sampler = switch.start_stats()
+        self._probe(net)
+        assert sampler.fastpath["misses"] == 1
+        assert sampler.fastpath == switch.fastpath_stats()
+
+    def test_emit_fastpath_summary_trace_record(self, force_fastpath,
+                                                single_switch_net):
+        net = single_switch_net
+        switch = net.switch("sw0")
+        self._probe(net)
+        snapshot = switch.emit_fastpath_summary()
+        records = net.trace.records(kind="fastpath.summary")
+        assert len(records) == 1
+        assert records[0].source == "sw0"
+        assert records[0].detail["hits"] == snapshot["hits"]
+        assert records[0].detail["misses"] == 1
+
+    def test_fastpath_report_table(self, single_switch_net):
+        from repro.analysis.reporting import fastpath_report
+        net = single_switch_net
+        self._probe(net)
+        table = fastpath_report([net.switch("sw0")])
+        assert "sw0" in table
+        assert "hits" in table
+        assert fastpath_report([]) == "(nothing to report)"

@@ -1,0 +1,391 @@
+"""Differential proof: compiled fast path ≡ reference interpreter.
+
+Every case runs the same program twice — once on a ``compile=True`` TCPU
+and once on ``compile=False`` — against two *independent* MMUs prepared
+identically, then asserts that everything observable is bit-identical:
+
+- the :class:`ExecutionReport` (executed/skipped counts, fault code,
+  CEXEC disable index, cycle count, switch writes, in order);
+- the TPP section itself (flags incl. the §3.4 fault stamp, hop/SP
+  counter, packet-memory bytes, and the full wire encoding);
+- switch-side state (SRAM words and per-port link scratch).
+
+Covers every opcode, every fault code, hop-slot stamping across
+multi-hop journeys, 8-byte words, and a seeded randomized sweep.
+"""
+
+import random
+
+import pytest
+
+from repro.asic.metadata import PacketMetadata
+from repro.core.assembler import assemble
+from repro.core.exceptions import FaultCode
+from repro.core.memory_map import SRAM_WORDS
+from repro.core.mmu import MMU, ExecutionContext
+from repro.core.tcpu import TCPU
+
+
+class FakeQueue:
+    def __init__(self, occupancy=500):
+        self.occupancy_bytes = occupancy
+
+
+class FakePort:
+    def __init__(self, index=0):
+        self.index = index
+        self.queue = FakeQueue()
+
+
+def make_mmu(clock=123456):
+    mmu = MMU(name="diff")
+    mmu.bind_reader("Switch:SwitchID", lambda ctx: 7)
+    mmu.bind_reader("Switch:ClockLo", lambda ctx: clock)
+    mmu.bind_reader("Queue:QueueSize",
+                    lambda ctx: ctx.queue.occupancy_bytes)
+    return mmu
+
+
+def make_ctx(task_id=0):
+    return ExecutionContext(metadata=PacketMetadata(),
+                            egress_port=FakePort(), time_ns=1000,
+                            task_id=task_id)
+
+
+def report_tuple(report):
+    return (report.executed, report.skipped, report.fault,
+            report.cexec_disabled_at, report.cycles,
+            list(report.switch_writes))
+
+
+def run_both(source, hops=1, task_id=0, max_instructions=5,
+             prepare=None, damage=None, **assemble_kwargs):
+    """Execute ``source`` over ``hops`` switch visits on both paths.
+
+    ``prepare(mmu)`` seeds switch state before execution; ``damage(tpp)``
+    mangles the packet before the first hop (corruption cases).  Returns
+    the two (reports, tpp, mmu) triples after asserting equivalence.
+    """
+    program = assemble(source, **assemble_kwargs)
+    results = []
+    for compile_flag in (True, False):
+        mmu = make_mmu()
+        if prepare is not None:
+            prepare(mmu)
+        tcpu = TCPU(mmu, max_instructions=max_instructions,
+                    compile=compile_flag)
+        tpp = program.build(task_id=task_id)
+        if damage is not None:
+            damage(tpp)
+            tpp.invalidate_caches()
+        reports = [tcpu.execute(tpp, make_ctx(task_id))
+                   for _ in range(hops)]
+        results.append((reports, tpp, mmu))
+
+    (fast_reports, fast_tpp, fast_mmu) = results[0]
+    (ref_reports, ref_tpp, ref_mmu) = results[1]
+    for hop, (fast, ref) in enumerate(zip(fast_reports, ref_reports)):
+        assert report_tuple(fast) == report_tuple(ref), f"hop {hop}"
+    assert fast_tpp.flags == ref_tpp.flags
+    assert fast_tpp.hop_or_sp == ref_tpp.hop_or_sp
+    assert bytes(fast_tpp.memory) == bytes(ref_tpp.memory)
+    assert fast_tpp.encode() == ref_tpp.encode()
+    sram = [fast_mmu.peek_sram(i) for i in range(SRAM_WORDS)]
+    assert sram == [ref_mmu.peek_sram(i) for i in range(SRAM_WORDS)]
+    assert ([fast_mmu.peek_link_scratch(0, s) for s in range(4)]
+            == [ref_mmu.peek_link_scratch(0, s) for s in range(4)])
+    return results
+
+
+class TestOpcodes:
+    def test_nop(self):
+        run_both("NOP")
+
+    def test_push(self):
+        run_both("PUSH [Switch:SwitchID]")
+
+    def test_push_pop_roundtrip(self):
+        (_, tpp, mmu), _ = run_both("""
+            PUSH [Queue:QueueSize]
+            POP [Sram:Word3]
+        """)
+        assert mmu.peek_sram(3) == 500
+        assert tpp.sp == 0
+
+    def test_load_hop_relative(self):
+        run_both(".mode hop\n.hops 3\n"
+                 "LOAD [Switch:SwitchID], [Packet:Hop[0]]", hops=3)
+
+    def test_load_absolute(self):
+        run_both(".mode absolute\n.memory 2\n"
+                 "LOAD [Switch:ClockLo], [Packet:1]")
+
+    def test_store(self):
+        (_, _, mmu), _ = run_both("""
+            .data 0 0xCAFE
+            STORE [Sram:Word2], [Packet:0]
+        """)
+        assert mmu.peek_sram(2) == 0xCAFE
+
+    def test_cstore_taken_and_not_taken(self):
+        def seed(value):
+            def prepare(mmu):
+                mmu.poke_sram(0, value)
+            return prepare
+
+        # dst == cond: store wins, old value written back over cond.
+        (_, tpp, mmu), _ = run_both("CSTORE [Sram:Word0], 10, 99",
+                                    prepare=seed(10))
+        assert mmu.peek_sram(0) == 99
+        assert tpp.read_word(0) == 10
+        # dst != cond: store loses, old value still written back.
+        (_, tpp, mmu), _ = run_both("CSTORE [Sram:Word0], 10, 99",
+                                    prepare=seed(11))
+        assert mmu.peek_sram(0) == 11
+        assert tpp.read_word(0) == 11
+
+    def test_cexec_enables_and_disables(self):
+        enabled = run_both("""
+            CEXEC [Switch:SwitchID], 0xFFFFFFFF, 7
+            PUSH [Queue:QueueSize]
+        """)
+        assert enabled[0][0][0].cexec_disabled_at is None
+        disabled = run_both("""
+            CEXEC [Switch:SwitchID], 0xFFFFFFFF, 8
+            PUSH [Queue:QueueSize]
+        """)
+        assert disabled[0][0][0].cexec_disabled_at == 0
+        assert disabled[0][0][0].skipped == 1
+
+    @pytest.mark.parametrize("op", ["ADD", "SUB", "AND", "OR", "XOR",
+                                    "MIN", "MAX"])
+    def test_arithmetic(self, op):
+        run_both(f"""
+            .data 0 41
+            {op} [Packet:0], [Switch:SwitchID]
+        """)
+
+    def test_arithmetic_wraps_identically(self):
+        """SUB below zero must wrap to the same masked word value."""
+        (_, tpp, _), _ = run_both("""
+            .data 0 3
+            SUB [Packet:0], [Switch:SwitchID]
+        """)
+        assert tpp.read_word(0) == (3 - 7) & 0xFFFFFFFF
+
+
+class TestFaults:
+    def test_bad_address_read(self):
+        results = run_both(".memory 1\nLOAD [0x0999], [Packet:0]")
+        assert results[0][0][0].fault == FaultCode.BAD_ADDRESS
+
+    def test_bad_address_write(self):
+        results = run_both("""
+            PUSH [Switch:SwitchID]
+            POP [0x0999]
+        """)
+        assert results[0][0][0].fault == FaultCode.BAD_ADDRESS
+
+    def test_write_protected(self):
+        results = run_both("""
+            PUSH [Switch:SwitchID]
+            POP [Queue:QueueSize]
+        """)
+        assert results[0][0][0].fault == FaultCode.WRITE_PROTECTED
+        # POP's SP decrement lands before the write faults (§3.4: partial
+        # effects are preserved) — both paths agree via run_both.
+
+    def test_memory_bounds(self):
+        results = run_both(
+            ".mode absolute\n.memory 1\n"
+            "LOAD [Switch:SwitchID], [Packet:5]")
+        assert results[0][0][0].fault == FaultCode.MEMORY_BOUNDS
+
+    def test_stack_overflow(self):
+        # One word of stack, executed on two hops: hop 1 has no room.
+        results = run_both(".hops 1\nPUSH [Switch:SwitchID]", hops=2)
+        assert results[0][0][0].fault == FaultCode.NONE
+        assert results[0][0][1].fault == FaultCode.STACK_OVERFLOW
+
+    def test_stack_underflow(self):
+        results = run_both("POP [Sram:Word0]")
+        assert results[0][0][0].fault == FaultCode.STACK_UNDERFLOW
+
+    def test_too_many_instructions(self):
+        results = run_both("\n".join(["NOP"] * 4), max_instructions=3)
+        assert results[0][0][0].fault == FaultCode.TOO_MANY_INSTRUCTIONS
+
+    def test_sram_protection(self):
+        def prepare(mmu):
+            mmu.allocate_sram(0, 2, task_id=1)
+            mmu.enforce_sram_protection = True
+
+        results = run_both("""
+            PUSH [Switch:SwitchID]
+            POP [Sram:Word0]
+        """, task_id=2, prepare=prepare)
+        assert results[0][0][0].fault == FaultCode.SRAM_PROTECTION
+
+    def test_fault_behind_disabled_cexec_never_fires(self):
+        """Compiling must not resolve-and-fault eagerly: an unmapped
+        address behind a disabling CEXEC is dead code, not a fault."""
+        results = run_both("""
+            .memory 3
+            CEXEC [Switch:SwitchID], 0xFFFFFFFF, 8
+            LOAD [0x0999], [Packet:2]
+        """)
+        report = results[0][0][0]
+        assert report.fault == FaultCode.NONE
+        assert report.skipped == 1
+
+
+class TestHopSlotStamping:
+    """§3.4: a faulting hop is stamped *and* its hop slot is consumed."""
+
+    def test_mid_journey_fault_consumes_hop_slot(self):
+        source = """
+            .mode hop
+            .hops 3
+            LOAD [Switch:ClockLo], [Packet:Hop[0]]
+            LOAD [Queue:QueueSize], [Packet:Hop[1]]
+        """
+        program = assemble(source)
+        for compile_flag in (True, False):
+            mmu = make_mmu()
+            tcpu = TCPU(mmu, compile=compile_flag)
+            broken = MMU(name="broken")  # ClockLo unmapped here
+            broken_tcpu = TCPU(broken, compile=compile_flag)
+            tpp = program.build()
+            assert tcpu.execute(tpp, make_ctx()).ok          # hop 0
+            report = broken_tcpu.execute(tpp, make_ctx())    # hop 1 faults
+            assert report.fault == FaultCode.BAD_ADDRESS
+            assert tpp.hop == 2                              # slot consumed
+            assert tpp.fault == FaultCode.BAD_ADDRESS        # stamped
+            # The stamped TPP keeps travelling and later hops still run;
+            # the first fault wins and stays in the flags.
+            final = tcpu.execute(tpp, make_ctx())            # hop 2
+            assert final.executed == 2
+            assert tpp.hop == 3
+            assert tpp.fault == FaultCode.BAD_ADDRESS
+
+    def test_stamped_sections_identical_across_paths(self):
+        source = """
+            .mode hop
+            .hops 2
+            LOAD [Queue:QueueSize], [Packet:Hop[0]]
+            LOAD [0x0999], [Packet:Hop[1]]
+        """
+        results = run_both(source, hops=2)
+        report = results[0][0][0]
+        assert report.fault == FaultCode.BAD_ADDRESS
+        # hop 0's partial evidence (the first LOAD) must survive.
+        assert results[0][1].read_word(0) == 500
+
+
+class TestWideWords:
+    def test_word8_push(self):
+        run_both(".word 8\nPUSH [Switch:ClockLo]")
+
+    def test_word8_arithmetic(self):
+        (_, tpp, _), _ = run_both("""
+            .word 8
+            .data 0 1
+            ADD [Packet:0], [Switch:ClockLo]
+        """)
+        assert tpp.read_word(0) == 123457
+
+
+class TestCorruptedSections:
+    """In-flight damage (link corruption) must execute identically."""
+
+    def test_truncated_memory(self):
+        def damage(tpp):
+            del tpp.memory[:]
+
+        results = run_both(".mode hop\n.hops 2\n"
+                           "LOAD [Switch:SwitchID], [Packet:Hop[0]]",
+                           damage=damage)
+        assert results[0][0][0].fault == FaultCode.MEMORY_BOUNDS
+
+    def test_bitflipped_memory(self):
+        def damage(tpp):
+            tpp.memory[0] ^= 0x80
+
+        run_both("""
+            .data 0 5
+            ADD [Packet:0], [Switch:SwitchID]
+        """, damage=damage)
+
+    def test_scrambled_hop_counter(self):
+        def damage(tpp):
+            tpp.hop_or_sp ^= 1 << 9
+
+        results = run_both(".mode hop\n.hops 2\n"
+                           "LOAD [Switch:SwitchID], [Packet:Hop[0]]",
+                           damage=damage)
+        assert results[0][0][0].fault == FaultCode.MEMORY_BOUNDS
+
+
+class TestRandomizedSweep:
+    """Seeded fuzz: random programs, both paths, bit-identical always."""
+
+    TEMPLATES = [
+        "PUSH [Switch:SwitchID]",
+        "PUSH [Queue:QueueSize]",
+        "PUSH [Switch:ClockLo]",
+        "POP [Sram:Word{word}]",
+        "POP [Queue:QueueSize]",
+        "LOAD [Switch:ClockLo], [Packet:{slot}]",
+        "LOAD [0x0999], [Packet:{slot}]",
+        "STORE [Sram:Word{word}], [Packet:{slot}]",
+        "CSTORE [Sram:Word{word}], {imm}, {imm2}",
+        "CEXEC [Switch:SwitchID], 0xFF, {imm}",
+        "ADD [Packet:{slot}], [Switch:SwitchID]",
+        "SUB [Packet:{slot}], [Queue:QueueSize]",
+        "XOR [Packet:{slot}], [Switch:ClockLo]",
+        "MIN [Packet:{slot}], [Switch:SwitchID]",
+        "NOP",
+    ]
+
+    def test_random_programs_agree(self):
+        rng = random.Random(20260806)
+        for _ in range(150):
+            n = rng.randint(1, 5)
+            memory_words = rng.randint(0, 6)
+            lines = [f".mode {rng.choice(['stack', 'absolute'])}",
+                     f".memory {memory_words}"]
+            for _ in range(n):
+                template = rng.choice(self.TEMPLATES)
+                lines.append(template.format(
+                    word=rng.randint(0, 5),
+                    slot=rng.randint(0, 7),
+                    imm=rng.randint(0, 255),
+                    imm2=rng.randint(0, 255),
+                ))
+            source = "\n".join(lines)
+
+            def prepare(mmu, rng_state=rng.getstate()):
+                seeder = random.Random(0)
+                seeder.setstate(rng_state)
+                for word in range(6):
+                    mmu.poke_sram(word, seeder.randint(0, 2 ** 32 - 1))
+
+            run_both(source, hops=rng.randint(1, 3),
+                     max_instructions=5, prepare=prepare)
+
+    def test_random_hop_programs_agree(self):
+        rng = random.Random(77)
+        hop_templates = [
+            "LOAD [Switch:ClockLo], [Packet:Hop[{slot}]]",
+            "LOAD [Queue:QueueSize], [Packet:Hop[{slot}]]",
+            "ADD [Packet:Hop[{slot}]], [Switch:SwitchID]",
+            "STORE [Sram:Word{word}], [Packet:Hop[{slot}]]",
+        ]
+        for _ in range(60):
+            hops = rng.randint(1, 4)
+            perhop = rng.randint(1, 3)
+            lines = [".mode hop", f".hops {hops}", f".perhop {perhop}"]
+            for _ in range(rng.randint(1, 3)):
+                lines.append(rng.choice(hop_templates).format(
+                    slot=rng.randint(0, perhop), word=rng.randint(0, 3)))
+            run_both("\n".join(lines), hops=hops + 1)

@@ -181,3 +181,87 @@ class TestTraceKinds:
                                ("truncate", "bitflip", "header")
                                for r in corrupt)
         assert net.trace.records(kind="link.dup")
+
+
+class TestCorruptionInvalidatesCaches:
+    """In-flight damage bypasses the TPP's mutator methods, so _corrupt
+    must drop the section's memoized fingerprint/wire/length caches and
+    the frame's size + parsed-view caches."""
+
+    def _tpp_frame(self, source="PUSH [Queue:QueueSize]", hops=2):
+        from repro.net.packet import ETHERTYPE_TPP, EthernetFrame
+        tpp = assemble(source, hops=hops).build()
+        frame = EthernetFrame(dst=2, src=1, ethertype=ETHERTYPE_TPP,
+                              payload=tpp)
+        return tpp, frame
+
+    def test_bitflip_drops_wire_cache(self, sim):
+        import random
+        link = Link(sim, rate_bps=1_000_000)
+        tpp, frame = self._tpp_frame()
+        stale = tpp.encode()          # warm the wire cache
+        key = tpp.program_key         # warm the fingerprint
+        # seed 0: first random() is ~0.84 >= 0.5 -> bitflip branch.
+        out = link._corrupt(frame, random.Random(0), None)
+        assert out is frame
+        assert tpp._wire_cache is None
+        assert tpp.encode() != stale  # damage visible on the wire
+        assert tpp.program_key == key  # instructions were untouched
+
+    def test_truncation_drops_length_and_size_caches(self, sim):
+        import random
+        link = Link(sim, rate_bps=1_000_000)
+        tpp, frame = self._tpp_frame(hops=4)
+        before_len = tpp.tpp_length_bytes
+        before_size = frame.size_bytes
+        from repro.asic.parser import parse_frame
+        parsed = parse_frame(frame)
+        # seed 1: first random() is ~0.13 < 0.5 -> truncate branch.
+        out = link._corrupt(frame, random.Random(1), None)
+        assert out is frame
+        assert len(tpp.memory) < 16
+        assert tpp.tpp_length_bytes < before_len
+        assert frame.size_bytes <= before_size
+        assert frame._parsed_cache is None
+        fresh = parse_frame(frame)
+        assert fresh is not parsed
+
+    def test_header_scramble_drops_wire_cache(self, sim):
+        import random
+        link = Link(sim, rate_bps=1_000_000)
+        tpp, frame = self._tpp_frame(source="NOP", hops=0)
+        assert not tpp.memory
+        stale = tpp.encode()
+        link._corrupt(frame, random.Random(0), None)
+        assert tpp.encode() != stale  # hop/SP scramble reached the wire
+
+    def test_corrupted_probe_executes_identically_on_both_paths(self):
+        """End to end: a corrupted-in-flight probe must produce the same
+        response bytes whether switches run compiled or interpreted."""
+        import os
+
+        def run(compile_env):
+            env_before = os.environ.get("REPRO_TPP_FASTPATH")
+            os.environ["REPRO_TPP_FASTPATH"] = compile_env
+            try:
+                net = build_net(seed=7)
+                h0, h1 = net.host("h0"), net.host("h1")
+                client = TPPEndpoint(h0)
+                TPPEndpoint(h1)
+                link = first_link(net)
+                link.set_impairments(corrupt_rate=1.0)
+                results = []
+                program = assemble("PUSH [Switch:SwitchID]", hops=4)
+                for _ in range(10):
+                    client.send(program, dst_mac=h1.mac,
+                                on_response=lambda r: results.append(
+                                    r.tpp.encode()))
+                net.run(until_seconds=0.05)
+                return results
+            finally:
+                if env_before is None:
+                    del os.environ["REPRO_TPP_FASTPATH"]
+                else:
+                    os.environ["REPRO_TPP_FASTPATH"] = env_before
+
+        assert run("1") == run("0")

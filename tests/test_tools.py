@@ -1,8 +1,133 @@
 """Command-line tools."""
 
+import importlib.util
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.tools import run_experiment, tppasm
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_run_bench():
+    """Import tools/run_bench.py (it lives outside the package tree)."""
+    spec = importlib.util.spec_from_file_location(
+        "run_bench", REPO_ROOT / "tools" / "run_bench.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def bench_report(schema="simcore-bench/v2", scale=1.0, **overrides):
+    """A synthetic, well-formed bench report for validator/compare tests."""
+    workloads = {
+        "event_core": {"events_per_sec": 1e6 * scale,
+                       "legacy_events_per_sec": 5e5 * scale,
+                       "speedup_vs_dataclass_heap": 2.0},
+        "event_loop": {"events_per_sec": 4e5 * scale,
+                       "events_processed": 100000},
+        "packet_forwarding": {"packets_per_sec_wall": 1e4 * scale,
+                              "packet_hops_per_sec_wall": 3e4 * scale,
+                              "packets_received": 5000},
+        "tpp_exec": {"tpp_execs_per_sec": 2e5 * scale,
+                     "instructions_per_sec": 4e5 * scale,
+                     "interp_execs_per_sec": 1e5 * scale,
+                     "speedup_vs_interpreter": 2.0},
+        "tpp_exec_cached": {"tpp_execs_per_sec": 4e5 * scale,
+                            "instructions_per_sec": 8e5 * scale},
+    }
+    report = {"schema": schema, "quick": False, "seed": 1,
+              "timestamp": 1_800_000_000.0,
+              "timestamp_iso": "2027-01-15T08:00:00+00:00",
+              "workloads": workloads}
+    if schema == "simcore-bench/v1":
+        del report["timestamp_iso"]
+        del workloads["tpp_exec_cached"]
+        for key in ("interp_execs_per_sec", "speedup_vs_interpreter"):
+            del workloads["tpp_exec"][key]
+    report.update(overrides)
+    return report
+
+
+class TestRunBenchValidate:
+    def test_v2_report_valid(self):
+        assert load_run_bench().validate(bench_report()) == []
+
+    def test_v1_report_still_valid(self):
+        """Historical baselines (schema v1, no timestamp_iso, no cached
+        workload) must keep validating."""
+        report = bench_report(schema="simcore-bench/v1")
+        assert load_run_bench().validate(report) == []
+
+    def test_unknown_schema_rejected(self):
+        problems = load_run_bench().validate(
+            bench_report(schema="simcore-bench/v99"))
+        assert any("schema" in p for p in problems)
+
+    def test_v2_requires_iso_timestamp(self):
+        problems = load_run_bench().validate(
+            bench_report(timestamp_iso="yesterday-ish"))
+        assert any("timestamp_iso" in p for p in problems)
+
+    def test_v2_requires_cached_workload(self):
+        report = bench_report()
+        del report["workloads"]["tpp_exec_cached"]
+        problems = load_run_bench().validate(report)
+        assert any("tpp_exec_cached" in p for p in problems)
+
+    def test_nonpositive_metric_rejected(self):
+        report = bench_report()
+        report["workloads"]["tpp_exec"]["tpp_execs_per_sec"] = 0
+        problems = load_run_bench().validate(report)
+        assert any("tpp_exec.tpp_execs_per_sec" in p for p in problems)
+
+
+class TestRunBenchCompare:
+    def write(self, tmp_path, name, report):
+        path = tmp_path / name
+        path.write_text(json.dumps(report))
+        return str(path)
+
+    def test_improvement_passes(self, tmp_path, capsys):
+        run_bench = load_run_bench()
+        old = self.write(tmp_path, "old.json", bench_report())
+        new = self.write(tmp_path, "new.json", bench_report(scale=1.5))
+        assert run_bench.main(["--compare", old, new]) == 0
+        assert "REGRESSION" not in capsys.readouterr().out
+
+    def test_small_regression_tolerated(self, tmp_path):
+        run_bench = load_run_bench()
+        old = self.write(tmp_path, "old.json", bench_report())
+        new = self.write(tmp_path, "new.json", bench_report(scale=0.95))
+        assert run_bench.main(["--compare", old, new]) == 0
+
+    def test_large_regression_fails(self, tmp_path, capsys):
+        run_bench = load_run_bench()
+        old = self.write(tmp_path, "old.json", bench_report())
+        new = self.write(tmp_path, "new.json", bench_report(scale=0.8))
+        assert run_bench.main(["--compare", old, new]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "regressed beyond" in captured.err
+
+    def test_v1_baseline_skips_missing_workloads(self, tmp_path, capsys):
+        """Comparing v2 against a v1 baseline skips tpp_exec_cached
+        instead of counting it as a regression."""
+        run_bench = load_run_bench()
+        old = self.write(tmp_path, "old.json",
+                         bench_report(schema="simcore-bench/v1"))
+        new = self.write(tmp_path, "new.json", bench_report())
+        assert run_bench.main(["--compare", old, new]) == 0
+        assert "skipped" in capsys.readouterr().out
+
+    def test_unreadable_report_fails(self, tmp_path, capsys):
+        run_bench = load_run_bench()
+        old = self.write(tmp_path, "old.json", bench_report())
+        assert run_bench.main(
+            ["--compare", old, str(tmp_path / "missing.json")]) == 1
+        assert "unreadable" in capsys.readouterr().err
 
 
 class TestTppasmAssemble:

@@ -5,12 +5,15 @@ Usage::
 
     python tools/run_bench.py             # full run, writes BENCH_simcore.json
     python tools/run_bench.py --quick     # CI smoke run (smaller workloads)
+    python tools/run_bench.py --no-fastpath --quick   # reference interpreter
     python tools/run_bench.py --validate BENCH_simcore.json   # schema check
+    python tools/run_bench.py --compare OLD.json NEW.json     # perf gate
 
 The JSON is the perf trajectory the ROADMAP tracks: every PR can re-run
 this and diff events/sec, packets/sec, and TPP-exec/sec against the
-committed baseline.  ``--validate`` exits non-zero on a malformed file,
-which is what the CI workflow uses to fail fast.
+committed baseline.  ``--validate`` exits non-zero on a malformed file
+(both the v1 and v2 schemas are accepted); ``--compare`` exits non-zero
+when any shared workload's primary metric regressed by more than 10%.
 """
 
 from __future__ import annotations
@@ -18,7 +21,9 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import sys
+from datetime import datetime
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -26,6 +31,8 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_simcore.json"
+
+SUPPORTED_SCHEMAS = ("simcore-bench/v1", "simcore-bench/v2")
 
 #: metric keys that must exist and be positive finite numbers, per workload.
 REQUIRED_METRICS = {
@@ -37,16 +44,50 @@ REQUIRED_METRICS = {
     "tpp_exec": ("tpp_execs_per_sec", "instructions_per_sec"),
 }
 
+#: additional requirements introduced by the v2 schema.
+REQUIRED_METRICS_V2 = {
+    "tpp_exec": ("interp_execs_per_sec", "speedup_vs_interpreter"),
+    "tpp_exec_cached": ("tpp_execs_per_sec", "instructions_per_sec"),
+}
+
+#: headline metric per workload, used by ``--compare``.
+PRIMARY_METRICS = {
+    "event_core": "events_per_sec",
+    "event_loop": "events_per_sec",
+    "packet_forwarding": "packet_hops_per_sec_wall",
+    "tpp_exec": "tpp_execs_per_sec",
+    "tpp_exec_cached": "tpp_execs_per_sec",
+}
+
+#: a workload counts as regressed when new < (1 - tolerance) * old.
+REGRESSION_TOLERANCE = 0.10
+
 
 def validate(report: dict) -> list:
-    """Return a list of problems (empty when the report is well-formed)."""
+    """Return a list of problems (empty when the report is well-formed).
+
+    Accepts both schema generations: v1 files (no timestamp_iso, no
+    ``tpp_exec_cached`` workload) stay valid so historical baselines can
+    still be fed to ``--validate`` and ``--compare``.
+    """
     problems = []
-    if report.get("schema") != "simcore-bench/v1":
-        problems.append(f"bad schema field: {report.get('schema')!r}")
+    schema = report.get("schema")
+    if schema not in SUPPORTED_SCHEMAS:
+        problems.append(f"bad schema field: {schema!r}")
     workloads = report.get("workloads")
     if not isinstance(workloads, dict):
         return problems + ["missing workloads object"]
-    for name, metrics in REQUIRED_METRICS.items():
+    required = {name: list(metrics)
+                for name, metrics in REQUIRED_METRICS.items()}
+    if schema == "simcore-bench/v2":
+        for name, metrics in REQUIRED_METRICS_V2.items():
+            required.setdefault(name, []).extend(metrics)
+        stamp = report.get("timestamp_iso")
+        try:
+            datetime.fromisoformat(stamp)
+        except (TypeError, ValueError):
+            problems.append(f"timestamp_iso not ISO-8601: {stamp!r}")
+    for name, metrics in required.items():
         workload = workloads.get(name)
         if not isinstance(workload, dict):
             problems.append(f"missing workload {name!r}")
@@ -60,6 +101,37 @@ def validate(report: dict) -> list:
     return problems
 
 
+def compare(old: dict, new: dict) -> tuple:
+    """Per-workload speedup of ``new`` over ``old``.
+
+    Returns ``(lines, regressions)``: human-readable rows for every
+    workload the two reports share, and the subset whose primary metric
+    fell below ``(1 - REGRESSION_TOLERANCE)`` of the old value.
+    Workloads present on only one side (e.g. ``tpp_exec_cached`` against
+    a v1 baseline) are reported but never counted as regressions.
+    """
+    old_workloads = old.get("workloads") or {}
+    new_workloads = new.get("workloads") or {}
+    lines = []
+    regressions = []
+    for name, metric in PRIMARY_METRICS.items():
+        old_value = (old_workloads.get(name) or {}).get(metric)
+        new_value = (new_workloads.get(name) or {}).get(metric)
+        if not old_value or not new_value:
+            missing = "old" if not old_value else "new"
+            if old_value or new_value:
+                lines.append(f"{name:<20} (not in {missing} report, skipped)")
+            continue
+        ratio = new_value / old_value
+        flag = ""
+        if ratio < 1.0 - REGRESSION_TOLERANCE:
+            flag = "  << REGRESSION"
+            regressions.append(name)
+        lines.append(f"{name:<20} {old_value:>14,.0f} -> {new_value:>14,.0f} "
+                     f"{metric}  ({ratio:.2f}x){flag}")
+    return lines, regressions
+
+
 def _print_summary(report: dict) -> None:
     wl = report["workloads"]
     print(f"schema:   {report['schema']}   quick={report['quick']}")
@@ -71,8 +143,17 @@ def _print_summary(report: dict) -> None:
     print(f"packet forwarding: "
           f"{wl['packet_forwarding']['packet_hops_per_sec_wall']:>12,.0f} "
           f"packet-hops/s wall")
-    print(f"tpp execution:     {wl['tpp_exec']['tpp_execs_per_sec']:>12,.0f} "
-          f"TPP-execs/s")
+    tpp = wl["tpp_exec"]
+    speedup = tpp.get("speedup_vs_interpreter")
+    suffix = f"  ({speedup:.2f}x vs interpreter)" if speedup else ""
+    print(f"tpp execution:     {tpp['tpp_execs_per_sec']:>12,.0f} "
+          f"TPP-execs/s{suffix}")
+    cached = wl.get("tpp_exec_cached")
+    if cached:
+        print(f"tpp exec (cached): "
+              f"{cached['tpp_execs_per_sec']:>12,.0f} TPP-execs/s  "
+              f"(cache {cached['cache_hits']} hits / "
+              f"{cached['cache_misses']} misses)")
 
 
 def main(argv=None) -> int:
@@ -83,7 +164,32 @@ def main(argv=None) -> int:
                         help=f"output path (default {DEFAULT_OUTPUT.name})")
     parser.add_argument("--validate", type=Path, metavar="JSON",
                         help="validate an existing report instead of running")
+    parser.add_argument("--compare", type=Path, nargs=2,
+                        metavar=("OLD", "NEW"),
+                        help="compare two reports; exit 1 when a shared "
+                             "workload regressed by more than "
+                             f"{REGRESSION_TOLERANCE:.0%}")
+    parser.add_argument("--no-fastpath", action="store_true",
+                        help="run the benchmarks through the reference "
+                             "interpreter (sets REPRO_TPP_FASTPATH=0)")
     args = parser.parse_args(argv)
+
+    if args.compare is not None:
+        reports = []
+        for path in args.compare:
+            try:
+                reports.append(json.loads(path.read_text()))
+            except (OSError, ValueError) as exc:
+                print(f"unreadable report {path}: {exc}", file=sys.stderr)
+                return 1
+        lines, regressions = compare(*reports)
+        for line in lines:
+            print(line)
+        if regressions:
+            print(f"regressed beyond {REGRESSION_TOLERANCE:.0%}: "
+                  f"{', '.join(regressions)}", file=sys.stderr)
+            return 1
+        return 0
 
     if args.validate is not None:
         try:
@@ -98,6 +204,11 @@ def main(argv=None) -> int:
         if not problems:
             print(f"{args.validate} OK")
         return 1 if problems else 0
+
+    if args.no_fastpath:
+        # Must land before any TCPU is constructed (the env default is
+        # read at construction time).
+        os.environ["REPRO_TPP_FASTPATH"] = "0"
 
     import perf_baseline
 
