@@ -15,7 +15,11 @@ Measures, on fixed-seed workloads:
   speedup ratio is measured, not asserted);
 - ``tpp_exec_cached`` — the warm-cache steady state: one pre-built TPP
   re-executed with its state reset, isolating per-execution cost with
-  zero per-iteration build cost.
+  zero per-iteration build cost;
+- ``tpp_exec_verified`` — the same steady state with a verifier
+  certificate installed (:meth:`repro.core.tcpu.TCPU.trust`), so the
+  per-instruction bounds checks are elided; the speedup over the
+  uncertified warm-cache run is the verified fast path's measured win.
 
 ``tools/run_bench.py`` drives :func:`run_all` and emits
 ``BENCH_simcore.json`` so every future PR's perf delta is visible.  The
@@ -44,7 +48,7 @@ from repro.sim.events import EventQueue
 from repro.sim.simulator import Simulator
 from repro.sim.timers import OneShotTimer
 
-SCHEMA = "simcore-bench/v2"
+SCHEMA = "simcore-bench/v3"
 DEFAULT_SEED = 20260806
 
 
@@ -322,6 +326,88 @@ def bench_tpp_exec_cached(n_executions: int = 50_000) -> Dict[str, Any]:
     }
 
 
+#: The verified workload runs a longer, denser program than the other
+#: TPP benches: the certificate elides *per-instruction* bounds checks
+#: and loop bookkeeping, so the win scales with instruction count while
+#: the per-execution fixed cost (report, hop advance) does not.  12
+#: instructions needs a raised per-TPP limit (the paper's default is 5).
+_VERIFIED_BENCH_SOURCE = """
+    PUSH [Switch:SwitchID]
+    PUSH [Queue:QueueSize]
+    LOAD [Switch:SwitchID], [Packet:2]
+    LOAD [Queue:QueueSize], [Packet:3]
+    ADD [Packet:2], [Queue:QueueSize]
+    ADD [Packet:3], [Switch:SwitchID]
+    MIN [Packet:2], [Queue:QueueSize]
+    MAX [Packet:3], [Switch:SwitchID]
+    PUSH [Switch:SwitchID]
+    PUSH [Queue:QueueSize]
+    ADD [Packet:2], [Queue:QueueSize]
+    XOR [Packet:3], [Switch:SwitchID]
+"""
+
+_VERIFIED_BENCH_MAX_INSTRUCTIONS = 16
+
+
+def bench_tpp_exec_verified(n_executions: int = 50_000) -> Dict[str, Any]:
+    """Warm-cache steady state with a verifier certificate installed.
+
+    Same reset-and-rerun harness as :func:`bench_tpp_exec_cached`, but
+    the program is statically verified first and its certificate handed
+    to the TCPU (:meth:`~repro.core.tcpu.TCPU.trust`), so executions run
+    the check-elided closures.  A second, certificate-less TCPU runs the
+    same loop as the control; the ratio is the verified fast path's
+    measured win.  ``verified_executions`` is exported so a report can
+    *prove* the guard matched on every iteration instead of assuming it.
+    """
+    from repro.core.memory_map import MemoryMap
+    from repro.core.verifier import verify_program
+
+    mmu = _bench_mmu()
+    tcpu = TCPU(mmu, max_instructions=_VERIFIED_BENCH_MAX_INSTRUCTIONS)
+    control = TCPU(mmu, max_instructions=_VERIFIED_BENCH_MAX_INSTRUCTIONS)
+    program = assemble(_VERIFIED_BENCH_SOURCE, hops=1)
+    result = verify_program(
+        program, memory_map=MemoryMap.standard(),
+        max_instructions=_VERIFIED_BENCH_MAX_INSTRUCTIONS)
+    certificate = result.raise_on_error().certificate
+    if certificate is not None:
+        tcpu.trust(certificate)
+    tpp = program.build()
+    initial_memory = bytes(tpp.memory)
+    initial_hop_or_sp = tpp.hop_or_sp
+    initial_flags = tpp.flags
+    ctx = ExecutionContext(metadata=PacketMetadata(),
+                           egress_port=_FakePort(), time_ns=1000)
+
+    def drive(cpu: TCPU) -> int:
+        executed = 0
+        for _ in range(n_executions):
+            tpp.hop_or_sp = initial_hop_or_sp
+            tpp.flags = initial_flags
+            tpp.memory[:] = initial_memory
+            report = cpu.execute(tpp, ctx)
+            executed += report.executed
+        return executed
+
+    drive(tcpu)  # warm-up (compiles both closure sets)
+    executed, elapsed = _timed(lambda: drive(tcpu))
+    drive(control)  # warm-up
+    control_executed, control_elapsed = _timed(lambda: drive(control))
+    assert executed == control_executed
+    execs_per_sec = n_executions / elapsed
+    control_per_sec = n_executions / control_elapsed
+    return {
+        "n_executions": n_executions,
+        "instructions_executed": executed,
+        "tpp_execs_per_sec": execs_per_sec,
+        "instructions_per_sec": executed / elapsed,
+        "unverified_execs_per_sec": control_per_sec,
+        "speedup_vs_unverified": execs_per_sec / control_per_sec,
+        "verified_executions": tcpu.verified_executions,
+    }
+
+
 # --------------------------------------------------------------------- #
 # Harness entry point
 # --------------------------------------------------------------------- #
@@ -336,6 +422,7 @@ def run_all(quick: bool = False, seed: int = DEFAULT_SEED) -> Dict[str, Any]:
             duration_s=0.02 / scale),
         "tpp_exec": bench_tpp_exec(50_000 // scale),
         "tpp_exec_cached": bench_tpp_exec_cached(50_000 // scale),
+        "tpp_exec_verified": bench_tpp_exec_verified(50_000 // scale),
     }
     now = time.time()
     return {

@@ -1,0 +1,13 @@
+; CEXEC-gated register update (paper §2.3/§3.2, RCP*-style): the fence
+; compares the switch ID against the target baked into the probe, so
+; the trailing update runs only on the one switch it was aimed at.
+; Assemble with --symbols Target=<switch id>.
+;
+;   python -m repro.tools.tppasm lint examples/guarded_update.tpp \
+;       --symbols Target=7
+;
+.memory 2
+.data 0 1500
+CEXEC [Switch:SwitchID], 0xFFFFFFFF, $Target
+CSTORE [Sram:Word0], [Packet:0], [Packet:1]
+STORE [Link:Reg0], [Packet:0]

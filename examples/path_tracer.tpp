@@ -1,0 +1,12 @@
+; Hop-addressed path tracer: a fixed per-hop record of (switch ID,
+; ingress clock, queue depth).  Hop mode gives every switch its own
+; slot, so the layout is stable no matter how the probe is routed.
+;
+;   python -m repro.tools.tppasm lint examples/path_tracer.tpp --hops 4
+;
+.mode hop
+.hops 4
+.perhop 3
+LOAD [Switch:SwitchID], [Packet:Hop[0]]
+LOAD [Switch:ClockLo], [Packet:Hop[1]]
+LOAD [Queue:QueueSize], [Packet:Hop[2]]

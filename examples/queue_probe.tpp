@@ -1,0 +1,9 @@
+; Canonical queue-size probe (paper §2.1): each switch on the path
+; appends its ID and instantaneous output-queue occupancy.  Run through
+; the static verifier with:
+;
+;   python -m repro.tools.tppasm lint examples/queue_probe.tpp --hops 4
+;
+.hops 4
+PUSH [Switch:SwitchID]
+PUSH [Queue:QueueSize]

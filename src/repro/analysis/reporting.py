@@ -58,13 +58,14 @@ def reliability_report(links: Iterable = (),
     endpoint_rows = [
         [ep.host.name, ep.probes_sent, ep.responses_received, ep.timeouts,
          ep.retries, ep.orphan_responses,
-         ep.duplicate_responses + ep.late_responses, ep.pending_count]
+         ep.duplicate_responses + ep.late_responses, ep.pending_count,
+         getattr(ep, "probes_rejected", 0)]
         for ep in endpoints
     ]
     if endpoint_rows:
         sections.append(format_table(
             ["endpoint", "sent", "responses", "timeouts", "retries",
-             "orphans", "dup/late", "pending"],
+             "orphans", "dup/late", "pending", "rejected"],
             endpoint_rows, title="Probe reliability"))
     if not sections:
         return "(nothing to report)"

@@ -125,6 +125,8 @@ class TPPSwitch(Device):
         stats["compile_enabled"] = self.tcpu.compile_enabled
         stats["accessor_resolutions"] = self.mmu.accessor_resolutions
         stats["layout_version"] = self.mmu.layout_version
+        stats["certificates"] = self.tcpu.certificates
+        stats["verified_executions"] = self.tcpu.verified_executions
         return stats
 
     def emit_fastpath_summary(self) -> dict:

@@ -16,9 +16,13 @@ consulted once per TPP arrival; it answers one of:
 
 from __future__ import annotations
 
-from typing import Set, Tuple
+from collections import OrderedDict
+from typing import Optional, Set, Tuple
 
+from repro.core.memory_map import MemoryMap
+from repro.core.tcpu import DEFAULT_MAX_INSTRUCTIONS
 from repro.core.tpp import TPPSection
+from repro.core.verifier import verify_section
 
 VALID_ACTIONS = ("execute", "forward", "strip", "drop")
 
@@ -79,3 +83,84 @@ class TaskQuotaPolicy:
         if tpp.task_id in self._admitted:
             return "execute"
         return self.default_action
+
+
+class VerifierPolicy:
+    """Static verification at untrusted edge ports.
+
+    The stricter sibling of :class:`EdgeTPPPolicy`: instead of refusing
+    *all* TPPs from an untrusted port, it runs each arriving program
+    through the static verifier (:mod:`repro.core.verifier`) and only
+    lets provably-safe ones execute — unverifiable TPPs are stripped
+    (default) or dropped.  Verdicts are memoized by program fingerprint
+    and memory geometry, so a probe stream pays for one analysis.
+
+    With ``trust_on_admit`` (default), an admitted program's certificate
+    is pushed to the switch's TCPU (:meth:`repro.core.tcpu.TCPU.trust`),
+    so edge admission feeds the verified fast path for every downstream
+    execution of the same program on that switch.
+    """
+
+    def __init__(self, untrusted_action: str = "strip",
+                 memory_map: Optional[MemoryMap] = None,
+                 max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+                 trust_on_admit: bool = True,
+                 cache_size: int = 256) -> None:
+        if untrusted_action not in ("strip", "drop", "forward"):
+            raise ValueError(
+                f"untrusted_action must be strip, drop or forward, "
+                f"got {untrusted_action!r}")
+        self.untrusted_action = untrusted_action
+        self.memory_map = memory_map
+        self.max_instructions = max_instructions
+        self.trust_on_admit = trust_on_admit
+        self._untrusted: Set[Tuple[str, int]] = set()
+        self._verdicts: "OrderedDict[tuple, object]" = OrderedDict()
+        self._cache_size = cache_size
+        self.tpps_verified = 0
+        self.tpps_admitted = 0
+        self.tpps_rejected = 0
+
+    def mark_untrusted(self, switch_name: str, port_index: int) -> None:
+        """Verify TPPs arriving on this port before they may execute."""
+        self._untrusted.add((switch_name, port_index))
+
+    def mark_trusted(self, switch_name: str, port_index: int) -> None:
+        """Re-trust a port (no-op if it was never untrusted)."""
+        self._untrusted.discard((switch_name, port_index))
+
+    def is_untrusted(self, switch_name: str, port_index: int) -> bool:
+        """Whether a port currently requires verification."""
+        return (switch_name, port_index) in self._untrusted
+
+    def action_for(self, switch, in_port: int, tpp: TPPSection) -> str:
+        """Policy decision for one TPP arrival (called by the switch)."""
+        if (switch.name, in_port) not in self._untrusted:
+            return "execute"
+        result = self._verdict(tpp)
+        if result.ok:
+            self.tpps_admitted += 1
+            # Pushed per arrival, not per verdict: one shared policy can
+            # guard several switches, and TCPU.trust is idempotent for a
+            # certificate it already holds.
+            if (self.trust_on_admit and result.certificate is not None
+                    and getattr(switch, "tcpu", None) is not None):
+                switch.tcpu.trust(result.certificate)
+            return "execute"
+        self.tpps_rejected += 1
+        return self.untrusted_action
+
+    def _verdict(self, tpp: TPPSection):
+        key = (tpp.program_key, len(tpp.memory), tpp.perhop_len_bytes)
+        cached = self._verdicts.get(key)
+        if cached is not None:
+            self._verdicts.move_to_end(key)
+            return cached
+        self.tpps_verified += 1
+        result = verify_section(
+            tpp, memory_map=self.memory_map,
+            max_instructions=self.max_instructions)
+        self._verdicts[key] = result
+        while len(self._verdicts) > self._cache_size:
+            self._verdicts.popitem(last=False)
+        return result

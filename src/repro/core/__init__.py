@@ -17,6 +17,10 @@ Layout (mirrors Section 3 of the paper):
 - :mod:`repro.core.fastpath` — the compile-once, execute-many fast path:
   per-opcode closures with pre-resolved address accessors, cached in a
   bounded LRU keyed by the program's instruction bytes.
+- :mod:`repro.core.verifier` — eBPF-style static verification: an
+  abstract interpreter that proves stack discipline, memory bounds, and
+  address-map safety before injection, and certifies programs for the
+  check-elided fast path.
 """
 
 from repro.core.isa import Instruction, Opcode
@@ -25,9 +29,18 @@ from repro.core.memory_map import MemoryMap
 from repro.core.mmu import ExecutionContext, MMU
 from repro.core.assembler import AssembledProgram, assemble
 from repro.core.disassembler import disassemble
-from repro.core.fastpath import ProgramCache, compile_program
+from repro.core.fastpath import CompiledEntry, ProgramCache, compile_program
 from repro.core.tcpu import TCPU, ExecutionReport, PipelineModel
 from repro.core.exceptions import AssemblerError, TCPUFault, TPPError
+from repro.core.verifier import (
+    Diagnostic,
+    VerificationError,
+    VerificationResult,
+    VerifiedProgram,
+    verify,
+    verify_program,
+    verify_section,
+)
 
 __all__ = [
     "Instruction",
@@ -49,4 +62,12 @@ __all__ = [
     "AssemblerError",
     "TCPUFault",
     "TPPError",
+    "CompiledEntry",
+    "Diagnostic",
+    "VerificationError",
+    "VerificationResult",
+    "VerifiedProgram",
+    "verify",
+    "verify_program",
+    "verify_section",
 ]

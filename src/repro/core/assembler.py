@@ -87,10 +87,17 @@ class AssembledProgram:
     pool_base_word: int
     source: str = ""
     symbols: Dict[str, int] = field(default_factory=dict)
+    #: Hop budget the memory was sized for (the ``.hops`` directive or
+    #: the ``hops=`` argument); the verifier's default admission horizon.
+    hops: int = 0
+    #: Source line of each instruction, for verifier diagnostics.
+    lines: List[int] = field(default_factory=list)
     #: Program fingerprint stamped onto every built section so the TCPU's
     #: compile-once cache never re-encodes the instruction block per
     #: probe.  Computed lazily; instructions are fixed after assembly.
     _program_key: Any = field(default=None, repr=False, compare=False)
+    #: Memoized default-argument :meth:`verify` result.
+    _verification: Any = field(default=None, repr=False, compare=False)
 
     @property
     def n_instructions(self) -> int:
@@ -127,12 +134,49 @@ class AssembledProgram:
             section._program_key = key
         return section
 
+    def verify(self, memory_map: Optional[MemoryMap] = None,
+               **kwargs: Any) -> Any:
+        """Statically verify this program (see :mod:`repro.core.verifier`).
+
+        The hop budget defaults to what the program was assembled for.
+        The default-argument result is memoized — instructions and
+        initial memory are fixed after assembly, so the analysis cannot
+        change.  Returns a
+        :class:`~repro.core.verifier.VerificationResult`.
+        """
+        # Local import: the assembler is imported by the verifier's
+        # callers everywhere; keeping the verifier import lazy avoids an
+        # import cycle and keeps plain assembly import-light.
+        from repro.core.verifier import verify_program
+
+        if memory_map is None and not kwargs:
+            if self._verification is None:
+                self._verification = verify_program(self)
+            return self._verification
+        return verify_program(self, memory_map=memory_map, **kwargs)
+
 
 def assemble(source: str, memory_map: Optional[MemoryMap] = None,
              symbols: Optional[Dict[str, int]] = None,
-             hops: int = DEFAULT_HOPS) -> AssembledProgram:
-    """Compile TPP assembly into an :class:`AssembledProgram`."""
-    return _Assembler(memory_map, symbols, hops).assemble(source)
+             hops: int = DEFAULT_HOPS,
+             verify: bool = False) -> AssembledProgram:
+    """Compile TPP assembly into an :class:`AssembledProgram`.
+
+    With ``verify=True`` the program is additionally run through the
+    static verifier (:mod:`repro.core.verifier`) against the same memory
+    map and hop budget it was assembled for;
+    :class:`~repro.core.verifier.VerificationError` is raised if any
+    error-severity diagnostic is found.  The (clean) result — including
+    its fast-path certificate — is memoized on the program and returned
+    by :meth:`AssembledProgram.verify`.
+    """
+    program = _Assembler(memory_map, symbols, hops).assemble(source)
+    if verify:
+        result = program.verify(memory_map=memory_map)
+        result.raise_on_error()
+        if memory_map is not None:
+            program._verification = result
+    return program
 
 
 class _Assembler:
@@ -304,9 +348,11 @@ class _Assembler:
         pool: List[int] = []
         pool_base = memory_words
         instructions: List[Instruction] = []
+        lines: List[int] = []
         for opcode, operands, number, raw in self.parsed:
             instructions.append(
                 self._encode(opcode, operands, pool, pool_base, number, raw))
+            lines.append(number)
 
         total_words = memory_words + len(pool)
         memory = bytearray(total_words * self.word_size)
@@ -320,6 +366,8 @@ class _Assembler:
             pool_base_word=pool_base,
             source=source,
             symbols=dict(self.used_symbols),
+            hops=self.hops,
+            lines=lines,
         )
         # Fill initial memory through a scratch TPPSection for bounds and
         # masking behaviour identical to run time.

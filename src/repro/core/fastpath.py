@@ -28,13 +28,27 @@ codes in the same order, same packet-memory bytes, same
 :class:`~repro.core.tcpu.ExecutionReport` contents.  The differential
 test suite (``tests/core/test_fastpath_differential.py``) runs both paths
 side by side on every opcode and fault path to enforce this.
+
+The static verifier (:mod:`repro.core.verifier`) adds a third layer on
+top: :func:`compile_program` called with a
+:class:`~repro.core.verifier.VerifiedProgram` certificate emits *elided*
+closures with the per-instruction packet-memory bounds and stack
+over/underflow checks removed — the certificate proved them dead.  The
+TCPU stores both variants in a :class:`CompiledEntry` and re-checks the
+certificate's per-execution guard (memory length, per-hop stride,
+hop/SP-counter interval) before each execution, falling back to the
+checked closures whenever the guard fails, so behaviour stays
+bit-identical even for corrupted or replayed sections.  Switch-side
+protection (unmapped addresses, read-only statistics, SRAM domains) is
+never elided: those checks live inside the MMU accessors and depend on
+per-switch state the verifier cannot see.
 """
 
 from __future__ import annotations
 
 import struct
 from collections import OrderedDict
-from typing import Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.exceptions import FaultCode, TCPUFault
 from repro.core.isa import HOP_RELATIVE_OPCODES, Instruction, Opcode
@@ -74,6 +88,41 @@ def _bounds_message(byte_offset: int, memory_len: int) -> str:
             f"of {memory_len} bytes")
 
 
+class CompiledEntry:
+    """One cached compilation unit of a program on one switch.
+
+    Always carries the fully-checked closures; when the TCPU holds a
+    verifier certificate for the program it also carries the elided
+    closures plus the certificate's per-execution guard facts, inlined
+    here so the execute hot path touches one object.  ``verified_steps``
+    may only be used for an execution whose section matches
+    ``memory_len``/``perhop_len_bytes`` exactly and whose hop/SP counter
+    lies in ``[guard_lo, guard_hi]`` — the TCPU checks this per
+    execution and otherwise runs ``steps``.
+    """
+
+    __slots__ = ("steps", "verified_steps", "guard_lo", "guard_hi",
+                 "memory_len", "perhop_len_bytes", "has_cexec")
+
+    def __init__(self, steps: Tuple[Step, ...],
+                 verified_steps: Optional[Tuple[Step, ...]] = None,
+                 certificate: Any = None) -> None:
+        self.steps = steps
+        self.verified_steps = verified_steps
+        if certificate is not None:
+            self.guard_lo: int = certificate.guard_lo
+            self.guard_hi: int = certificate.guard_hi
+            self.memory_len: int = certificate.memory_len
+            self.perhop_len_bytes: int = certificate.perhop_len_bytes
+            self.has_cexec: bool = certificate.has_cexec
+        else:
+            # An empty guard interval: the verified path can never match.
+            self.guard_lo, self.guard_hi = 0, -1
+            self.memory_len = -1
+            self.perhop_len_bytes = -1
+            self.has_cexec = True
+
+
 class ProgramCache:
     """Bounded LRU of compiled programs with hit/miss accounting.
 
@@ -95,7 +144,7 @@ class ProgramCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
-        self._entries: "OrderedDict[bytes, Tuple[Step, ...]]" = OrderedDict()
+        self._entries: "OrderedDict[bytes, Any]" = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -103,26 +152,31 @@ class ProgramCache:
     def __contains__(self, key: bytes) -> bool:
         return key in self._entries
 
-    def get(self, key: bytes):
-        """Compiled steps for ``key``, or ``None`` (counts hit/miss)."""
+    def get(self, key: bytes) -> Any:
+        """Compiled entry for ``key``, or ``None`` (counts hit/miss)."""
         entries = self._entries
-        steps = entries.get(key)
-        if steps is None:
+        entry = entries.get(key)
+        if entry is None:
             self.misses += 1
             return None
         entries.move_to_end(key)
         self.hits += 1
-        return steps
+        return entry
 
-    def put(self, key: bytes, steps: Tuple[Step, ...]) -> None:
+    def put(self, key: bytes, entry: Any) -> None:
         """Insert (or refresh) an entry, evicting the LRU past capacity."""
         entries = self._entries
         if key in entries:
             entries.move_to_end(key)
-        entries[key] = steps
+        entries[key] = entry
         if len(entries) > self.capacity:
             entries.popitem(last=False)
             self.evictions += 1
+
+    def discard(self, key: bytes) -> None:
+        """Drop one entry without counters (a certificate arrived for the
+        program, so it must recompile with the verified closures)."""
+        self._entries.pop(key, None)
 
     def clear(self) -> None:
         """Drop every entry (switch address-space layout changed)."""
@@ -143,21 +197,34 @@ class ProgramCache:
 
 
 def compile_program(instructions: List[Instruction], mode: AddressingMode,
-                    word_size: int, mmu: MMU) -> Tuple[Step, ...]:
+                    word_size: int, mmu: MMU,
+                    certificate: Any = None) -> Tuple[Step, ...]:
     """Compile a program into per-opcode closures bound to one MMU.
 
     The result is valid until the MMU's address-space layout changes
     (:attr:`repro.core.mmu.MMU.layout_version`); the TCPU clears its
     program cache when it observes a version bump.
+
+    ``certificate`` (a :class:`repro.core.verifier.VerifiedProgram` for
+    exactly this program) elides the per-instruction packet-memory
+    bounds and stack over/underflow checks the certificate proved dead.
+    The caller owns the per-execution guard: elided closures are only
+    safe for sections matching the certificate's memory length and
+    per-hop stride whose hop/SP counter is inside
+    ``[guard_lo, guard_hi]``.  Switch-side protection faults are raised
+    by the MMU accessors either way.
     """
     hop_mode = mode == AddressingMode.HOP
+    verified = certificate is not None
     return tuple(
-        _compile_instruction(instruction, hop_mode, word_size, mmu)
+        _compile_instruction(instruction, hop_mode, word_size, mmu,
+                             verified)
         for instruction in instructions)
 
 
 def _compile_instruction(instruction: Instruction, hop_mode: bool,
-                         word: int, mmu: MMU) -> Step:
+                         word: int, mmu: MMU,
+                         verified: bool = False) -> Step:
     opcode = instruction.opcode
     addr = instruction.addr
     offset_bytes = instruction.offset * word
@@ -173,75 +240,120 @@ def _compile_instruction(instruction: Instruction, hop_mode: bool,
     if opcode == Opcode.PUSH:
         read = mmu.reader_for(addr)
 
-        def step_push(tpp, ctx, report) -> bool:
-            value = read(ctx)
-            sp = tpp.hop_or_sp
-            memory = tpp.memory
-            if sp + word > len(memory):
-                raise TCPUFault(
-                    FaultCode.STACK_OVERFLOW,
-                    f"PUSH at SP={sp} past {len(memory)} bytes")
-            pack_into(memory, sp, value & mask)
-            tpp.hop_or_sp = sp + word
-            tpp._wire_cache = None
-            return True
+        if verified:
+            def step_push(tpp, ctx, report) -> bool:
+                value = read(ctx)
+                sp = tpp.hop_or_sp
+                pack_into(tpp.memory, sp, value & mask)
+                tpp.hop_or_sp = sp + word
+                tpp._wire_cache = None
+                return True
+        else:
+            def step_push(tpp, ctx, report) -> bool:
+                value = read(ctx)
+                sp = tpp.hop_or_sp
+                memory = tpp.memory
+                if sp + word > len(memory):
+                    raise TCPUFault(
+                        FaultCode.STACK_OVERFLOW,
+                        f"PUSH at SP={sp} past {len(memory)} bytes")
+                pack_into(memory, sp, value & mask)
+                tpp.hop_or_sp = sp + word
+                tpp._wire_cache = None
+                return True
 
         return step_push
 
     if opcode == Opcode.POP:
         write = mmu.writer_for(addr)
 
-        def step_pop(tpp, ctx, report) -> bool:
-            sp = tpp.hop_or_sp
-            if sp < word:
-                raise TCPUFault(FaultCode.STACK_UNDERFLOW,
-                                f"POP with SP={sp}")
-            sp -= word
-            tpp.hop_or_sp = sp
-            tpp._wire_cache = None
-            memory = tpp.memory
-            if sp + word > len(memory):
-                raise IndexError(_bounds_message(sp, len(memory)))
-            value = unpack_from(memory, sp)[0]
-            write(ctx, value)
-            report.switch_writes.append((addr, value))
-            return True
+        if verified:
+            def step_pop(tpp, ctx, report) -> bool:
+                sp = tpp.hop_or_sp - word
+                tpp.hop_or_sp = sp
+                tpp._wire_cache = None
+                value = unpack_from(tpp.memory, sp)[0]
+                write(ctx, value)
+                report.switch_writes.append((addr, value))
+                return True
+        else:
+            def step_pop(tpp, ctx, report) -> bool:
+                sp = tpp.hop_or_sp
+                if sp < word:
+                    raise TCPUFault(FaultCode.STACK_UNDERFLOW,
+                                    f"POP with SP={sp}")
+                sp -= word
+                tpp.hop_or_sp = sp
+                tpp._wire_cache = None
+                memory = tpp.memory
+                if sp + word > len(memory):
+                    raise IndexError(_bounds_message(sp, len(memory)))
+                value = unpack_from(memory, sp)[0]
+                write(ctx, value)
+                report.switch_writes.append((addr, value))
+                return True
 
         return step_pop
 
     if opcode == Opcode.LOAD:
         read = mmu.reader_for(addr)
 
-        def step_load(tpp, ctx, report) -> bool:
-            value = read(ctx)
-            if hop_relative:
-                ea = tpp.hop_or_sp * tpp.perhop_len_bytes + offset_bytes
-            else:
-                ea = offset_bytes
-            memory = tpp.memory
-            if ea + word > len(memory):
-                raise IndexError(_bounds_message(ea, len(memory)))
-            pack_into(memory, ea, value & mask)
-            tpp._wire_cache = None
-            return True
+        if verified:
+            def step_load(tpp, ctx, report) -> bool:
+                value = read(ctx)
+                if hop_relative:
+                    ea = (tpp.hop_or_sp * tpp.perhop_len_bytes
+                          + offset_bytes)
+                else:
+                    ea = offset_bytes
+                pack_into(tpp.memory, ea, value & mask)
+                tpp._wire_cache = None
+                return True
+        else:
+            def step_load(tpp, ctx, report) -> bool:
+                value = read(ctx)
+                if hop_relative:
+                    ea = (tpp.hop_or_sp * tpp.perhop_len_bytes
+                          + offset_bytes)
+                else:
+                    ea = offset_bytes
+                memory = tpp.memory
+                if ea + word > len(memory):
+                    raise IndexError(_bounds_message(ea, len(memory)))
+                pack_into(memory, ea, value & mask)
+                tpp._wire_cache = None
+                return True
 
         return step_load
 
     if opcode == Opcode.STORE:
         write = mmu.writer_for(addr)
 
-        def step_store(tpp, ctx, report) -> bool:
-            if hop_relative:
-                ea = tpp.hop_or_sp * tpp.perhop_len_bytes + offset_bytes
-            else:
-                ea = offset_bytes
-            memory = tpp.memory
-            if ea + word > len(memory):
-                raise IndexError(_bounds_message(ea, len(memory)))
-            value = unpack_from(memory, ea)[0]
-            write(ctx, value)
-            report.switch_writes.append((addr, value))
-            return True
+        if verified:
+            def step_store(tpp, ctx, report) -> bool:
+                if hop_relative:
+                    ea = (tpp.hop_or_sp * tpp.perhop_len_bytes
+                          + offset_bytes)
+                else:
+                    ea = offset_bytes
+                value = unpack_from(tpp.memory, ea)[0]
+                write(ctx, value)
+                report.switch_writes.append((addr, value))
+                return True
+        else:
+            def step_store(tpp, ctx, report) -> bool:
+                if hop_relative:
+                    ea = (tpp.hop_or_sp * tpp.perhop_len_bytes
+                          + offset_bytes)
+                else:
+                    ea = offset_bytes
+                memory = tpp.memory
+                if ea + word > len(memory):
+                    raise IndexError(_bounds_message(ea, len(memory)))
+                value = unpack_from(memory, ea)[0]
+                write(ctx, value)
+                report.switch_writes.append((addr, value))
+                return True
 
         return step_store
 
@@ -253,22 +365,35 @@ def _compile_instruction(instruction: Instruction, hop_mode: bool,
         cond_offset = offset_bytes
         src_offset = cond_offset + word
 
-        def step_cstore(tpp, ctx, report) -> bool:
-            memory = tpp.memory
-            n = len(memory)
-            if cond_offset + word > n:
-                raise IndexError(_bounds_message(cond_offset, n))
-            cond = unpack_from(memory, cond_offset)[0]
-            if src_offset + word > n:
-                raise IndexError(_bounds_message(src_offset, n))
-            src = unpack_from(memory, src_offset)[0]
-            old = read(ctx)
-            pack_into(memory, cond_offset, old & mask)
-            tpp._wire_cache = None
-            if old == cond:
-                write(ctx, src)
-                report.switch_writes.append((addr, src))
-            return True
+        if verified:
+            def step_cstore(tpp, ctx, report) -> bool:
+                memory = tpp.memory
+                cond = unpack_from(memory, cond_offset)[0]
+                src = unpack_from(memory, src_offset)[0]
+                old = read(ctx)
+                pack_into(memory, cond_offset, old & mask)
+                tpp._wire_cache = None
+                if old == cond:
+                    write(ctx, src)
+                    report.switch_writes.append((addr, src))
+                return True
+        else:
+            def step_cstore(tpp, ctx, report) -> bool:
+                memory = tpp.memory
+                n = len(memory)
+                if cond_offset + word > n:
+                    raise IndexError(_bounds_message(cond_offset, n))
+                cond = unpack_from(memory, cond_offset)[0]
+                if src_offset + word > n:
+                    raise IndexError(_bounds_message(src_offset, n))
+                src = unpack_from(memory, src_offset)[0]
+                old = read(ctx)
+                pack_into(memory, cond_offset, old & mask)
+                tpp._wire_cache = None
+                if old == cond:
+                    write(ctx, src)
+                    report.switch_writes.append((addr, src))
+                return True
 
         return step_cstore
 
@@ -277,17 +402,25 @@ def _compile_instruction(instruction: Instruction, hop_mode: bool,
         mask_offset = offset_bytes
         value_offset = mask_offset + word
 
-        def step_cexec(tpp, ctx, report) -> bool:
-            memory = tpp.memory
-            n = len(memory)
-            if mask_offset + word > n:
-                raise IndexError(_bounds_message(mask_offset, n))
-            mask_value = unpack_from(memory, mask_offset)[0]
-            if value_offset + word > n:
-                raise IndexError(_bounds_message(value_offset, n))
-            expected = unpack_from(memory, value_offset)[0]
-            register = read(ctx)
-            return (register & mask_value) == expected
+        if verified:
+            def step_cexec(tpp, ctx, report) -> bool:
+                memory = tpp.memory
+                mask_value = unpack_from(memory, mask_offset)[0]
+                expected = unpack_from(memory, value_offset)[0]
+                register = read(ctx)
+                return (register & mask_value) == expected
+        else:
+            def step_cexec(tpp, ctx, report) -> bool:
+                memory = tpp.memory
+                n = len(memory)
+                if mask_offset + word > n:
+                    raise IndexError(_bounds_message(mask_offset, n))
+                mask_value = unpack_from(memory, mask_offset)[0]
+                if value_offset + word > n:
+                    raise IndexError(_bounds_message(value_offset, n))
+                expected = unpack_from(memory, value_offset)[0]
+                register = read(ctx)
+                return (register & mask_value) == expected
 
         return step_cexec
 
@@ -295,19 +428,34 @@ def _compile_instruction(instruction: Instruction, hop_mode: bool,
     if operation is not None:
         read = mmu.reader_for(addr)
 
-        def step_arithmetic(tpp, ctx, report) -> bool:
-            if hop_relative:
-                ea = tpp.hop_or_sp * tpp.perhop_len_bytes + offset_bytes
-            else:
-                ea = offset_bytes
-            memory = tpp.memory
-            if ea + word > len(memory):
-                raise IndexError(_bounds_message(ea, len(memory)))
-            current = unpack_from(memory, ea)[0]
-            operand = read(ctx)
-            pack_into(memory, ea, operation(current, operand) & mask)
-            tpp._wire_cache = None
-            return True
+        if verified:
+            def step_arithmetic(tpp, ctx, report) -> bool:
+                if hop_relative:
+                    ea = (tpp.hop_or_sp * tpp.perhop_len_bytes
+                          + offset_bytes)
+                else:
+                    ea = offset_bytes
+                memory = tpp.memory
+                current = unpack_from(memory, ea)[0]
+                operand = read(ctx)
+                pack_into(memory, ea, operation(current, operand) & mask)
+                tpp._wire_cache = None
+                return True
+        else:
+            def step_arithmetic(tpp, ctx, report) -> bool:
+                if hop_relative:
+                    ea = (tpp.hop_or_sp * tpp.perhop_len_bytes
+                          + offset_bytes)
+                else:
+                    ea = offset_bytes
+                memory = tpp.memory
+                if ea + word > len(memory):
+                    raise IndexError(_bounds_message(ea, len(memory)))
+                current = unpack_from(memory, ea)[0]
+                operand = read(ctx)
+                pack_into(memory, ea, operation(current, operand) & mask)
+                tpp._wire_cache = None
+                return True
 
         return step_arithmetic
 

@@ -91,6 +91,16 @@ class Instruction:
     offset: int = 0
 
     def __post_init__(self) -> None:
+        # Normalize the opcode through the enum so direct construction
+        # with a raw int (e.g. ``Instruction(0x99, ...)``) cannot smuggle
+        # an undecodable byte onto the wire; the frozen dataclass needs
+        # object.__setattr__ for the write-back.
+        if not isinstance(self.opcode, Opcode):
+            try:
+                object.__setattr__(self, "opcode", Opcode(self.opcode))
+            except ValueError as exc:
+                raise TPPEncodingError(
+                    f"unknown opcode {self.opcode!r}") from exc
         if not 0 <= self.addr <= 0xFFFF:
             raise TPPEncodingError(f"switch address out of range: "
                                    f"{self.addr:#x}")

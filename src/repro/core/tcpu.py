@@ -27,6 +27,7 @@ from typing import List, Optional, Tuple
 from repro.core.exceptions import FaultCode, TCPUFault
 from repro.core.fastpath import (
     DEFAULT_PROGRAM_CACHE_CAPACITY,
+    CompiledEntry,
     ProgramCache,
     compile_program,
 )
@@ -96,7 +97,51 @@ class TCPU:
         # same program (the overwhelmingly common case on a switch that
         # serves one active task) skip the OrderedDict bookkeeping.
         self._last_key: Optional[bytes] = None
-        self._last_steps = None
+        self._last_entry: Optional[CompiledEntry] = None
+        #: Verifier certificates by program key.  Certificates survive
+        #: MMU layout bumps: the guard facts depend only on the program
+        #: and its memory geometry, never on address bindings.
+        self._verified: dict = {}
+        #: Executions that ran the check-elided verified closures.
+        self.verified_executions = 0
+
+    # ------------------------------------------------------------------ #
+    # Certificates
+    # ------------------------------------------------------------------ #
+
+    def trust(self, certificate) -> None:
+        """Register a :class:`~repro.core.verifier.VerifiedProgram`.
+
+        Future executions of the fingerprinted program whose section
+        passes the certificate's per-execution guard run with the
+        per-instruction bounds/stack checks elided.  Re-trusting a key
+        replaces the previous certificate.  Safe unconditionally: a
+        section failing the guard silently uses the checked closures.
+        """
+        key = certificate.program_key
+        if self._verified.get(key) is certificate:
+            return  # idempotent: keep the compiled entry warm
+        self._verified[key] = certificate
+        # Force a recompile so the verified closures get attached.
+        self.cache.discard(key)
+        if self._last_key == key:
+            self._last_key = None
+            self._last_entry = None
+
+    def distrust(self, certificate_or_key) -> None:
+        """Drop a certificate (program key or certificate object)."""
+        key = getattr(certificate_or_key, "program_key",
+                      certificate_or_key)
+        if self._verified.pop(key, None) is not None:
+            self.cache.discard(key)
+            if self._last_key == key:
+                self._last_key = None
+                self._last_entry = None
+
+    @property
+    def certificates(self) -> int:
+        """Number of trusted program certificates."""
+        return len(self._verified)
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -121,7 +166,41 @@ class TCPU:
         ctx.task_id = tpp.task_id
         enabled = True
         if self.compile_enabled:
-            steps = self._compiled_steps(tpp)
+            entry = self._compiled_entry(tpp)
+            steps = entry.steps
+            # Per-execution certificate guard: the verified (elided)
+            # closures may only run when the section's geometry matches
+            # the certificate exactly and the hop/SP counter is inside
+            # the proven-safe interval.  Anything else — a corrupted
+            # header, a replayed section, a later hop of a stack
+            # program — silently falls back to the checked closures,
+            # which fault exactly like the interpreter.
+            if (entry.verified_steps is not None
+                    and len(tpp.memory) == entry.memory_len
+                    and tpp.perhop_len_bytes == entry.perhop_len_bytes
+                    and entry.guard_lo <= tpp.hop_or_sp <= entry.guard_hi):
+                self.verified_executions += 1
+                if not entry.has_cexec:
+                    # Tight loop: no CEXEC means no enabled/skip
+                    # bookkeeping either.  MMU accessors can still fault
+                    # (unbound statistic, SRAM domain) — per-switch
+                    # state the certificate deliberately doesn't cover.
+                    executed = 0
+                    try:
+                        for step in entry.verified_steps:
+                            step(tpp, ctx, report)
+                            executed += 1
+                    except TCPUFault as fault:
+                        self._fault(tpp, report, fault)
+                    report.executed = executed
+                    self._advance_hop(tpp)
+                    if executed:
+                        report.cycles = (PIPELINE_LATENCY_CYCLES
+                                         + executed - 1)
+                    self.tpps_executed += 1
+                    self.instructions_executed += executed
+                    return report
+                steps = entry.verified_steps
             executed = 0
             index = 0
             # The faulting instruction is *not* counted as executed (the
@@ -174,12 +253,14 @@ class TCPU:
         self.instructions_executed += report.executed
         return report
 
-    def _compiled_steps(self, tpp: TPPSection):
+    def _compiled_entry(self, tpp: TPPSection) -> CompiledEntry:
         """Compiled closures for this program, from the cache when warm.
 
         An MMU layout change (re-bound reader) invalidates every compiled
         program wholesale: the closures hold the old accessors, so the
         cache is cleared and programs recompile on next execution.
+        Certificates survive the bump (they do not depend on bindings),
+        so recompiled entries re-attach their verified closures.
         """
         mmu = self.mmu
         version = mmu.layout_version
@@ -192,15 +273,23 @@ class TCPU:
             key = tpp.program_key
         if key == self._last_key:
             self.cache.hits += 1
-            return self._last_steps
-        steps = self.cache.get(key)
-        if steps is None:
+            return self._last_entry
+        entry = self.cache.get(key)
+        if entry is None:
             steps = compile_program(tpp.instructions, tpp.mode,
                                     tpp.word_size, mmu)
-            self.cache.put(key, steps)
+            certificate = self._verified.get(key)
+            if certificate is not None:
+                verified_steps = compile_program(
+                    tpp.instructions, tpp.mode, tpp.word_size, mmu,
+                    certificate=certificate)
+                entry = CompiledEntry(steps, verified_steps, certificate)
+            else:
+                entry = CompiledEntry(steps)
+            self.cache.put(key, entry)
         self._last_key = key
-        self._last_steps = steps
-        return steps
+        self._last_entry = entry
+        return entry
 
     @staticmethod
     def _advance_hop(tpp: TPPSection) -> None:

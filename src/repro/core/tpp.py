@@ -52,6 +52,21 @@ _FAULT_SHIFT = 4
 SUPPORTED_WORD_SIZES = (4, 8)
 
 
+def program_key_of(instructions: List[Instruction], mode: "AddressingMode",
+                   word_size: int) -> bytes:
+    """Canonical program fingerprint: instruction wire bytes plus the
+    addressing mode and word size — everything that affects how the
+    program compiles and verifies, nothing that changes per hop.
+
+    Shared by :attr:`TPPSection.program_key` (the fast-path cache key)
+    and the static verifier's certificates
+    (:class:`repro.core.verifier.VerifiedProgram`), so a certificate
+    issued for an assembled program matches the in-flight sections built
+    from it.
+    """
+    return encode_program(instructions) + bytes((int(mode), word_size))
+
+
 class AddressingMode(enum.IntEnum):
     """How instructions address packet memory (§3.2.2)."""
 
@@ -152,8 +167,8 @@ class TPPSection:
         """
         key = self._program_key
         if key is None:
-            key = (encode_program(self.instructions)
-                   + bytes((int(self.mode), self.word_size)))
+            key = program_key_of(self.instructions, self.mode,
+                                 self.word_size)
             self._program_key = key
         return key
 

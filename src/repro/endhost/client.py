@@ -45,7 +45,10 @@ from typing import Callable, Dict, List, Optional
 
 from repro.core.assembler import AssembledProgram
 from repro.core.exceptions import FaultCode
+from repro.core.memory_map import MemoryMap
+from repro.core.tcpu import DEFAULT_MAX_INSTRUCTIONS
 from repro.core.tpp import TPPSection
+from repro.core.verifier import VerificationError, verify_program
 from repro.errors import ReproError
 from repro.net.host import Host
 from repro.net.packet import ETHERTYPE_TPP, Datagram, EthernetFrame
@@ -62,6 +65,17 @@ SEQ_SPACE = 256
 #: How many completed (answered or timed-out) requests to remember for
 #: classifying stragglers as duplicate/late rather than orphan.
 _COMPLETED_MEMORY = 2 * SEQ_SPACE
+
+#: Bounded memo of per-program verification verdicts (an endpoint sends
+#: the same few programs over and over; re-verifying per probe would put
+#: the whole static analysis on the send hot path).
+_ADMISSION_CACHE_SIZE = 64
+
+#: Endpoint admission modes (the `Millions of Little Minions` end-host
+#: agent responsibility): ``off`` skips verification, ``warn`` verifies
+#: and counts but still sends, ``enforce`` refuses to inject a program
+#: with error-severity diagnostics.
+VERIFY_MODES = ("off", "warn", "enforce")
 
 #: Smoothing for the endpoint's echo-RTT estimate (TCP's srtt, but a
 #: faster gain: probes fire every few ms, so the estimate should track
@@ -235,10 +249,24 @@ class TPPEndpoint:
 
     def __init__(self, host: Host, default_dst_mac: Optional[int] = None,
                  echo_probes: bool = True,
-                 retry_policy: Optional[RetryPolicy] = None) -> None:
+                 retry_policy: Optional[RetryPolicy] = None,
+                 verify_mode: str = "off",
+                 verify_memory_map: Optional[MemoryMap] = None,
+                 verify_max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+                 verify_max_hops: Optional[int] = None) -> None:
+        if verify_mode not in VERIFY_MODES:
+            raise ValueError(
+                f"verify_mode must be one of {VERIFY_MODES}, "
+                f"got {verify_mode!r}")
         self.host = host
         self.default_dst_mac = default_dst_mac
         self.echo_probes = echo_probes
+        #: Static-verification admission mode (see :data:`VERIFY_MODES`).
+        self.verify_mode = verify_mode
+        self.verify_memory_map = verify_memory_map
+        self.verify_max_instructions = verify_max_instructions
+        self.verify_max_hops = verify_max_hops
+        self._admissions: "OrderedDict[tuple, object]" = OrderedDict()
         #: Default policy for probes sent without an explicit one.
         #: ``None`` preserves the historical behaviour: no deadline, the
         #: request waits forever (fine on lossless topologies).
@@ -268,6 +296,11 @@ class TPPEndpoint:
         self.orphan_responses = 0
         self.duplicate_responses = 0
         self.late_responses = 0
+        #: Sends refused by enforce-mode verification.
+        self.probes_rejected = 0
+        #: Sends that carried a program with error diagnostics anyway
+        #: (warn mode).
+        self.probes_warned = 0
         #: Smoothed echo RTT (ns); 0 until the first echo is matched.
         #: Adaptive policies (``rtt_multiplier``) scale deadlines by it.
         self.rtt_ewma_ns = 0.0
@@ -277,6 +310,56 @@ class TPPEndpoint:
     def pending_count(self) -> int:
         """Outstanding probes awaiting an echo (bounded by ``SEQ_SPACE``)."""
         return len(self._pending)
+
+    # ------------------------------------------------------------------ #
+    # Admission (static verification)
+    # ------------------------------------------------------------------ #
+
+    def admit(self, program: AssembledProgram):
+        """Statically verify a program against this endpoint's settings.
+
+        Returns the :class:`~repro.core.verifier.VerificationResult`
+        (memoized per program fingerprint + memory geometry, so probing
+        loops pay for the analysis once).  Does not apply the admission
+        mode — :meth:`send` does; call this directly to inspect
+        diagnostics or obtain the fast-path certificate.
+        """
+        key = (self._program_fingerprint(program),
+               len(program.initial_memory), program.perhop_len_bytes,
+               getattr(program, "hops", None))
+        cached = self._admissions.get(key)
+        if cached is not None:
+            self._admissions.move_to_end(key)
+            return cached
+        result = verify_program(
+            program, memory_map=self.verify_memory_map,
+            max_instructions=self.verify_max_instructions,
+            max_hops=self.verify_max_hops)
+        self._admissions[key] = result
+        while len(self._admissions) > _ADMISSION_CACHE_SIZE:
+            self._admissions.popitem(last=False)
+        return result
+
+    @staticmethod
+    def _program_fingerprint(program: AssembledProgram) -> bytes:
+        from repro.core.tpp import program_key_of
+        key = program._program_key
+        if key is None:
+            key = program_key_of(program.instructions, program.mode,
+                                 program.word_size)
+        return key
+
+    def _gate(self, program: AssembledProgram) -> None:
+        """Apply the admission mode before a transmission."""
+        if self.verify_mode == "off":
+            return
+        result = self.admit(program)
+        if result.ok:
+            return
+        if self.verify_mode == "enforce":
+            self.probes_rejected += 1
+            raise VerificationError(result)
+        self.probes_warned += 1
 
     # ------------------------------------------------------------------ #
     # Sending
@@ -298,6 +381,7 @@ class TPPEndpoint:
             dst_mac = self.default_dst_mac
         if dst_mac is None:
             raise ValueError("no destination MAC for TPP probe")
+        self._gate(program)
         policy = (retry_policy if retry_policy is not None
                   else self.retry_policy)
         record = self._register(program, dst_mac, payload, task_id,
@@ -330,6 +414,7 @@ class TPPEndpoint:
         comes back.  ``dst_mac`` (the intended receiver) is optional but
         enables response matching and standalone retransmission on loss.
         """
+        self._gate(program)
         policy = (retry_policy if retry_policy is not None
                   else self.retry_policy)
         record = self._register(program, dst_mac, None, task_id,

@@ -60,6 +60,11 @@ class PeriodicProber:
         if max_outstanding < 1:
             raise ValueError(
                 f"max_outstanding must be >= 1: {max_outstanding}")
+        # Fail construction, not every tick: an enforcing endpoint would
+        # reject this program on each _fire() anyway, so surface the
+        # verifier's diagnostics where the experiment is being built.
+        if getattr(endpoint, "verify_mode", "off") == "enforce":
+            endpoint.admit(program).raise_on_error()
         self.endpoint = endpoint
         self.program = program
         self.interval_ns = interval_ns

@@ -3,20 +3,30 @@
 Subcommands::
 
     assemble <file|->   compile assembly; print wire bytes and a size
-                        breakdown (--symbols NAME=VALUE, --hops N)
+                        breakdown (--symbols NAME=VALUE, --hops N);
+                        --lint also runs the static verifier and fails
+                        on errors
     disassemble <hex>   decode a hex-encoded TPP section back to assembly
+    lint <file|->       statically verify assembly without emitting wire
+                        bytes; prints TPP0xx diagnostics, exit 1 on
+                        errors (--strict: warnings too)
     memmap              print the network-wide memory map (Table 2's
                         namespaces with addresses and writability)
+
+All subcommands accept ``--json`` for machine-readable output with the
+same exit codes, so the tool drops into CI pipelines directly.
 
 Examples::
 
     echo 'PUSH [Queue:QueueSize]' | python -m repro.tools.tppasm assemble -
+    python -m repro.tools.tppasm lint probe.tpp --max-hops 8
     python -m repro.tools.tppasm memmap | grep Queue
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -24,6 +34,7 @@ from repro.core.assembler import assemble
 from repro.core.disassembler import format_tpp
 from repro.core.exceptions import AssemblerError, TPPEncodingError
 from repro.core.memory_map import MemoryMap
+from repro.core.tcpu import DEFAULT_MAX_INSTRUCTIONS
 from repro.core.tpp import TPPSection
 
 
@@ -37,32 +48,65 @@ def _parse_symbols(pairs: List[str]) -> dict:
     return symbols
 
 
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
 def cmd_assemble(args: argparse.Namespace) -> int:
-    if args.source == "-":
-        source = sys.stdin.read()
-    else:
-        with open(args.source) as handle:
-            source = handle.read()
     try:
+        source = _read_source(args.source)
         program = assemble(source, symbols=_parse_symbols(args.symbols),
                            hops=args.hops)
-    except AssemblerError as error:
-        print(f"assembly error: {error}", file=sys.stderr)
+    except OSError as error:
+        print(f"cannot read {args.source}: {error}", file=sys.stderr)
         return 1
+    except AssemblerError as error:
+        if args.json:
+            print(json.dumps({"ok": False,
+                              "error": f"assembly error: {error}"}))
+        else:
+            print(f"assembly error: {error}", file=sys.stderr)
+        return 1
+    lint_result = None
+    if args.lint:
+        lint_result = program.verify(memory_map=MemoryMap.standard())
     tpp = program.build()
     encoded = tpp.encode()
-    print(f"instructions: {program.n_instructions} "
-          f"({program.instruction_bytes} bytes)")
-    print(f"packet memory: {program.memory_bytes} bytes "
-          f"({program.memory_words} words + "
-          f"{program.memory_bytes // program.word_size - program.memory_words}"
-          f" literal-pool words)")
-    print(f"per-hop footprint: {program.perhop_len_bytes} bytes")
-    print(f"total TPP section: {len(encoded)} bytes")
-    print("wire bytes:")
-    for offset in range(0, len(encoded), 16):
-        chunk = encoded[offset:offset + 16]
-        print(f"  {offset:04x}: {chunk.hex(' ')}")
+    if args.json:
+        report = {
+            "ok": lint_result.ok if lint_result is not None else True,
+            "instructions": program.n_instructions,
+            "instruction_bytes": program.instruction_bytes,
+            "memory_bytes": program.memory_bytes,
+            "perhop_len_bytes": program.perhop_len_bytes,
+            "section_bytes": len(encoded),
+            "wire_hex": encoded.hex(),
+        }
+        if lint_result is not None:
+            report["lint"] = lint_result.to_dict()
+        print(json.dumps(report, indent=2))
+    else:
+        pool_words = (program.memory_bytes // program.word_size
+                      - program.memory_words)
+        print(f"instructions: {program.n_instructions} "
+              f"({program.instruction_bytes} bytes)")
+        print(f"packet memory: {program.memory_bytes} bytes "
+              f"({program.memory_words} words + {pool_words}"
+              f" literal-pool words)")
+        print(f"per-hop footprint: {program.perhop_len_bytes} bytes")
+        print(f"total TPP section: {len(encoded)} bytes")
+        print("wire bytes:")
+        for offset in range(0, len(encoded), 16):
+            chunk = encoded[offset:offset + 16]
+            print(f"  {offset:04x}: {chunk.hex(' ')}")
+        if lint_result is not None:
+            source_name = "" if args.source == "-" else args.source
+            print(lint_result.format(source_name))
+    if lint_result is not None and not lint_result.ok:
+        return 1
     return 0
 
 
@@ -71,9 +115,59 @@ def cmd_disassemble(args: argparse.Namespace) -> int:
         raw = bytes.fromhex(args.hexbytes.replace(" ", ""))
         tpp = TPPSection.decode(raw)
     except (ValueError, TPPEncodingError) as error:
-        print(f"decode error: {error}", file=sys.stderr)
+        if args.json:
+            print(json.dumps({"ok": False,
+                              "error": f"decode error: {error}"}))
+        else:
+            print(f"decode error: {error}", file=sys.stderr)
         return 1
-    print(format_tpp(tpp))
+    if args.json:
+        print(json.dumps({
+            "ok": True,
+            "task_id": tpp.task_id,
+            "mode": tpp.mode.name.lower(),
+            "word_size": tpp.word_size,
+            "hop_or_sp": tpp.hop_or_sp,
+            "n_instructions": len(tpp.instructions),
+            "memory_bytes": len(tpp.memory),
+            "assembly": format_tpp(tpp),
+        }, indent=2))
+    else:
+        print(format_tpp(tpp))
+    return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Statically verify a program; the CI-facing entry point."""
+    try:
+        source = _read_source(args.source)
+        program = assemble(source, symbols=_parse_symbols(args.symbols),
+                           hops=args.hops)
+    except OSError as error:
+        print(f"cannot read {args.source}: {error}", file=sys.stderr)
+        return 1
+    except AssemblerError as error:
+        # An unparseable program is an un-lintable program: report the
+        # assembler's complaint in the same shapes lint output uses.
+        if args.json:
+            print(json.dumps({"ok": False,
+                              "error": f"assembly error: {error}"}))
+        else:
+            print(f"assembly error: {error}", file=sys.stderr)
+        return 1
+    result = program.verify(
+        memory_map=MemoryMap.standard(),
+        max_instructions=args.max_instructions,
+        max_hops=args.max_hops)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        source_name = "" if args.source == "-" else args.source
+        print(result.format(source_name))
+    if not result.ok:
+        return 1
+    if args.strict and result.warnings:
+        return 1
     return 0
 
 
@@ -91,6 +185,23 @@ def cmd_memmap(args: argparse.Namespace) -> int:
         rows.append((vaddr, name, "rw" if descriptor.writable else "ro",
                      descriptor.description))
     rows.sort()
+    if args.json:
+        print(json.dumps({
+            "entries": [
+                {"vaddr": vaddr, "name": name, "access": access,
+                 "description": description}
+                for vaddr, name, access, description in rows
+            ],
+            "ranges": [
+                {"vaddr": 0xC100, "name": "Link:Reg0..Reg15",
+                 "access": "rw",
+                 "description": "per-port scratch registers"},
+                {"vaddr": 0xD000, "name": "Sram:Word0..Word1023",
+                 "access": "rw",
+                 "description": "per-switch scratch SRAM"},
+            ],
+        }, indent=2))
+        return 0
     print(f"{'vaddr':8} {'access':6} name")
     for vaddr, name, access, description in rows:
         print(f"{vaddr:#06x}  {access:6} {name:40} {description}")
@@ -114,15 +225,45 @@ def build_parser() -> argparse.ArgumentParser:
                               help="values for $symbols in the source")
     assemble_cmd.add_argument("--hops", type=int, default=8,
                               help="hops of packet memory to preallocate")
+    assemble_cmd.add_argument("--lint", action="store_true",
+                              help="also run the static verifier; "
+                                   "exit 1 on verification errors")
+    assemble_cmd.add_argument("--json", action="store_true",
+                              help="machine-readable output")
     assemble_cmd.set_defaults(func=cmd_assemble)
 
     disassemble_cmd = commands.add_parser(
         "disassemble", help="decode a hex TPP section")
     disassemble_cmd.add_argument("hexbytes")
+    disassemble_cmd.add_argument("--json", action="store_true",
+                                 help="machine-readable output")
     disassemble_cmd.set_defaults(func=cmd_disassemble)
+
+    lint_cmd = commands.add_parser(
+        "lint", help="statically verify TPP assembly (no wire output)")
+    lint_cmd.add_argument("source", help="source file, or - for stdin")
+    lint_cmd.add_argument("--symbols", nargs="*", default=[],
+                          metavar="NAME=VALUE",
+                          help="values for $symbols in the source")
+    lint_cmd.add_argument("--hops", type=int, default=8,
+                          help="hops of packet memory to preallocate")
+    lint_cmd.add_argument("--max-instructions", type=int,
+                          default=DEFAULT_MAX_INSTRUCTIONS,
+                          help="per-switch instruction limit to verify "
+                               "against")
+    lint_cmd.add_argument("--max-hops", type=int, default=None,
+                          help="hop budget to prove the program safe for "
+                               "(default: the --hops preallocation)")
+    lint_cmd.add_argument("--strict", action="store_true",
+                          help="exit 1 on warnings too")
+    lint_cmd.add_argument("--json", action="store_true",
+                          help="machine-readable output")
+    lint_cmd.set_defaults(func=cmd_lint)
 
     memmap_cmd = commands.add_parser(
         "memmap", help="print the unified memory map")
+    memmap_cmd.add_argument("--json", action="store_true",
+                            help="machine-readable output")
     memmap_cmd.set_defaults(func=cmd_memmap)
     return parser
 

@@ -175,3 +175,121 @@ class TestTaskQuotaPolicy:
     def test_bad_default_action_rejected(self):
         with pytest.raises(ValueError):
             TaskQuotaPolicy(default_action="execute")
+
+
+class TestVerifierPolicy:
+    GOOD = "PUSH [Switch:SwitchID]"
+    BAD = "POP [Sram:Word0]"  # underflows immediately
+
+    def wire(self, net, action="strip"):
+        from repro.control.security import VerifierPolicy
+        policy = VerifierPolicy(untrusted_action=action)
+        in_port = [local for local, peer, _ in net.adjacency()["sw0"]
+                   if peer == "h0"][0]
+        policy.mark_untrusted("sw0", in_port)
+        net.switch("sw0").tpp_policy = policy
+        return policy
+
+    def test_invalid_action_rejected(self):
+        from repro.control.security import VerifierPolicy
+        with pytest.raises(ValueError):
+            VerifierPolicy(untrusted_action="execute")
+
+    def test_safe_program_executes(self, single_switch_net):
+        net = single_switch_net
+        policy = self.wire(net)
+        results = []
+        h0, h1 = net.host("h0"), net.host("h1")
+        TPPEndpoint(h0).send(assemble(self.GOOD), dst_mac=h1.mac,
+                             on_response=results.append)
+        TPPEndpoint(h1)
+        net.run(until_seconds=0.01)
+        assert results[0].hops() == 1
+        assert policy.tpps_admitted >= 1
+        assert policy.tpps_rejected == 0
+
+    def test_unsafe_program_stripped(self, single_switch_net):
+        net = single_switch_net
+        policy = self.wire(net)
+        switch = net.switch("sw0")
+        results = []
+        h0, h1 = net.host("h0"), net.host("h1")
+        TPPEndpoint(h0).send(assemble(self.BAD), dst_mac=h1.mac,
+                             on_response=results.append)
+        TPPEndpoint(h1)
+        net.run(until_seconds=0.01)
+        assert results == []
+        assert policy.tpps_rejected == 1
+        assert switch.tpps_stripped == 1
+        assert switch.tcpu.tpps_executed == 0
+
+    def test_unsafe_program_dropped(self, single_switch_net):
+        net = single_switch_net
+        policy = self.wire(net, action="drop")
+        switch = net.switch("sw0")
+        h0, h1 = net.host("h0"), net.host("h1")
+        got = []
+        h1.on_udp_port(9, lambda d, f: got.append(d))
+        inner = Datagram(h0.ip, h1.ip, 1, 9, RawPayload(50))
+        TPPEndpoint(h0).send(assemble(self.BAD), dst_mac=h1.mac,
+                             payload=inner)
+        net.run(until_seconds=0.01)
+        assert got == []
+        assert switch.tpps_dropped == 1
+
+    def test_trusted_port_skips_verification(self, single_switch_net):
+        from repro.control.security import VerifierPolicy
+        net = single_switch_net
+        policy = VerifierPolicy()  # no ports marked untrusted
+        net.switch("sw0").tpp_policy = policy
+        results = []
+        h0, h1 = net.host("h0"), net.host("h1")
+        # Even the bad program executes (and faults at runtime): the
+        # policy only verifies untrusted ingress.
+        TPPEndpoint(h0).send(assemble(self.BAD), dst_mac=h1.mac,
+                             on_response=results.append)
+        TPPEndpoint(h1)
+        net.run(until_seconds=0.01)
+        assert policy.tpps_verified == 0
+        assert len(results) == 1
+
+    def test_verdicts_cached_per_program(self, single_switch_net):
+        net = single_switch_net
+        policy = self.wire(net)
+        h0, h1 = net.host("h0"), net.host("h1")
+        client, _ = TPPEndpoint(h0), TPPEndpoint(h1)
+        program = assemble(self.GOOD)
+        for _ in range(4):
+            client.send(program, dst_mac=h1.mac)
+        net.run(until_seconds=0.01)
+        assert policy.tpps_admitted == 4
+        assert policy.tpps_verified == 1  # one analysis, memoized
+
+    def test_trust_on_admit_feeds_verified_fastpath(self,
+                                                    single_switch_net):
+        net = single_switch_net
+        policy = self.wire(net)
+        switch = net.switch("sw0")
+        h0, h1 = net.host("h0"), net.host("h1")
+        TPPEndpoint(h0).send(assemble(self.GOOD), dst_mac=h1.mac)
+        TPPEndpoint(h1)
+        net.run(until_seconds=0.01)
+        assert switch.tcpu.certificates == 1
+        if switch.tcpu.compile_enabled:
+            assert switch.tcpu.verified_executions >= 1
+
+    def test_trust_on_admit_disabled(self, single_switch_net):
+        from repro.control.security import VerifierPolicy
+        net = single_switch_net
+        policy = VerifierPolicy(trust_on_admit=False)
+        in_port = [local for local, peer, _ in net.adjacency()["sw0"]
+                   if peer == "h0"][0]
+        policy.mark_untrusted("sw0", in_port)
+        switch = net.switch("sw0")
+        switch.tpp_policy = policy
+        h0, h1 = net.host("h0"), net.host("h1")
+        TPPEndpoint(h0).send(assemble(self.GOOD), dst_mac=h1.mac)
+        TPPEndpoint(h1)
+        net.run(until_seconds=0.01)
+        assert switch.tcpu.certificates == 0
+        assert switch.tcpu.verified_executions == 0

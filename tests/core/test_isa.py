@@ -89,3 +89,23 @@ class TestOpcodeProperties:
         instruction = Instruction(Opcode.NOP)
         with pytest.raises(AttributeError):
             instruction.addr = 5
+
+
+class TestOpcodeValidation:
+    """Regression: ``Instruction`` must validate its opcode at
+    construction, not let an arbitrary int ride to the wire and explode
+    only at decode time on the far side of the network."""
+
+    def test_plain_int_opcode_coerced_to_enum(self):
+        instruction = Instruction(0x03, 0xB000, 0)
+        assert instruction.opcode is Opcode.PUSH
+        assert instruction.encode() == Instruction(Opcode.PUSH,
+                                                   0xB000, 0).encode()
+
+    def test_unknown_int_opcode_rejected(self):
+        with pytest.raises(TPPEncodingError):
+            Instruction(0x99, 0, 0)
+
+    def test_unknown_opcode_never_reaches_the_wire(self):
+        with pytest.raises(TPPEncodingError):
+            encode_program([Instruction(0xFE, 0, 0)])

@@ -1,0 +1,325 @@
+"""Differential proof: verified (check-elided) fast path ≡ interpreter.
+
+Three-way equivalence for certified programs: a TCPU holding the
+verifier's certificate (elided closures), a plain compiled TCPU, and the
+reference interpreter must produce bit-identical observables — reports,
+packet memory, flags, hop/SP counter, and the full wire encoding.  Also
+covers the per-execution guard: sections whose geometry or counter fall
+outside the certificate silently use the fully-checked closures and
+fault exactly like the interpreter.
+"""
+
+import random
+
+from repro.asic.metadata import PacketMetadata
+from repro.core.assembler import assemble
+from repro.core.exceptions import FaultCode
+from repro.core.memory_map import MemoryMap, SRAM_WORDS
+from repro.core.mmu import MMU, ExecutionContext
+from repro.core.tcpu import TCPU
+from repro.core.verifier import verify_program
+
+_MAP = MemoryMap.standard()
+
+
+class FakeQueue:
+    def __init__(self, occupancy=500):
+        self.occupancy_bytes = occupancy
+
+
+class FakePort:
+    def __init__(self, index=0):
+        self.index = index
+        self.queue = FakeQueue()
+
+
+def make_mmu(clock=123456):
+    mmu = MMU(name="vdiff")
+    mmu.bind_reader("Switch:SwitchID", lambda ctx: 7)
+    mmu.bind_reader("Switch:ClockLo", lambda ctx: clock)
+    mmu.bind_reader("Queue:QueueSize",
+                    lambda ctx: ctx.queue.occupancy_bytes)
+    return mmu
+
+
+def make_ctx(task_id=0):
+    return ExecutionContext(metadata=PacketMetadata(),
+                            egress_port=FakePort(), time_ns=1000,
+                            task_id=task_id)
+
+
+def report_tuple(report):
+    return (report.executed, report.skipped, report.fault,
+            report.cexec_disabled_at, report.cycles,
+            list(report.switch_writes))
+
+
+def run_three_way(source, hops=1, task_id=0, max_instructions=5,
+                  prepare=None, damage=None, **assemble_kwargs):
+    """Run verified, plain-compiled, and interpreted; assert identical.
+
+    Returns the verified run's ``(reports, tpp, mmu, tcpu)``.
+    """
+    program = assemble(source, **assemble_kwargs)
+    result = verify_program(program, memory_map=_MAP,
+                            max_instructions=max_instructions)
+    results = []
+    for flavour in ("verified", "compiled", "interp"):
+        mmu = make_mmu()
+        if prepare is not None:
+            prepare(mmu)
+        tcpu = TCPU(mmu, max_instructions=max_instructions,
+                    compile=(flavour != "interp"))
+        if flavour == "verified" and result.certificate is not None:
+            tcpu.trust(result.certificate)
+        tpp = program.build(task_id=task_id)
+        if damage is not None:
+            damage(tpp)
+            tpp.invalidate_caches()
+        reports = [tcpu.execute(tpp, make_ctx(task_id))
+                   for _ in range(hops)]
+        results.append((reports, tpp, mmu, tcpu))
+
+    verified, compiled, interp = results
+    for other in (compiled, interp):
+        for hop, (fast, ref) in enumerate(zip(verified[0], other[0])):
+            assert report_tuple(fast) == report_tuple(ref), f"hop {hop}"
+        assert verified[1].flags == other[1].flags
+        assert verified[1].hop_or_sp == other[1].hop_or_sp
+        assert bytes(verified[1].memory) == bytes(other[1].memory)
+        assert verified[1].encode() == other[1].encode()
+        sram = [verified[2].peek_sram(i) for i in range(SRAM_WORDS)]
+        assert sram == [other[2].peek_sram(i) for i in range(SRAM_WORDS)]
+    return verified
+
+
+class TestVerifiedEquivalence:
+    def test_push_program(self):
+        reports, _, _, tcpu = run_three_way(
+            "PUSH [Switch:SwitchID]\nPUSH [Queue:QueueSize]", hops=1)
+        assert tcpu.verified_executions == 1
+        assert reports[0].executed == 2
+
+    def test_pop_writeback(self):
+        _, tpp, mmu, tcpu = run_three_way("""
+            PUSH [Queue:QueueSize]
+            POP [Sram:Word3]
+        """)
+        assert tcpu.verified_executions == 1
+        assert mmu.peek_sram(3) == 500
+        assert tpp.sp == 0
+
+    def test_hop_relative_multihop(self):
+        _, tpp, _, tcpu = run_three_way(
+            ".mode hop\n.hops 3\n"
+            "LOAD [Switch:SwitchID], [Packet:Hop[0]]", hops=3)
+        # Guard is [0, 2]: all three hops run verified.
+        assert tcpu.verified_executions == 3
+        assert tpp.hop == 3
+
+    def test_absolute_arithmetic(self):
+        _, tpp, _, tcpu = run_three_way("""
+            .data 0 41
+            ADD [Packet:0], [Switch:SwitchID]
+        """)
+        assert tcpu.verified_executions == 1
+        assert tpp.read_word(0) == 48
+
+    def test_cstore(self):
+        def prepare(mmu):
+            mmu.poke_sram(0, 10)
+
+        _, tpp, mmu, tcpu = run_three_way(
+            "CSTORE [Sram:Word0], 10, 99", prepare=prepare)
+        assert tcpu.verified_executions == 1
+        assert mmu.peek_sram(0) == 99
+
+    def test_cexec_uses_general_loop(self):
+        reports, _, _, tcpu = run_three_way("""
+            CEXEC [Switch:SwitchID], 0xFFFFFFFF, 8
+            PUSH [Queue:QueueSize]
+        """)
+        assert tcpu.verified_executions == 1
+        assert reports[0].cexec_disabled_at == 0
+        assert reports[0].skipped == 1
+
+    def test_word8(self):
+        _, tpp, _, tcpu = run_three_way("""
+            .word 8
+            .data 0 1
+            ADD [Packet:0], [Switch:ClockLo]
+        """)
+        assert tcpu.verified_executions == 1
+        assert tpp.read_word(0) == 123457
+
+
+class TestGuardFallback:
+    """Outside the certificate's interval the checked closures run and
+    fault exactly like the interpreter — proven by the same three-way
+    equivalence, now on fault-producing inputs."""
+
+    def test_hop_past_capacity_falls_back_and_faults(self):
+        # Guard is [0, 0] (one word, one push/hop): hop 1 falls back
+        # to checked closures and stamps STACK_OVERFLOW identically.
+        reports, tpp, _, tcpu = run_three_way(
+            ".hops 1\nPUSH [Switch:SwitchID]", hops=2)
+        assert tcpu.verified_executions == 1
+        assert reports[0].fault == FaultCode.NONE
+        assert reports[1].fault == FaultCode.STACK_OVERFLOW
+        assert tpp.fault == FaultCode.STACK_OVERFLOW
+
+    def test_scrambled_counter_falls_back(self):
+        def damage(tpp):
+            tpp.hop_or_sp = 500
+
+        _, _, _, tcpu = run_three_way(
+            "PUSH [Switch:SwitchID]", damage=damage)
+        assert tcpu.verified_executions == 0
+
+    def test_truncated_memory_falls_back(self):
+        def damage(tpp):
+            del tpp.memory[:]
+
+        reports, _, _, tcpu = run_three_way(
+            "PUSH [Switch:SwitchID]", damage=damage)
+        assert tcpu.verified_executions == 0
+        assert reports[0].fault == FaultCode.STACK_OVERFLOW
+
+    def test_unverified_program_never_elides(self):
+        """No certificate: behavior is the plain compiled path."""
+        mmu = make_mmu()
+        tcpu = TCPU(mmu)
+        program = assemble("POP [Sram:Word0]")
+        tpp = program.build()
+        report = tcpu.execute(tpp, make_ctx())
+        assert tcpu.verified_executions == 0
+        assert report.fault == FaultCode.STACK_UNDERFLOW
+
+    def test_runtime_fault_inside_verified_loop(self):
+        """Statically clean, dynamically faulting: the verified tight
+        loop still stamps MMU faults (unbound statistic) identically."""
+        program = assemble("PUSH [Switch:SwitchID]")
+        result = verify_program(program, memory_map=_MAP)
+        assert result.ok
+        runs = []
+        for compile_flag in (True, False):
+            mmu = MMU(name="unbound")  # SwitchID is *not* bound
+            tcpu = TCPU(mmu, compile=compile_flag)
+            if compile_flag:
+                tcpu.trust(result.certificate)
+            tpp = program.build()
+            runs.append((tcpu.execute(tpp, make_ctx()), tpp, tcpu))
+        (fast_report, fast_tpp, fast_tcpu), (ref_report, ref_tpp, _) = runs
+        assert fast_tcpu.verified_executions == 1
+        assert report_tuple(fast_report) == report_tuple(ref_report)
+        assert fast_report.fault == FaultCode.BAD_ADDRESS
+        assert fast_tpp.encode() == ref_tpp.encode()
+
+
+class TestTrustManagement:
+    """Certificate lifecycle on the TCPU.  ``compile=True`` is forced:
+    these tests target the compiled trust machinery and must hold even
+    when the suite runs under ``REPRO_TPP_FASTPATH=0``."""
+
+    def program_and_cert(self, source="PUSH [Switch:SwitchID]", **kwargs):
+        program = assemble(source, **kwargs)
+        return program, verify_program(
+            program, memory_map=_MAP).certificate
+
+    def test_trust_and_distrust(self):
+        program, cert = self.program_and_cert()
+        tcpu = TCPU(make_mmu(), compile=True)
+        tcpu.trust(cert)
+        assert tcpu.certificates == 1
+        tpp = program.build()
+        tcpu.execute(tpp, make_ctx())
+        assert tcpu.verified_executions == 1
+        tcpu.distrust(cert)
+        assert tcpu.certificates == 0
+        tpp = program.build()
+        tcpu.execute(tpp, make_ctx())
+        assert tcpu.verified_executions == 1  # unchanged
+
+    def test_trust_is_idempotent(self):
+        """Re-pushing the same certificate must not evict the warm
+        compiled entry (admission policies push per arrival)."""
+        program, cert = self.program_and_cert()
+        tcpu = TCPU(make_mmu(), compile=True)
+        tcpu.trust(cert)
+        tpp = program.build()
+        tcpu.execute(tpp, make_ctx())
+        misses_after_first = tcpu.cache.stats()["misses"]
+        for _ in range(5):
+            tcpu.trust(cert)
+            tpp = program.build()
+            tcpu.execute(tpp, make_ctx())
+        assert tcpu.verified_executions == 6
+        assert tcpu.cache.stats()["misses"] == misses_after_first
+
+    def test_certificate_survives_cache_eviction(self):
+        program, cert = self.program_and_cert()
+        tcpu = TCPU(make_mmu(), compile=True)
+        tcpu.trust(cert)
+        tpp = program.build()
+        tcpu.execute(tpp, make_ctx())
+        tcpu.cache.clear()
+        tpp = program.build()
+        tcpu.execute(tpp, make_ctx())
+        assert tcpu.verified_executions == 2
+
+    def test_switch_stats_expose_verified_counters(self):
+        from repro import units
+        from repro.net.routing import install_shortest_path_routes
+        from repro.net.topology import TopologyBuilder
+
+        builder = TopologyBuilder(rate_bps=units.GIGABITS_PER_SEC)
+        net = builder.star(n_hosts=2)
+        install_shortest_path_routes(net)
+        switch = next(iter(net.switches.values()))
+        stats = switch.fastpath_stats()
+        assert stats["certificates"] == 0
+        assert stats["verified_executions"] == 0
+
+
+class TestRandomizedVerifiedSweep:
+    """Seeded fuzz: every program that *passes* verification must run
+    bit-identically on the verified path across its whole hop budget."""
+
+    TEMPLATES = [
+        "PUSH [Switch:SwitchID]",
+        "PUSH [Queue:QueueSize]",
+        "PUSH [Switch:ClockLo]",
+        "POP [Sram:Word{word}]",
+        "LOAD [Switch:ClockLo], [Packet:{slot}]",
+        "STORE [Sram:Word{word}], [Packet:{slot}]",
+        "CSTORE [Sram:Word{word}], {imm}, {imm2}",
+        "CEXEC [Switch:SwitchID], 0xFF, {imm}",
+        "ADD [Packet:{slot}], [Switch:SwitchID]",
+        "XOR [Packet:{slot}], [Switch:ClockLo]",
+        "NOP",
+    ]
+
+    def test_random_verified_programs_agree(self):
+        rng = random.Random(20260807)
+        verified_runs = 0
+        for _ in range(120):
+            n = rng.randint(1, 5)
+            lines = [f".mode {rng.choice(['stack', 'absolute'])}",
+                     f".memory {rng.randint(0, 6)}"]
+            for _ in range(n):
+                template = rng.choice(self.TEMPLATES)
+                lines.append(template.format(
+                    word=rng.randint(0, 5),
+                    slot=rng.randint(0, 7),
+                    imm=rng.randint(0, 255),
+                    imm2=rng.randint(0, 255),
+                ))
+            source = "\n".join(lines)
+            hops = rng.randint(1, 3)
+            program = assemble(source)
+            if not verify_program(program, memory_map=_MAP,
+                                  max_hops=hops).ok:
+                continue
+            _, _, _, tcpu = run_three_way(source, hops=hops)
+            verified_runs += tcpu.verified_executions
+        assert verified_runs > 50  # the sweep actually exercised elision

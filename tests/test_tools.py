@@ -20,7 +20,7 @@ def load_run_bench():
     return module
 
 
-def bench_report(schema="simcore-bench/v2", scale=1.0, **overrides):
+def bench_report(schema="simcore-bench/v3", scale=1.0, **overrides):
     """A synthetic, well-formed bench report for validator/compare tests."""
     workloads = {
         "event_core": {"events_per_sec": 1e6 * scale,
@@ -37,11 +37,18 @@ def bench_report(schema="simcore-bench/v2", scale=1.0, **overrides):
                      "speedup_vs_interpreter": 2.0},
         "tpp_exec_cached": {"tpp_execs_per_sec": 4e5 * scale,
                             "instructions_per_sec": 8e5 * scale},
+        "tpp_exec_verified": {"tpp_execs_per_sec": 5e5 * scale,
+                              "instructions_per_sec": 1e6 * scale,
+                              "unverified_execs_per_sec": 4e5 * scale,
+                              "speedup_vs_unverified": 1.25,
+                              "verified_executions": 200000},
     }
     report = {"schema": schema, "quick": False, "seed": 1,
               "timestamp": 1_800_000_000.0,
               "timestamp_iso": "2027-01-15T08:00:00+00:00",
               "workloads": workloads}
+    if schema in ("simcore-bench/v1", "simcore-bench/v2"):
+        del workloads["tpp_exec_verified"]
     if schema == "simcore-bench/v1":
         del report["timestamp_iso"]
         del workloads["tpp_exec_cached"]
@@ -52,8 +59,19 @@ def bench_report(schema="simcore-bench/v2", scale=1.0, **overrides):
 
 
 class TestRunBenchValidate:
-    def test_v2_report_valid(self):
+    def test_v3_report_valid(self):
         assert load_run_bench().validate(bench_report()) == []
+
+    def test_v2_report_still_valid(self):
+        """v2 baselines (no tpp_exec_verified workload) keep validating."""
+        report = bench_report(schema="simcore-bench/v2")
+        assert load_run_bench().validate(report) == []
+
+    def test_v3_requires_verified_workload(self):
+        report = bench_report()
+        del report["workloads"]["tpp_exec_verified"]
+        problems = load_run_bench().validate(report)
+        assert any("tpp_exec_verified" in p for p in problems)
 
     def test_v1_report_still_valid(self):
         """Historical baselines (schema v1, no timestamp_iso, no cached
@@ -210,3 +228,143 @@ class TestRunExperiment:
     def test_fig2_short(self, capsys):
         assert run_experiment.main(["fig2", "--duration", "1.5"]) == 0
         assert "R(t)/C" in capsys.readouterr().out
+
+
+class TestTppasmLint:
+    GOOD = "PUSH [Queue:QueueSize]\n"
+    BAD = "POP [Sram:Word0]\n"  # stack underflow (TPP003)
+    WARN = "CEXEC [Switch:SwitchID], 0x0F, 0xFF\nNOP\n"  # dead code
+
+    def write(self, tmp_path, text, name="prog.tpp"):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    def test_clean_program_exits_zero(self, tmp_path, capsys):
+        path = self.write(tmp_path, self.GOOD)
+        assert tppasm.main(["lint", path, "--hops", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "verified: 0 error(s)" in out
+
+    def test_bad_program_exits_one_with_code(self, tmp_path, capsys):
+        path = self.write(tmp_path, self.BAD)
+        assert tppasm.main(["lint", path]) == 1
+        out = capsys.readouterr().out
+        assert "TPP003" in out
+        assert f"{path}:1:" in out  # file:line diagnostics
+
+    def test_strict_fails_on_warnings(self, tmp_path, capsys):
+        path = self.write(tmp_path, self.WARN)
+        assert tppasm.main(["lint", path]) == 0
+        capsys.readouterr()
+        assert tppasm.main(["lint", path, "--strict"]) == 1
+        assert "TPP008" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        path = self.write(tmp_path, self.BAD)
+        assert tppasm.main(["lint", path, "--json"]) == 1
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["ok"] is False
+        assert blob["diagnostics"][0]["code"] == "TPP003"
+        assert blob["diagnostics"][0]["fault"] == "STACK_UNDERFLOW"
+
+    def test_json_certificate_on_clean_program(self, tmp_path, capsys):
+        path = self.write(tmp_path, self.GOOD)
+        assert tppasm.main(["lint", path, "--hops", "1",
+                            "--max-hops", "1", "--json"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["ok"] is True
+        assert blob["certificate"]["n_instructions"] == 1
+
+    def test_max_hops_budget_enforced(self, tmp_path, capsys):
+        # One hop of stack, a two-hop budget: provably overflows.
+        path = self.write(tmp_path, self.GOOD)
+        code = tppasm.main(["lint", path, "--hops", "1",
+                            "--max-hops", "2"])
+        assert code == 1
+        assert "TPP002" in capsys.readouterr().out
+
+    def test_max_instructions_flag(self, tmp_path, capsys):
+        path = self.write(tmp_path, "NOP\n" * 4)
+        assert tppasm.main(["lint", path,
+                            "--max-instructions", "3"]) == 1
+        assert "TPP001" in capsys.readouterr().out
+
+    def test_unparseable_program_exits_one(self, tmp_path, capsys):
+        path = self.write(tmp_path, "FROB [Queue:QueueSize]\n")
+        assert tppasm.main(["lint", path]) == 1
+        assert "assembly error" in capsys.readouterr().err
+
+    def test_unparseable_program_json(self, tmp_path, capsys):
+        path = self.write(tmp_path, "FROB [Queue:QueueSize]\n")
+        assert tppasm.main(["lint", path, "--json"]) == 1
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["ok"] is False and "assembly error" in blob["error"]
+
+    def test_missing_file_exits_one(self, tmp_path, capsys):
+        assert tppasm.main(["lint", str(tmp_path / "nope.tpp")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_symbols_flag(self, tmp_path, capsys):
+        path = self.write(tmp_path,
+                          "CEXEC [Switch:SwitchID], 0xFFFFFFFF, $T\n")
+        assert tppasm.main(["lint", path, "--symbols", "T=7"]) == 0
+
+
+class TestTppasmJsonModes:
+    def test_assemble_json(self, tmp_path, capsys):
+        path = tmp_path / "p.tpp"
+        path.write_text("PUSH [Queue:QueueSize]\n")
+        assert tppasm.main(["assemble", str(path), "--hops", "2",
+                            "--json"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["ok"] is True
+        assert blob["instructions"] == 1
+        assert blob["wire_hex"]
+
+    def test_assemble_json_wire_hex_decodes(self, tmp_path, capsys):
+        path = tmp_path / "p.tpp"
+        path.write_text("PUSH [Switch:SwitchID]\n")
+        tppasm.main(["assemble", str(path), "--json"])
+        blob = json.loads(capsys.readouterr().out)
+        assert tppasm.main(["disassemble", blob["wire_hex"],
+                            "--json"]) == 0
+        decoded = json.loads(capsys.readouterr().out)
+        assert decoded["ok"] is True
+        assert "PUSH [Switch:SwitchID]" in decoded["assembly"]
+
+    def test_assemble_lint_gates_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "bad.tpp"
+        path.write_text("POP [Sram:Word0]\n")
+        assert tppasm.main(["assemble", str(path)]) == 0  # no lint: fine
+        capsys.readouterr()
+        assert tppasm.main(["assemble", str(path), "--lint"]) == 1
+        assert "TPP003" in capsys.readouterr().out
+
+    def test_assemble_lint_json(self, tmp_path, capsys):
+        path = tmp_path / "bad.tpp"
+        path.write_text("POP [Sram:Word0]\n")
+        assert tppasm.main(["assemble", str(path), "--lint",
+                            "--json"]) == 1
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["ok"] is False
+        assert blob["lint"]["diagnostics"][0]["code"] == "TPP003"
+
+    def test_assemble_error_json(self, tmp_path, capsys):
+        path = tmp_path / "bad.tpp"
+        path.write_text("FROB x\n")
+        assert tppasm.main(["assemble", str(path), "--json"]) == 1
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["ok"] is False
+
+    def test_disassemble_garbage_json(self, capsys):
+        assert tppasm.main(["disassemble", "deadbeef", "--json"]) == 1
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["ok"] is False and "decode error" in blob["error"]
+
+    def test_memmap_json(self, capsys):
+        assert tppasm.main(["memmap", "--json"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        names = {entry["name"] for entry in blob["entries"]}
+        assert "Queue:QueueSize" in names
+        assert any(r["name"].startswith("Sram:") for r in blob["ranges"])

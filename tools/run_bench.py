@@ -12,7 +12,7 @@ Usage::
 The JSON is the perf trajectory the ROADMAP tracks: every PR can re-run
 this and diff events/sec, packets/sec, and TPP-exec/sec against the
 committed baseline.  ``--validate`` exits non-zero on a malformed file
-(both the v1 and v2 schemas are accepted); ``--compare`` exits non-zero
+(the v1, v2 and v3 schemas are all accepted); ``--compare`` exits non-zero
 when any shared workload's primary metric regressed by more than 10%.
 """
 
@@ -32,7 +32,8 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_simcore.json"
 
-SUPPORTED_SCHEMAS = ("simcore-bench/v1", "simcore-bench/v2")
+SUPPORTED_SCHEMAS = ("simcore-bench/v1", "simcore-bench/v2",
+                     "simcore-bench/v3")
 
 #: metric keys that must exist and be positive finite numbers, per workload.
 REQUIRED_METRICS = {
@@ -50,6 +51,15 @@ REQUIRED_METRICS_V2 = {
     "tpp_exec_cached": ("tpp_execs_per_sec", "instructions_per_sec"),
 }
 
+#: additional requirements introduced by the v3 schema (the verified
+#: fast path; ``verified_executions`` is deliberately not listed — a
+#: --no-fastpath run legitimately reports 0).
+REQUIRED_METRICS_V3 = {
+    "tpp_exec_verified": ("tpp_execs_per_sec", "instructions_per_sec",
+                          "unverified_execs_per_sec",
+                          "speedup_vs_unverified"),
+}
+
 #: headline metric per workload, used by ``--compare``.
 PRIMARY_METRICS = {
     "event_core": "events_per_sec",
@@ -57,6 +67,7 @@ PRIMARY_METRICS = {
     "packet_forwarding": "packet_hops_per_sec_wall",
     "tpp_exec": "tpp_execs_per_sec",
     "tpp_exec_cached": "tpp_execs_per_sec",
+    "tpp_exec_verified": "tpp_execs_per_sec",
 }
 
 #: a workload counts as regressed when new < (1 - tolerance) * old.
@@ -66,9 +77,10 @@ REGRESSION_TOLERANCE = 0.10
 def validate(report: dict) -> list:
     """Return a list of problems (empty when the report is well-formed).
 
-    Accepts both schema generations: v1 files (no timestamp_iso, no
-    ``tpp_exec_cached`` workload) stay valid so historical baselines can
-    still be fed to ``--validate`` and ``--compare``.
+    Accepts every schema generation: v1 files (no timestamp_iso, no
+    ``tpp_exec_cached`` workload) and v2 files (no ``tpp_exec_verified``)
+    stay valid so historical baselines can still be fed to ``--validate``
+    and ``--compare``.
     """
     problems = []
     schema = report.get("schema")
@@ -79,7 +91,7 @@ def validate(report: dict) -> list:
         return problems + ["missing workloads object"]
     required = {name: list(metrics)
                 for name, metrics in REQUIRED_METRICS.items()}
-    if schema == "simcore-bench/v2":
+    if schema in ("simcore-bench/v2", "simcore-bench/v3"):
         for name, metrics in REQUIRED_METRICS_V2.items():
             required.setdefault(name, []).extend(metrics)
         stamp = report.get("timestamp_iso")
@@ -87,6 +99,9 @@ def validate(report: dict) -> list:
             datetime.fromisoformat(stamp)
         except (TypeError, ValueError):
             problems.append(f"timestamp_iso not ISO-8601: {stamp!r}")
+    if schema == "simcore-bench/v3":
+        for name, metrics in REQUIRED_METRICS_V3.items():
+            required.setdefault(name, []).extend(metrics)
     for name, metrics in required.items():
         workload = workloads.get(name)
         if not isinstance(workload, dict):
@@ -154,6 +169,12 @@ def _print_summary(report: dict) -> None:
               f"{cached['tpp_execs_per_sec']:>12,.0f} TPP-execs/s  "
               f"(cache {cached['cache_hits']} hits / "
               f"{cached['cache_misses']} misses)")
+    verified = wl.get("tpp_exec_verified")
+    if verified:
+        print(f"tpp exec (verified): "
+              f"{verified['tpp_execs_per_sec']:>10,.0f} TPP-execs/s  "
+              f"({verified['speedup_vs_unverified']:.2f}x vs unverified, "
+              f"{verified['verified_executions']} guard hits)")
 
 
 def main(argv=None) -> int:
