@@ -1,0 +1,16 @@
+; Deliberately racy per-switch counter: read-modify-write on Sram:Word0
+; with a plain STORE instead of the CSTORE claim protocol.  On its own
+; the program verifies clean (tppasm lint passes) — the race only exists
+; at the *fleet* level: deployed next to guarded_update.tpp (which
+; claims Sram:Word0 via CSTORE) the unconditional STORE can overwrite
+; the claim, and concurrent copies of any other Word0 writer lose
+; increments.  Exercised by the racecheck CI step and the test suite as
+; the canonical TPP021/TPP022 trigger:
+;
+;   python -m repro.tools.tppasm racecheck examples/racy_counter.tpp \
+;       examples/guarded_update.tpp --symbols Target=7   # exit 1
+;
+.memory 1
+.data 0 1
+ADD [Packet:0], [Sram:Word0]
+STORE [Sram:Word0], [Packet:0]

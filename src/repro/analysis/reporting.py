@@ -98,6 +98,53 @@ def fastpath_report(switches: Iterable = ()) -> str:
         rows, title="Execution fast path")
 
 
+def race_report(switches: Iterable = (),
+                policies: Iterable = ()) -> str:
+    """Fleet race-table counters per switch / policy, as aligned tables.
+
+    ``switches`` are :class:`repro.asic.switch.TPPSwitch` instances
+    (their TCPU's certificate fleet); ``policies`` are
+    :class:`repro.control.security.VerifierPolicy` instances (the edge
+    admission fleet).  Each row answers: how many programs share SRAM,
+    how much incremental work the race table did, and whether anything
+    racy got in (or was turned away).
+    """
+    sections: List[str] = []
+    switch_rows = []
+    for switch in switches:
+        tcpu = switch.tcpu
+        report = tcpu.fleet.report()
+        switch_rows.append([
+            switch.name, tcpu.race_mode, len(tcpu.fleet),
+            report.pairs_checked, tcpu.fleet.pair_checks,
+            len(report.errors), len(report.warnings),
+            len(tcpu.race_conflicts), tcpu.certificates_refused,
+            tcpu.certificates_swept,
+        ])
+    if switch_rows:
+        sections.append(format_table(
+            ["switch", "mode", "fleet", "pairs", "incr-checks",
+             "errors", "warnings", "conflicts", "refused", "swept"],
+            switch_rows, title="Certificate race table (TCPU)"))
+    policy_rows = []
+    for index, policy in enumerate(policies):
+        report = policy.fleet.report()
+        policy_rows.append([
+            f"policy{index}", policy.race_mode, len(policy.fleet),
+            report.pairs_checked, policy.fleet.pair_checks,
+            len(report.errors), len(report.warnings),
+            policy.tpps_racy, policy.tpps_rejected,
+        ])
+    if policy_rows:
+        sections.append(format_table(
+            ["policy", "mode", "fleet", "pairs", "incr-checks",
+             "errors", "warnings", "racy", "rejected"],
+            policy_rows, title="Admission race table (VerifierPolicy)"))
+    if not sections:
+        return "(nothing to report)"
+    return "\n\n".join(sections)
+
+
 def ascii_plot(series: TimeSeries, width: int = 72, height: int = 16,
                title: str = "", y_min: Optional[float] = None,
                y_max: Optional[float] = None) -> str:

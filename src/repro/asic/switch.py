@@ -14,18 +14,21 @@ packet before it is copied to switch memory" (§3.3).
 from __future__ import annotations
 
 import zlib
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from repro.asic.metadata import PacketMetadata
 from repro.asic.parser import ParsedHeaders, parse_frame
 from repro.asic.stats import (
     DEFAULT_EWMA_ALPHA,
     DEFAULT_STATS_INTERVAL_NS,
+    PortStats,
     SwitchStats,
 )
 from repro.asic.tables import (
     EntryAllocator,
+    L2Entry,
     L2Table,
+    L3Entry,
     L3Table,
     LookupResult,
     Tcam,
@@ -93,11 +96,12 @@ class TPPSwitch(Device):
     # Control-plane configuration
     # ------------------------------------------------------------------ #
 
-    def install_l2_route(self, dst_mac: int, out_port: int):
+    def install_l2_route(self, dst_mac: int, out_port: int) -> L2Entry:
         """Install/replace the unicast route for a MAC."""
         return self.l2.install(dst_mac, out_port)
 
-    def install_l3_route(self, prefix: int, prefix_len: int, out_port: int):
+    def install_l3_route(self, prefix: int, prefix_len: int,
+                         out_port: int) -> L3Entry:
         """Install an IPv4 prefix route."""
         return self.l3.install(prefix, prefix_len, out_port)
 
@@ -173,9 +177,11 @@ class TPPSwitch(Device):
         )
 
         if headers.tpp is not None:
-            frame = self._handle_tpp(frame, headers.tpp, metadata, in_port)
-            if frame is None:
+            forwarded = self._handle_tpp(frame, headers.tpp, metadata,
+                                         in_port)
+            if forwarded is None:
                 return
+            frame = forwarded
 
         if self.datagram_hooks:
             datagram = self._find_datagram(frame)
@@ -193,7 +199,8 @@ class TPPSwitch(Device):
         self.sim.schedule(self.pipeline_latency_ns, egress.enqueue, frame,
                           metadata.queue_id)
 
-    def _classify_queue(self, headers: ParsedHeaders, result) -> int:
+    def _classify_queue(self, headers: ParsedHeaders,
+                        result: LookupResult) -> int:
         """Egress queue selection: a TCAM set-queue action wins, else the
         packet's IP traffic class, clamped to the port's queue count."""
         queue_id = (result.queue_id if result.queue_id is not None
@@ -201,13 +208,15 @@ class TPPSwitch(Device):
         egress = self.ports[result.out_port]
         return min(queue_id, egress.n_queues - 1)
 
-    def _entry_hits(self, result) -> int:
+    def _entry_hits(self, result: LookupResult) -> int:
         """Match counter of the entry that just forwarded the packet."""
-        table = {"l2": self.l2, "l3": self.l3, "tcam": self.tcam}.get(
-            result.table)
-        if table is None:
-            return 0
-        return table.hit_counts.get(result.entry_id, 0)
+        if result.table == "l2":
+            return self.l2.hit_counts.get(result.entry_id, 0)
+        if result.table == "l3":
+            return self.l3.hit_counts.get(result.entry_id, 0)
+        if result.table == "tcam":
+            return self.tcam.hit_counts.get(result.entry_id, 0)
+        return 0
 
     @staticmethod
     def _find_datagram(frame: EthernetFrame) -> Optional[Datagram]:
@@ -353,7 +362,8 @@ class TPPSwitch(Device):
         return port_stats.avg_queue_for(
             ctx.metadata.queue_id).average_bytes
 
-    def _port_stat(self, extract):
+    def _port_stat(self, extract: Callable[[PortStats], int]
+                   ) -> Callable[[ExecutionContext], int]:
         def reader(ctx: ExecutionContext) -> int:
             if self.stats is None:
                 return 0
@@ -365,4 +375,4 @@ class TPPSwitch(Device):
         channel = getattr(ctx.egress_port, "wireless_channel", None)
         if channel is None:
             return 0
-        return channel.current_snr_milli_db
+        return int(channel.current_snr_milli_db)

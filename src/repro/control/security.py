@@ -20,7 +20,8 @@ from collections import OrderedDict
 from typing import Optional, Set, Tuple
 
 from repro.core.memory_map import MemoryMap
-from repro.core.tcpu import DEFAULT_MAX_INSTRUCTIONS
+from repro.core.racecheck import FleetRaceTable, summarize_certificate
+from repro.core.tcpu import DEFAULT_MAX_INSTRUCTIONS, RACE_MODES
 from repro.core.tpp import TPPSection
 from repro.core.verifier import verify_section
 
@@ -99,27 +100,49 @@ class VerifierPolicy:
     is pushed to the switch's TCPU (:meth:`repro.core.tcpu.TCPU.trust`),
     so edge admission feeds the verified fast path for every downstream
     execution of the same program on that switch.
+
+    Beyond the single-program verdict, the policy keeps a fleet-level
+    race table (:class:`~repro.core.racecheck.FleetRaceTable`) over every
+    admitted certificate: each admission is incrementally checked against
+    the programs already in the fleet for SRAM races
+    (``TPP020``–``TPP023``).  ``race_mode="warn"`` (default) admits racy
+    programs but surfaces the conflicts via :meth:`race_report`;
+    ``"enforce"`` applies ``untrusted_action`` to arrivals whose program
+    races with an admitted one; ``"off"`` skips the fleet pass.  A racy
+    program becomes admissible again once its rival is retired with
+    :meth:`revoke` — the re-analysis runs per arrival.
     """
 
     def __init__(self, untrusted_action: str = "strip",
                  memory_map: Optional[MemoryMap] = None,
                  max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
                  trust_on_admit: bool = True,
-                 cache_size: int = 256) -> None:
+                 cache_size: int = 256,
+                 race_mode: str = "warn") -> None:
         if untrusted_action not in ("strip", "drop", "forward"):
             raise ValueError(
                 f"untrusted_action must be strip, drop or forward, "
                 f"got {untrusted_action!r}")
+        if race_mode not in RACE_MODES:
+            raise ValueError(
+                f"race_mode must be one of {RACE_MODES}, "
+                f"got {race_mode!r}")
         self.untrusted_action = untrusted_action
         self.memory_map = memory_map
         self.max_instructions = max_instructions
         self.trust_on_admit = trust_on_admit
+        self.race_mode = race_mode
         self._untrusted: Set[Tuple[str, int]] = set()
         self._verdicts: "OrderedDict[tuple, object]" = OrderedDict()
         self._cache_size = cache_size
         self.tpps_verified = 0
         self.tpps_admitted = 0
         self.tpps_rejected = 0
+        #: Arrivals whose program participated in an error-severity race
+        #: at decision time (counted per arrival, like the others).
+        self.tpps_racy = 0
+        #: Fleet race table over admitted certificates.
+        self.fleet = FleetRaceTable()
 
     def mark_untrusted(self, switch_name: str, port_index: int) -> None:
         """Verify TPPs arriving on this port before they may execute."""
@@ -138,20 +161,57 @@ class VerifierPolicy:
         if (switch.name, in_port) not in self._untrusted:
             return "execute"
         result = self._verdict(tpp)
-        if result.ok:
-            self.tpps_admitted += 1
-            # Pushed per arrival, not per verdict: one shared policy can
-            # guard several switches, and TCPU.trust is idempotent for a
-            # certificate it already holds.
-            if (self.trust_on_admit and result.certificate is not None
-                    and getattr(switch, "tcpu", None) is not None):
-                switch.tcpu.trust(result.certificate)
-            return "execute"
-        self.tpps_rejected += 1
-        return self.untrusted_action
+        if not result.ok:
+            self.tpps_rejected += 1
+            return self.untrusted_action
+        certificate = result.certificate
+        if certificate is not None and self.race_mode != "off":
+            # Re-evaluated per arrival (admit is idempotent for a fleet
+            # member), so a previously-racy program is re-admitted the
+            # moment its rival has been revoked.
+            diagnostics = self.fleet.admit(
+                summarize_certificate(certificate))
+            if any(d.severity == "error" for d in diagnostics):
+                self.tpps_racy += 1
+                if self.race_mode == "enforce":
+                    self.fleet.revoke(certificate)
+                    self.tpps_rejected += 1
+                    return self.untrusted_action
+        self.tpps_admitted += 1
+        # Pushed per arrival, not per verdict: one shared policy can
+        # guard several switches, and TCPU.trust is idempotent for a
+        # certificate it already holds.
+        if (self.trust_on_admit and certificate is not None
+                and getattr(switch, "tcpu", None) is not None):
+            switch.tcpu.trust(certificate)
+        return "execute"
+
+    def revoke(self, certificate, switch=None) -> bool:
+        """Retire an admitted program from the fleet race table.
+
+        Optionally also distrusts it on a switch's TCPU.  Accepts a
+        certificate (or anything with ``program_key``/``task_id``).
+        Returns whether the program was a fleet member.
+        """
+        removed = self.fleet.revoke(certificate)
+        if switch is not None and getattr(switch, "tcpu", None) is not None:
+            switch.tcpu.distrust(certificate)
+        return removed
+
+    def race_report(self) -> str:
+        """Human-readable fleet race summary (diagnostics + counters)."""
+        report = self.fleet.report()
+        return (f"{report.format()}\n"
+                f"mode {self.race_mode}: {self.tpps_racy} racy "
+                f"arrival(s), {self.fleet.pair_checks} incremental "
+                f"pair check(s)")
 
     def _verdict(self, tpp: TPPSection):
-        key = (tpp.program_key, len(tpp.memory), tpp.perhop_len_bytes)
+        # task_id is part of the key: the verdict and the certificate's
+        # SRAM-isolation facts (TPP007) depend on which task the program
+        # runs as, not just its wire bytes and geometry.
+        key = (tpp.program_key, tpp.task_id, len(tpp.memory),
+               tpp.perhop_len_bytes)
         cached = self._verdicts.get(key)
         if cached is not None:
             self._verdicts.move_to_end(key)

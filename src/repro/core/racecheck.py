@@ -1,0 +1,607 @@
+"""Fleet-level static SRAM race analysis (the cross-program layer).
+
+The single-program verifier (:mod:`repro.core.verifier`) proves that a
+program stays inside its *own* task's SRAM protection domain (``TPP007``),
+but says nothing about two admitted programs of the **same** task hitting
+the same scratch word: the paper's CSTORE is the only claim/coordination
+primitive switches offer, and nothing else serializes concurrent TPPs.
+This module is the first analysis in the repo that reasons about *sets* of
+programs: it extracts, per program, the word-level SRAM read / write /
+CSTORE-claim sets, then intersects them pairwise across a fleet of
+admitted programs to emit stable diagnostics:
+
+========= ======== ======================================================
+code      severity meaning
+========= ======== ======================================================
+``TPP020`` error    write-write race: two programs store into the same
+                    SRAM word unconditionally (no claim protocol) — the
+                    final value is whichever packet executed last, and
+                    read-modify-write updates lose increments
+``TPP021`` warning  read-write race: one program reads a word another
+                    writes — the value observed (and anything derived
+                    from it, including other SRAM words) depends on
+                    packet interleaving
+``TPP022`` error    claim-protocol violation: a word one program claims
+                    through CSTORE is written *unconditionally* by
+                    another, so the claim can be silently overwritten
+``TPP023`` info     claim-coordinated sharing: both programs CSTORE the
+                    same word.  This is the sanctioned §3.2.3 protocol —
+                    first claimer wins — but the winner (and hence the
+                    final value) still depends on arrival order
+========= ======== ======================================================
+
+Exactly one diagnostic is emitted per (pair, word): the most severe
+applicable classification wins (``TPP020`` > ``TPP022`` > ``TPP021`` >
+``TPP023``).  A fleet with an empty diagnostic list is **order
+insensitive**: every program's writes land on words no other program
+touches, and every shared word is read-only, so any interleaving of
+whole-program executions produces bit-identical SRAM (the randomized
+harness in ``tests/props/test_race_harness.py`` holds this as ground
+truth).  Programs of *different* tasks are never paired — cross-task
+access is already a ``TPP007`` admission error and an
+``SRAM_PROTECTION`` runtime fault.
+
+The analysis is may-access: writes behind a CEXEC fence count even when
+the fence could statically never pass, so it can flag pairs that never
+diverge in practice (documented false positives), but a diagnosed-free
+fleet is genuinely race free.
+
+Two consumption modes:
+
+- :func:`check_fleet` — one-shot pairwise pass over a list of
+  :class:`ProgramAccessSummary` (the ``tppasm racecheck`` CLI).
+- :class:`FleetRaceTable` — incremental membership for admission
+  control: :meth:`~FleetRaceTable.admit` re-checks only the pairs that
+  share a word with the newcomer (via a word-level index), and
+  :meth:`~FleetRaceTable.revoke` retires a member and every diagnostic
+  involving it.  The table's report is always identical to a
+  from-scratch :func:`check_fleet` over the current membership
+  (conformance-tested over random admit/revoke sequences).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.core.isa import Instruction, Opcode, SWITCH_WRITING_OPCODES
+from repro.core.memory_map import SRAM_BASE, is_sram
+from repro.core.tpp import AddressingMode, TPPSection, program_key_of
+
+#: Stable race diagnostic codes with their severity.  Kept separate from
+#: the single-program ``TPP0xx`` table in :mod:`repro.core.verifier`:
+#: these name *pairs* of programs, not instructions of one program.
+RACE_CODES: Dict[str, str] = {
+    "TPP020": "error",
+    "TPP021": "warning",
+    "TPP022": "error",
+    "TPP023": "info",
+}
+
+#: Opcodes whose switch operand genuinely *reads* a value an end-host
+#: observes (directly or through arithmetic).  CSTORE also reads its
+#: destination, but that read is part of the claim protocol itself and
+#: is classified as a claim, not a read.
+_SRAM_READING_OPCODES = frozenset({
+    Opcode.PUSH, Opcode.LOAD, Opcode.CEXEC,
+    Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+    Opcode.MIN, Opcode.MAX,
+})
+
+#: Opcodes that store into their switch operand unconditionally.
+_SRAM_PLAIN_WRITING_OPCODES = SWITCH_WRITING_OPCODES - {Opcode.CSTORE}
+
+
+def _index_map(
+        pairs: Iterable[Tuple[int, int]]) -> Dict[int, Tuple[int, ...]]:
+    """Group ``(word, instruction)`` pairs into word → sorted indices."""
+    grouped: Dict[int, List[int]] = {}
+    for word, index in pairs:
+        grouped.setdefault(word, []).append(index)
+    return {word: tuple(sorted(indices))
+            for word, indices in grouped.items()}
+
+
+class ProgramAccessSummary:
+    """Word-level SRAM access sets of one program.
+
+    ``reads`` / ``writes`` / ``claims`` map an absolute SRAM word index
+    to the (sorted) instruction indices performing that access.  The
+    summary is the unit the fleet analysis intersects; it is cheap to
+    build (one linear scan) and cheap to carry inside a
+    :class:`~repro.core.verifier.VerifiedProgram` certificate.
+    """
+
+    __slots__ = ("name", "task_id", "program_key",
+                 "reads", "writes", "claims")
+
+    def __init__(self, name: str, task_id: int, program_key: bytes,
+                 reads: Dict[int, Tuple[int, ...]],
+                 writes: Dict[int, Tuple[int, ...]],
+                 claims: Dict[int, Tuple[int, ...]]) -> None:
+        self.name = name
+        self.task_id = task_id
+        self.program_key = program_key
+        self.reads = reads
+        self.writes = writes
+        self.claims = claims
+
+    @property
+    def key(self) -> Tuple[bytes, int]:
+        """Fleet-membership key: one entry per (program, task) pair."""
+        return (self.program_key, self.task_id)
+
+    @property
+    def words(self) -> Set[int]:
+        """Every SRAM word this program touches, any access kind."""
+        return (set(self.reads) | set(self.writes) | set(self.claims))
+
+    @property
+    def touches_sram(self) -> bool:
+        """Whether the fleet analysis has anything to look at."""
+        return bool(self.reads or self.writes or self.claims)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (``tppasm racecheck --json``)."""
+        def render(table: Dict[int, Tuple[int, ...]]) -> Dict[str, Any]:
+            return {str(word): list(indices)
+                    for word, indices in sorted(table.items())}
+        return {
+            "name": self.name,
+            "task_id": self.task_id,
+            "program_key": self.program_key.hex(),
+            "reads": render(self.reads),
+            "writes": render(self.writes),
+            "claims": render(self.claims),
+        }
+
+
+def collect_sram_accesses(
+        instructions: Sequence[Instruction],
+) -> Tuple[Tuple[Tuple[int, int], ...],
+           Tuple[Tuple[int, int], ...],
+           Tuple[Tuple[int, int], ...]]:
+    """Scan a program for SRAM accesses.
+
+    Returns ``(reads, writes, claims)``, each a tuple of
+    ``(absolute_sram_word, instruction_index)`` pairs — the flat shape
+    embedded into verifier certificates.
+    """
+    reads: List[Tuple[int, int]] = []
+    writes: List[Tuple[int, int]] = []
+    claims: List[Tuple[int, int]] = []
+    for index, instruction in enumerate(instructions):
+        if not is_sram(instruction.addr):
+            continue
+        word = instruction.addr - SRAM_BASE
+        opcode = instruction.opcode
+        if opcode == Opcode.CSTORE:
+            claims.append((word, index))
+        elif opcode in _SRAM_PLAIN_WRITING_OPCODES:
+            writes.append((word, index))
+        elif opcode in _SRAM_READING_OPCODES:
+            reads.append((word, index))
+    return tuple(reads), tuple(writes), tuple(claims)
+
+
+def summarize_instructions(instructions: Sequence[Instruction], *,
+                           task_id: int = 0,
+                           mode: Any = None,
+                           word_size: int = 4,
+                           name: str = "",
+                           program_key: Optional[bytes] = None,
+                           ) -> ProgramAccessSummary:
+    """Build a :class:`ProgramAccessSummary` from decoded instructions."""
+    if program_key is None:
+        program_key = program_key_of(
+            list(instructions),
+            AddressingMode.STACK if mode is None else mode, word_size)
+    reads, writes, claims = collect_sram_accesses(instructions)
+    return ProgramAccessSummary(
+        name=name or f"{program_key.hex()[:12]}/t{task_id}",
+        task_id=task_id,
+        program_key=program_key,
+        reads=_index_map(reads),
+        writes=_index_map(writes),
+        claims=_index_map(claims),
+    )
+
+
+def summarize_section(tpp: TPPSection,
+                      name: str = "") -> ProgramAccessSummary:
+    """Summary of an in-flight (wire-decoded) TPP section."""
+    return summarize_instructions(
+        tpp.instructions, task_id=tpp.task_id, mode=tpp.mode,
+        word_size=tpp.word_size, name=name,
+        program_key=tpp.program_key)
+
+
+def summarize_program(program: Any, task_id: int = 0,
+                      name: str = "") -> ProgramAccessSummary:
+    """Summary of an :class:`~repro.core.assembler.AssembledProgram`."""
+    return summarize_instructions(
+        program.instructions, task_id=task_id, mode=program.mode,
+        word_size=program.word_size, name=name)
+
+
+def summarize_certificate(certificate: Any,
+                          name: str = "") -> ProgramAccessSummary:
+    """Summary reconstructed from a verifier certificate's pinned sets.
+
+    Certificates (:class:`~repro.core.verifier.VerifiedProgram`) embed
+    the flat access tuples so admission layers — notably
+    :meth:`repro.core.tcpu.TCPU.trust` — can race-check a program
+    without ever seeing its instructions.
+    """
+    return ProgramAccessSummary(
+        name=(name or f"{certificate.program_key.hex()[:12]}"
+                      f"/t{certificate.task_id}"),
+        task_id=certificate.task_id,
+        program_key=certificate.program_key,
+        reads=_index_map(certificate.sram_reads),
+        writes=_index_map(certificate.sram_writes),
+        claims=_index_map(certificate.sram_claims),
+    )
+
+
+@dataclass(frozen=True)
+class RaceDiagnostic:
+    """One pairwise finding: two named programs, one SRAM word."""
+
+    code: str                          #: ``TPP020``..``TPP023``
+    severity: str                      #: ``error`` | ``warning`` | ``info``
+    message: str
+    word: int                          #: absolute SRAM word index
+    vaddr: int                         #: ``SRAM_BASE + word``
+    task_id: int
+    program_a: str
+    program_b: str
+    instructions_a: Tuple[int, ...]    #: offending indices in program a
+    instructions_b: Tuple[int, ...]    #: offending indices in program b
+
+    def format(self) -> str:
+        """Human-readable one-liner."""
+        return (f"{self.code} {self.severity}: {self.message} "
+                f"[Sram:Word{self.word} @ {self.vaddr:#06x}, "
+                f"task {self.task_id}; {self.program_a} instr "
+                f"{list(self.instructions_a)} vs {self.program_b} "
+                f"instr {list(self.instructions_b)}]")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "word": self.word,
+            "vaddr": self.vaddr,
+            "task_id": self.task_id,
+            "program_a": self.program_a,
+            "program_b": self.program_b,
+            "instructions_a": list(self.instructions_a),
+            "instructions_b": list(self.instructions_b),
+        }
+
+
+def _sort_key(diagnostic: RaceDiagnostic) -> Tuple:
+    return (diagnostic.task_id, diagnostic.word, diagnostic.code,
+            diagnostic.program_a, diagnostic.program_b)
+
+
+def check_pair(a: ProgramAccessSummary,
+               b: ProgramAccessSummary) -> List[RaceDiagnostic]:
+    """Race diagnostics between two programs (same task only).
+
+    The pair is canonically ordered by ``(name, program_key)`` before
+    classification, so the result is identical no matter which way the
+    caller hands the two summaries in — a requirement for the
+    incremental table to match a from-scratch pass exactly.
+    """
+    if a.task_id != b.task_id:
+        return []  # disjoint protection domains: TPP007's job
+    a, b = sorted((a, b), key=lambda s: (s.name, s.program_key))
+    shared = a.words & b.words
+    diagnostics: List[RaceDiagnostic] = []
+    for word in sorted(shared):
+        finding = _classify_word(a, b, word)
+        if finding is not None:
+            diagnostics.append(finding)
+    return diagnostics
+
+
+def _write_indices(summary: ProgramAccessSummary,
+                   word: int) -> Tuple[int, ...]:
+    """All indices that mutate ``word``: plain stores and CSTORE claims."""
+    return tuple(sorted(summary.writes.get(word, ())
+                        + summary.claims.get(word, ())))
+
+
+def _classify_word(a: ProgramAccessSummary, b: ProgramAccessSummary,
+                   word: int) -> Optional[RaceDiagnostic]:
+    """Most severe applicable classification for one shared word."""
+    write_a, write_b = word in a.writes, word in b.writes
+    claim_a, claim_b = word in a.claims, word in b.claims
+    read_a, read_b = word in a.reads, word in b.reads
+
+    def build(code: str, message: str,
+              indices_a: Tuple[int, ...],
+              indices_b: Tuple[int, ...]) -> RaceDiagnostic:
+        return RaceDiagnostic(
+            code=code, severity=RACE_CODES[code], message=message,
+            word=word, vaddr=SRAM_BASE + word, task_id=a.task_id,
+            program_a=a.name, program_b=b.name,
+            instructions_a=indices_a, instructions_b=indices_b)
+
+    if write_a and write_b:
+        return build(
+            "TPP020",
+            f"write-write race: {a.name} and {b.name} both store to "
+            f"Sram:Word{word} with no CSTORE claim protocol",
+            a.writes[word], b.writes[word])
+    if (claim_a and write_b) or (claim_b and write_a):
+        if claim_a and write_b:
+            claimer, writer = a, b
+            indices_a, indices_b = a.claims[word], b.writes[word]
+        else:
+            claimer, writer = b, a
+            indices_a, indices_b = a.writes[word], b.claims[word]
+        return build(
+            "TPP022",
+            f"claim protocol violated: {claimer.name} claims "
+            f"Sram:Word{word} via CSTORE but {writer.name} writes it "
+            f"unconditionally",
+            indices_a, indices_b)
+    writes_a_any = write_a or claim_a
+    writes_b_any = write_b or claim_b
+    if (writes_a_any and read_b) or (writes_b_any and read_a):
+        if writes_a_any and read_b:
+            writer, reader = a, b
+            indices_a = _write_indices(a, word)
+            indices_b = b.reads[word]
+        else:
+            writer, reader = b, a
+            indices_a = a.reads[word]
+            indices_b = _write_indices(b, word)
+        return build(
+            "TPP021",
+            f"read-write race: {reader.name} reads Sram:Word{word} "
+            f"which {writer.name} writes — torn-read risk, value "
+            f"depends on packet interleaving",
+            indices_a, indices_b)
+    if claim_a and claim_b:
+        return build(
+            "TPP023",
+            f"claim-coordinated sharing: {a.name} and {b.name} both "
+            f"CSTORE Sram:Word{word} — sanctioned protocol, but the "
+            f"winning claim depends on arrival order",
+            a.claims[word], b.claims[word])
+    return None  # read-read sharing is always safe
+
+
+@dataclass
+class FleetRaceReport:
+    """Everything one fleet-wide analysis established."""
+
+    programs: List[str]
+    diagnostics: List[RaceDiagnostic]
+    pairs_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity diagnostics (TPP020/TPP022)."""
+        return not self.errors
+
+    @property
+    def race_free(self) -> bool:
+        """No diagnostics at all: the fleet is provably order
+        insensitive — every interleaving of whole-program executions
+        yields bit-identical final SRAM."""
+        return not self.diagnostics
+
+    @property
+    def errors(self) -> List[RaceDiagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> List[RaceDiagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    def by_code(self) -> Dict[str, int]:
+        """Diagnostic counts keyed by code (stable order)."""
+        counts: Dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            counts[diagnostic.code] = counts.get(diagnostic.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def format(self) -> str:
+        """All diagnostics plus a verdict line, human-readable."""
+        lines = [d.format() for d in self.diagnostics]
+        n_err, n_warn = len(self.errors), len(self.warnings)
+        verdict = ("race-free" if self.race_free
+                   else "racy" if not self.ok else "shared")
+        lines.append(
+            f"{verdict}: {len(self.programs)} program(s), "
+            f"{self.pairs_checked} pair(s) checked, {n_err} error(s), "
+            f"{n_warn} warning(s)")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "ok": self.ok,
+            "race_free": self.race_free,
+            "programs": list(self.programs),
+            "pairs_checked": self.pairs_checked,
+            "by_code": self.by_code(),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+def check_fleet(
+        summaries: Sequence[ProgramAccessSummary]) -> FleetRaceReport:
+    """From-scratch pairwise analysis over a whole fleet.
+
+    The reference semantics the incremental :class:`FleetRaceTable`
+    must match; diagnostics come out in a canonical order so reports
+    are directly comparable.
+    """
+    diagnostics: List[RaceDiagnostic] = []
+    pairs = 0
+    for i in range(len(summaries)):
+        for j in range(i + 1, len(summaries)):
+            pairs += 1
+            diagnostics.extend(check_pair(summaries[i], summaries[j]))
+    diagnostics.sort(key=_sort_key)
+    return FleetRaceReport(
+        programs=[s.name for s in summaries],
+        diagnostics=diagnostics,
+        pairs_checked=pairs)
+
+
+class FleetRaceTable:
+    """Incrementally maintained fleet membership with race diagnostics.
+
+    Admission layers call :meth:`admit` / :meth:`revoke` as programs
+    come and go; the table keeps a word-level index so an admission
+    only re-checks the pairs whose access sets actually intersect the
+    newcomer's — on a fleet of N programs touching disjoint words,
+    admission is O(program size), not O(N).
+    """
+
+    def __init__(self) -> None:
+        self._members: Dict[Tuple[bytes, int], ProgramAccessSummary] = {}
+        # (task_id, word) -> member keys touching that word.
+        self._word_index: Dict[Tuple[int, int],
+                               Set[Tuple[bytes, int]]] = {}
+        # Unordered pair (sorted key tuple) -> its diagnostics.
+        self._pair_diagnostics: Dict[
+            Tuple[Tuple[bytes, int], Tuple[bytes, int]],
+            List[RaceDiagnostic]] = {}
+        #: Pairwise checks actually performed (the incremental-work
+        #: counter the conformance tests compare against a full pass).
+        self.pair_checks = 0
+        #: Admissions that introduced at least one error diagnostic.
+        self.racy_admissions = 0
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._members
+
+    @property
+    def members(self) -> List[ProgramAccessSummary]:
+        """Current membership in admission order."""
+        return list(self._members.values())
+
+    def member(self, key: Tuple[bytes, int]
+               ) -> Optional[ProgramAccessSummary]:
+        """Membership lookup by ``(program_key, task_id)``."""
+        return self._members.get(key)
+
+    def admit(self,
+              summary: ProgramAccessSummary) -> List[RaceDiagnostic]:
+        """Add a program; returns every diagnostic it participates in.
+
+        Idempotent: re-admitting a member returns its current
+        diagnostics without re-running any pair.  Only pairs sharing at
+        least one SRAM word with the newcomer are checked.
+        """
+        key = summary.key
+        if key in self._members:
+            return self.diagnostics_for(key)
+        self._members[key] = summary
+        rivals: Set[Tuple[bytes, int]] = set()
+        for word in summary.words:
+            index_key = (summary.task_id, word)
+            bucket = self._word_index.setdefault(index_key, set())
+            rivals.update(bucket)
+            bucket.add(key)
+        introduced: List[RaceDiagnostic] = []
+        for rival_key in rivals:
+            rival = self._members[rival_key]
+            self.pair_checks += 1
+            findings = check_pair(summary, rival)
+            if findings:
+                self._pair_diagnostics[_pair_key(key, rival_key)] = (
+                    findings)
+                introduced.extend(findings)
+        if any(d.severity == "error" for d in introduced):
+            self.racy_admissions += 1
+        introduced.sort(key=_sort_key)
+        return introduced
+
+    def revoke(self, key_or_summary: Any) -> bool:
+        """Retire a member (and every diagnostic naming it).
+
+        Accepts a summary, a certificate-like object (anything with
+        ``program_key`` and ``task_id``), or a raw
+        ``(program_key, task_id)`` tuple.  Returns whether the member
+        existed.
+        """
+        key = _member_key(key_or_summary)
+        summary = self._members.pop(key, None)
+        if summary is None:
+            return False
+        for word in summary.words:
+            index_key = (summary.task_id, word)
+            bucket = self._word_index.get(index_key)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._word_index[index_key]
+        for pair in [p for p in self._pair_diagnostics if key in p]:
+            del self._pair_diagnostics[pair]
+        return True
+
+    def diagnostics(self) -> List[RaceDiagnostic]:
+        """Every active diagnostic, in canonical order."""
+        collected: List[RaceDiagnostic] = []
+        for findings in self._pair_diagnostics.values():
+            collected.extend(findings)
+        collected.sort(key=_sort_key)
+        return collected
+
+    def diagnostics_for(self,
+                        key_or_summary: Any) -> List[RaceDiagnostic]:
+        """Active diagnostics involving one member."""
+        key = _member_key(key_or_summary)
+        collected: List[RaceDiagnostic] = []
+        for pair, findings in self._pair_diagnostics.items():
+            if key in pair:
+                collected.extend(findings)
+        collected.sort(key=_sort_key)
+        return collected
+
+    def report(self) -> FleetRaceReport:
+        """Snapshot equivalent to ``check_fleet(self.members)``."""
+        members = self.members
+        n = len(members)
+        return FleetRaceReport(
+            programs=[s.name for s in members],
+            diagnostics=self.diagnostics(),
+            pairs_checked=n * (n - 1) // 2)
+
+
+def _member_key(key_or_summary: Any) -> Tuple[bytes, int]:
+    if isinstance(key_or_summary, ProgramAccessSummary):
+        return key_or_summary.key
+    program_key = getattr(key_or_summary, "program_key", None)
+    if program_key is not None:
+        return (program_key, getattr(key_or_summary, "task_id", 0))
+    program_key, task_id = key_or_summary
+    return (program_key, task_id)
+
+
+def _pair_key(a: Tuple[bytes, int], b: Tuple[bytes, int]
+              ) -> Tuple[Tuple[bytes, int], Tuple[bytes, int]]:
+    return (a, b) if a <= b else (b, a)

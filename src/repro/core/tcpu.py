@@ -33,11 +33,21 @@ from repro.core.fastpath import (
 )
 from repro.core.isa import HOP_RELATIVE_OPCODES, Instruction, Opcode
 from repro.core.mmu import MMU, ExecutionContext
+from repro.core.racecheck import (
+    FleetRaceTable,
+    RaceDiagnostic,
+    summarize_certificate,
+)
 from repro.core.tpp import AddressingMode, FLAG_DONE, TPPSection
 
 #: Default per-TPP instruction budget: the paper's "restricting TPPs to
 #: (say) five instructions per-packet requires only 20 bytes".
 DEFAULT_MAX_INSTRUCTIONS = 5
+
+#: Valid ``TCPU(race_mode=...)`` settings: ``off`` skips fleet race
+#: analysis, ``warn`` trusts but records conflicts, ``enforce`` refuses
+#: certificates that introduce an error-severity race.
+RACE_MODES = ("off", "warn", "enforce")
 
 
 def _fastpath_default() -> bool:
@@ -77,8 +87,12 @@ class TCPU:
     def __init__(self, mmu: MMU,
                  max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
                  name: str = "tcpu", compile: Optional[bool] = None,
-                 cache_capacity: int = DEFAULT_PROGRAM_CACHE_CAPACITY
-                 ) -> None:
+                 cache_capacity: int = DEFAULT_PROGRAM_CACHE_CAPACITY,
+                 race_mode: str = "warn") -> None:
+        if race_mode not in RACE_MODES:
+            raise ValueError(
+                f"race_mode must be one of {RACE_MODES}, "
+                f"got {race_mode!r}")
         self.mmu = mmu
         self.max_instructions = max_instructions
         self.name = name
@@ -98,18 +112,32 @@ class TCPU:
         # serves one active task) skip the OrderedDict bookkeeping.
         self._last_key: Optional[bytes] = None
         self._last_entry: Optional[CompiledEntry] = None
-        #: Verifier certificates by program key.  Certificates survive
-        #: MMU layout bumps: the guard facts depend only on the program
-        #: and its memory geometry, never on address bindings.
+        #: Verifier certificates by program key.  Certificates do NOT
+        #: survive MMU layout bumps: their TPP005/TPP007 address facts
+        #: were proven against the bindings in force at verification
+        #: time, so :meth:`_sweep_stale` drops the whole table when
+        #: ``layout_version`` moves (same trigger that already clears
+        #: the compiled-program cache).
         self._verified: dict = {}
         #: Executions that ran the check-elided verified closures.
         self.verified_executions = 0
+        #: Fleet race policy for :meth:`trust` (see :data:`RACE_MODES`).
+        self.race_mode = race_mode
+        #: Incremental race table over the trusted certificates' SRAM
+        #: access sets (:mod:`repro.core.racecheck`).
+        self.fleet = FleetRaceTable()
+        #: Race diagnostics recorded by ``warn``-mode admissions.
+        self.race_conflicts: List[RaceDiagnostic] = []
+        #: Certificates ``enforce`` mode turned away.
+        self.certificates_refused = 0
+        #: Certificates dropped by MMU layout-version sweeps.
+        self.certificates_swept = 0
 
     # ------------------------------------------------------------------ #
     # Certificates
     # ------------------------------------------------------------------ #
 
-    def trust(self, certificate) -> None:
+    def trust(self, certificate) -> bool:
         """Register a :class:`~repro.core.verifier.VerifiedProgram`.
 
         Future executions of the fingerprinted program whose section
@@ -117,22 +145,50 @@ class TCPU:
         per-instruction bounds/stack checks elided.  Re-trusting a key
         replaces the previous certificate.  Safe unconditionally: a
         section failing the guard silently uses the checked closures.
+
+        Unless ``race_mode`` is ``off``, the certificate's SRAM access
+        sets are admitted to the fleet race table first: in ``enforce``
+        mode a certificate introducing an error-severity race
+        (``TPP020``/``TPP022``) against an already-trusted one is
+        refused (returns ``False``); in ``warn`` mode it is trusted and
+        the conflict lands in :attr:`race_conflicts`.  Returns whether
+        the certificate is trusted afterwards.
         """
+        self._sweep_stale()
         key = certificate.program_key
-        if self._verified.get(key) is certificate:
-            return  # idempotent: keep the compiled entry warm
+        previous = self._verified.get(key)
+        if previous is certificate:
+            return True  # idempotent: keep the compiled entry warm
+        if self.race_mode != "off":
+            if previous is not None:
+                self.fleet.revoke(previous)
+            summary = summarize_certificate(certificate)
+            introduced = self.fleet.admit(summary)
+            if any(d.severity == "error" for d in introduced):
+                if self.race_mode == "enforce":
+                    self.fleet.revoke(summary)
+                    if previous is not None:
+                        # Restore the certificate we displaced above.
+                        self.fleet.admit(summarize_certificate(previous))
+                    self.certificates_refused += 1
+                    return False
+            if introduced:
+                self.race_conflicts.extend(introduced)
         self._verified[key] = certificate
         # Force a recompile so the verified closures get attached.
         self.cache.discard(key)
         if self._last_key == key:
             self._last_key = None
             self._last_entry = None
+        return True
 
     def distrust(self, certificate_or_key) -> None:
         """Drop a certificate (program key or certificate object)."""
         key = getattr(certificate_or_key, "program_key",
                       certificate_or_key)
-        if self._verified.pop(key, None) is not None:
+        previous = self._verified.pop(key, None)
+        if previous is not None:
+            self.fleet.revoke(previous)
             self.cache.discard(key)
             if self._last_key == key:
                 self._last_key = None
@@ -141,7 +197,32 @@ class TCPU:
     @property
     def certificates(self) -> int:
         """Number of trusted program certificates."""
+        self._sweep_stale()
         return len(self._verified)
+
+    def _sweep_stale(self) -> None:
+        """Drop certificates (and compiled programs) proven against a
+        superseded MMU layout.
+
+        ``trust`` certificates pin address-resolution facts (TPP005) and
+        SRAM task ownership (TPP007) that a ``bind_reader``/
+        ``bind_writer`` re-binding can silently change, so a
+        ``layout_version`` bump invalidates the certificate table the
+        same way it already invalidates the compiled-program cache.
+        Callers re-admit programs through their admission path, which
+        re-verifies against the live layout.
+        """
+        version = self.mmu.layout_version
+        if version == self._cache_layout_version:
+            return
+        self.cache.clear()
+        self._cache_layout_version = version
+        self._last_key = None
+        self._last_entry = None
+        if self._verified:
+            self.certificates_swept += len(self._verified)
+            self._verified.clear()
+        self.fleet = FleetRaceTable()
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -259,15 +340,12 @@ class TCPU:
         An MMU layout change (re-bound reader) invalidates every compiled
         program wholesale: the closures hold the old accessors, so the
         cache is cleared and programs recompile on next execution.
-        Certificates survive the bump (they do not depend on bindings),
-        so recompiled entries re-attach their verified closures.
+        Certificates are swept by the same bump (:meth:`_sweep_stale`):
+        their address facts were proven against the old bindings, so a
+        recompiled entry runs fully checked until re-admission.
         """
         mmu = self.mmu
-        version = mmu.layout_version
-        if version != self._cache_layout_version:
-            self.cache.clear()
-            self._cache_layout_version = version
-            self._last_key = None
+        self._sweep_stale()
         key = tpp._program_key
         if key is None:
             key = tpp.program_key

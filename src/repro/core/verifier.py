@@ -68,6 +68,7 @@ from repro.core.isa import (
     SWITCH_WRITING_OPCODES,
 )
 from repro.core.memory_map import MemoryMap, SRAM_BASE, is_sram, region_of
+from repro.core.racecheck import collect_sram_accesses
 from repro.core.tcpu import DEFAULT_MAX_INSTRUCTIONS
 from repro.core.tpp import AddressingMode, TPPSection, program_key_of
 
@@ -186,6 +187,15 @@ class VerifiedProgram:
     guard_lo: int
     guard_hi: int
     has_cexec: bool
+    #: Task the program was verified under (TPP007 isolation domain).
+    task_id: int = 0
+    #: Word-level SRAM access sets as flat ``(word, instruction)``
+    #: pairs — the raw material for fleet race analysis
+    #: (:mod:`repro.core.racecheck`), pinned into the certificate so
+    #: admission layers can race-check without the instructions.
+    sram_reads: Tuple[Tuple[int, int], ...] = ()
+    sram_writes: Tuple[Tuple[int, int], ...] = ()
+    sram_claims: Tuple[Tuple[int, int], ...] = ()
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready representation (for ``tppasm lint --json``)."""
@@ -200,6 +210,10 @@ class VerifiedProgram:
             "guard_lo": self.guard_lo,
             "guard_hi": self.guard_hi,
             "has_cexec": self.has_cexec,
+            "task_id": self.task_id,
+            "sram_reads": [list(p) for p in self.sram_reads],
+            "sram_writes": [list(p) for p in self.sram_writes],
+            "sram_claims": [list(p) for p in self.sram_claims],
         }
 
 
@@ -674,6 +688,7 @@ class _Checker:
         max_hops = self.max_hops
         if max_hops is None:
             max_hops = capacity if capacity is not None else HOP_SCAN_LIMIT
+        reads, writes, claims = collect_sram_accesses(self.instructions)
         return VerifiedProgram(
             program_key=program_key_of(self.instructions, self.mode,
                                        self.word),
@@ -687,4 +702,8 @@ class _Checker:
             guard_hi=max(min(guard_hi, GUARD_MAX), -1),
             has_cexec=any(i.opcode == Opcode.CEXEC
                           for i in self.instructions),
+            task_id=self.task_id,
+            sram_reads=reads,
+            sram_writes=writes,
+            sram_claims=claims,
         )

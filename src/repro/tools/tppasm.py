@@ -10,6 +10,10 @@ Subcommands::
     lint <file|->       statically verify assembly without emitting wire
                         bytes; prints TPP0xx diagnostics, exit 1 on
                         errors (--strict: warnings too)
+    racecheck <files>   fleet-level SRAM race analysis: treat the given
+                        programs as one concurrently-deployed fleet and
+                        report cross-program races (TPP020-TPP023);
+                        exit 1 on races (--strict: warnings too)
     memmap              print the network-wide memory map (Table 2's
                         namespaces with addresses and writability)
 
@@ -20,6 +24,7 @@ Examples::
 
     echo 'PUSH [Queue:QueueSize]' | python -m repro.tools.tppasm assemble -
     python -m repro.tools.tppasm lint probe.tpp --max-hops 8
+    python -m repro.tools.tppasm racecheck examples/*.tpp
     python -m repro.tools.tppasm memmap | grep Queue
 """
 
@@ -34,6 +39,7 @@ from repro.core.assembler import assemble
 from repro.core.disassembler import format_tpp
 from repro.core.exceptions import AssemblerError, TPPEncodingError
 from repro.core.memory_map import MemoryMap
+from repro.core.racecheck import check_fleet, summarize_program
 from repro.core.tcpu import DEFAULT_MAX_INSTRUCTIONS
 from repro.core.tpp import TPPSection
 
@@ -171,6 +177,49 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_racecheck(args: argparse.Namespace) -> int:
+    """Fleet-level SRAM race analysis; the CI-facing entry point.
+
+    Treats every given source file as a program of the *same* task
+    (``--task``) deployed concurrently, builds each program's word-level
+    SRAM access summary, and runs the pairwise race pass from
+    :mod:`repro.core.racecheck`.  Exit 1 when any error-severity race
+    (TPP020/TPP022) is found, or — with ``--strict`` — when any
+    diagnostic at all survives (read-write warnings and
+    claim-coordination notes included).
+    """
+    symbols = _parse_symbols(args.symbols)
+    summaries = []
+    for path in args.sources:
+        try:
+            source = _read_source(path)
+            program = assemble(source, symbols=symbols, hops=args.hops)
+        except OSError as error:
+            print(f"cannot read {path}: {error}", file=sys.stderr)
+            return 1
+        except AssemblerError as error:
+            if args.json:
+                print(json.dumps({
+                    "ok": False,
+                    "error": f"assembly error in {path}: {error}"}))
+            else:
+                print(f"assembly error in {path}: {error}",
+                      file=sys.stderr)
+            return 1
+        summaries.append(
+            summarize_program(program, task_id=args.task, name=path))
+    report = check_fleet(summaries)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format())
+    if not report.ok:
+        return 1
+    if args.strict and not report.race_free:
+        return 1
+    return 0
+
+
 def cmd_memmap(args: argparse.Namespace) -> int:
     memory_map = MemoryMap.standard()
     seen = set()
@@ -259,6 +308,27 @@ def build_parser() -> argparse.ArgumentParser:
     lint_cmd.add_argument("--json", action="store_true",
                           help="machine-readable output")
     lint_cmd.set_defaults(func=cmd_lint)
+
+    racecheck_cmd = commands.add_parser(
+        "racecheck",
+        help="fleet-level SRAM race analysis over several programs")
+    racecheck_cmd.add_argument(
+        "sources", nargs="+", metavar="FILE",
+        help="program source files (or - for stdin), analysed as one "
+             "concurrently-deployed same-task fleet")
+    racecheck_cmd.add_argument("--symbols", nargs="*", default=[],
+                               metavar="NAME=VALUE",
+                               help="values for $symbols in the sources")
+    racecheck_cmd.add_argument("--hops", type=int, default=8,
+                               help="hops of packet memory to "
+                                    "preallocate")
+    racecheck_cmd.add_argument("--task", type=int, default=0,
+                               help="task id the fleet runs as")
+    racecheck_cmd.add_argument("--strict", action="store_true",
+                               help="exit 1 on warnings/info too")
+    racecheck_cmd.add_argument("--json", action="store_true",
+                               help="machine-readable output")
+    racecheck_cmd.set_defaults(func=cmd_racecheck)
 
     memmap_cmd = commands.add_parser(
         "memmap", help="print the unified memory map")

@@ -52,3 +52,39 @@ class TestAsciiPlot:
         series.append(10, 5.0)
         plot = ascii_plot(series)
         assert "*" in plot
+
+
+class TestRaceReport:
+    def test_empty_inputs(self):
+        from repro.analysis.reporting import race_report
+        assert race_report() == "(nothing to report)"
+
+    def test_switch_and_policy_rows(self):
+        from repro.analysis.reporting import race_report
+        from repro.control.security import VerifierPolicy
+        from repro.core.assembler import assemble
+        from repro.core.memory_map import MemoryMap
+        from repro.core.mmu import MMU
+        from repro.core.tcpu import TCPU
+        from repro.core.verifier import verify_program
+
+        class FakeSwitch:
+            name = "sw0"
+
+            def __init__(self):
+                self.tcpu = TCPU(MMU(name="sw0"), race_mode="warn")
+
+        switch = FakeSwitch()
+        memory_map = MemoryMap.standard()
+        for source in (".memory 1\nSTORE [Sram:Word0], [Packet:0]",
+                       ".memory 2\nSTORE [Sram:Word0], [Packet:1]"):
+            cert = verify_program(assemble(source),
+                                  memory_map=memory_map).certificate
+            assert switch.tcpu.trust(cert)
+        out = race_report(switches=[switch],
+                          policies=[VerifierPolicy()])
+        assert "Certificate race table (TCPU)" in out
+        assert "Admission race table (VerifierPolicy)" in out
+        assert "sw0" in out and "policy0" in out
+        # Two writers to Word0: one pair checked, one error recorded.
+        assert " warn " in out

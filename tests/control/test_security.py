@@ -293,3 +293,95 @@ class TestVerifierPolicy:
         net.run(until_seconds=0.01)
         assert switch.tcpu.certificates == 0
         assert switch.tcpu.verified_executions == 0
+
+
+class TestVerifierPolicyRaces:
+    """Fleet-level race gating at the admission point."""
+
+    # Verifier-clean individually; a TPP020 write-write race as a pair.
+    WRITER_A = ".memory 1\nSTORE [Sram:Word0], [Packet:0]"
+    WRITER_B = ".memory 2\nSTORE [Sram:Word0], [Packet:1]"
+
+    def wire(self, net, race_mode="warn"):
+        from repro.control.security import VerifierPolicy
+        policy = VerifierPolicy(race_mode=race_mode)
+        in_port = [local for local, peer, _ in net.adjacency()["sw0"]
+                   if peer == "h0"][0]
+        policy.mark_untrusted("sw0", in_port)
+        net.switch("sw0").tpp_policy = policy
+        return policy
+
+    def test_invalid_race_mode_rejected(self):
+        from repro.control.security import VerifierPolicy
+        with pytest.raises(ValueError):
+            VerifierPolicy(race_mode="paranoid")
+
+    def test_warn_mode_admits_racy_fleet_and_reports(
+            self, single_switch_net):
+        net = single_switch_net
+        policy = self.wire(net)
+        switch = net.switch("sw0")
+        h0, h1 = net.host("h0"), net.host("h1")
+        client, _ = TPPEndpoint(h0), TPPEndpoint(h1)
+        client.send(assemble(self.WRITER_A), dst_mac=h1.mac)
+        client.send(assemble(self.WRITER_B), dst_mac=h1.mac)
+        net.run(until_seconds=0.01)
+        assert policy.tpps_admitted == 2
+        assert policy.tpps_rejected == 0
+        assert policy.tpps_racy == 1  # second arrival saw the race
+        assert switch.tcpu.tpps_executed == 2
+        report = policy.race_report()
+        assert "TPP020" in report
+        assert "mode warn" in report
+
+    def test_enforce_mode_strips_racing_arrival(self, single_switch_net):
+        net = single_switch_net
+        policy = self.wire(net, race_mode="enforce")
+        switch = net.switch("sw0")
+        h0, h1 = net.host("h0"), net.host("h1")
+        client, _ = TPPEndpoint(h0), TPPEndpoint(h1)
+        client.send(assemble(self.WRITER_A), dst_mac=h1.mac)
+        net.run(until_seconds=0.01)
+        client.send(assemble(self.WRITER_B), dst_mac=h1.mac)
+        net.run(until_seconds=0.02)
+        assert policy.tpps_admitted == 1
+        assert policy.tpps_racy == 1
+        assert policy.tpps_rejected == 1
+        assert switch.tpps_stripped == 1
+        assert switch.tcpu.tpps_executed == 1
+        assert len(policy.fleet) == 1
+
+    def test_revoke_readmits_former_rival(self, single_switch_net):
+        net = single_switch_net
+        policy = self.wire(net, race_mode="enforce")
+        switch = net.switch("sw0")
+        h0, h1 = net.host("h0"), net.host("h1")
+        client, _ = TPPEndpoint(h0), TPPEndpoint(h1)
+        incumbent = assemble(self.WRITER_A)
+        client.send(incumbent, dst_mac=h1.mac)
+        net.run(until_seconds=0.01)
+        client.send(assemble(self.WRITER_B), dst_mac=h1.mac)
+        net.run(until_seconds=0.02)
+        assert policy.tpps_rejected == 1
+        # Retire the incumbent; its rival must now admit cleanly —
+        # the fleet analysis is re-run per arrival.
+        assert policy.revoke(incumbent.build(), switch=switch)
+        assert len(policy.fleet) == 0
+        assert switch.tcpu.certificates == 0
+        client.send(assemble(self.WRITER_B), dst_mac=h1.mac)
+        net.run(until_seconds=0.03)
+        assert policy.tpps_admitted == 2
+        assert policy.tpps_rejected == 1  # unchanged
+        assert len(policy.fleet) == 1
+
+    def test_off_mode_skips_fleet_analysis(self, single_switch_net):
+        net = single_switch_net
+        policy = self.wire(net, race_mode="off")
+        h0, h1 = net.host("h0"), net.host("h1")
+        client, _ = TPPEndpoint(h0), TPPEndpoint(h1)
+        client.send(assemble(self.WRITER_A), dst_mac=h1.mac)
+        client.send(assemble(self.WRITER_B), dst_mac=h1.mac)
+        net.run(until_seconds=0.01)
+        assert policy.tpps_admitted == 2
+        assert policy.tpps_racy == 0
+        assert len(policy.fleet) == 0

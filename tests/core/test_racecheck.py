@@ -1,0 +1,406 @@
+"""Fleet-level SRAM race analysis: classification + incremental table.
+
+Covers the pairwise classifier (one diagnostic per pair/word, severity
+precedence, operand-order canonicalization, task isolation), the
+certificate embedding of SRAM access sets, and — the conformance
+satellite — that the incremental :class:`FleetRaceTable` matches a
+from-scratch :func:`check_fleet` after *every* admit/revoke sequence
+tested, including readmission of a previously-racy program after its
+rival is revoked.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assembler import assemble
+from repro.core.isa import Instruction, Opcode
+from repro.core.memory_map import MemoryMap, SRAM_BASE
+from repro.core.racecheck import (
+    RACE_CODES,
+    FleetRaceTable,
+    check_fleet,
+    check_pair,
+    summarize_certificate,
+    summarize_instructions,
+    summarize_program,
+    summarize_section,
+)
+from repro.core.verifier import verify_program
+
+_MAP = MemoryMap.standard()
+
+
+def summary(name, *accesses, task_id=0):
+    """Build a summary from (opcode, word) pairs, one instruction each."""
+    instructions = [Instruction(opcode, SRAM_BASE + word, 0)
+                    for opcode, word in accesses]
+    return summarize_instructions(
+        instructions, task_id=task_id, name=name,
+        program_key=name.encode())
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+class TestClassification:
+    def test_write_write_is_tpp020(self):
+        a = summary("a", (Opcode.STORE, 3))
+        b = summary("b", (Opcode.STORE, 3))
+        (d,) = check_pair(a, b)
+        assert d.code == "TPP020"
+        assert d.severity == "error"
+        assert d.word == 3
+        assert d.vaddr == SRAM_BASE + 3
+        assert {d.program_a, d.program_b} == {"a", "b"}
+
+    def test_pop_counts_as_plain_write(self):
+        a = summary("a", (Opcode.POP, 5))
+        b = summary("b", (Opcode.STORE, 5))
+        assert codes(check_pair(a, b)) == ["TPP020"]
+
+    def test_claim_vs_plain_write_is_tpp022(self):
+        claimer = summary("claimer", (Opcode.CSTORE, 0))
+        writer = summary("writer", (Opcode.STORE, 0))
+        (d,) = check_pair(claimer, writer)
+        assert d.code == "TPP022"
+        assert d.severity == "error"
+        assert "claim" in d.message
+
+    def test_write_vs_read_is_tpp021(self):
+        writer = summary("writer", (Opcode.STORE, 2))
+        reader = summary("reader", (Opcode.PUSH, 2))
+        (d,) = check_pair(writer, reader)
+        assert d.code == "TPP021"
+        assert d.severity == "warning"
+
+    def test_arithmetic_and_load_count_as_reads(self):
+        writer = summary("writer", (Opcode.STORE, 1))
+        for opcode in (Opcode.ADD, Opcode.MIN, Opcode.XOR, Opcode.LOAD,
+                       Opcode.CEXEC):
+            reader = summary("reader", (opcode, 1))
+            assert codes(check_pair(writer, reader)) == ["TPP021"]
+
+    def test_claim_vs_read_is_tpp021(self):
+        claimer = summary("claimer", (Opcode.CSTORE, 4))
+        reader = summary("reader", (Opcode.LOAD, 4))
+        assert codes(check_pair(claimer, reader)) == ["TPP021"]
+
+    def test_claim_vs_claim_is_tpp023_info(self):
+        a = summary("a", (Opcode.CSTORE, 0))
+        b = summary("b", (Opcode.CSTORE, 0))
+        (d,) = check_pair(a, b)
+        assert d.code == "TPP023"
+        assert d.severity == "info"
+
+    def test_read_read_sharing_is_silent(self):
+        a = summary("a", (Opcode.PUSH, 9))
+        b = summary("b", (Opcode.LOAD, 9), (Opcode.ADD, 9))
+        assert check_pair(a, b) == []
+
+    def test_disjoint_words_are_silent(self):
+        a = summary("a", (Opcode.STORE, 0))
+        b = summary("b", (Opcode.STORE, 1))
+        assert check_pair(a, b) == []
+
+    def test_different_tasks_never_pair(self):
+        a = summary("a", (Opcode.STORE, 0), task_id=1)
+        b = summary("b", (Opcode.STORE, 0), task_id=2)
+        assert check_pair(a, b) == []
+
+    def test_one_diagnostic_per_pair_word_precedence(self):
+        # b both reads and plain-writes word 0; a claims and reads it.
+        # TPP022 (claim vs plain write) outranks TPP021/TPP023.
+        a = summary("a", (Opcode.CSTORE, 0), (Opcode.LOAD, 0))
+        b = summary("b", (Opcode.STORE, 0), (Opcode.PUSH, 0))
+        assert codes(check_pair(a, b)) == ["TPP022"]
+
+    def test_write_write_outranks_claim_violation(self):
+        a = summary("a", (Opcode.STORE, 0), (Opcode.CSTORE, 0))
+        b = summary("b", (Opcode.STORE, 0))
+        assert codes(check_pair(a, b)) == ["TPP020"]
+
+    def test_operand_order_is_canonical(self):
+        a = summary("a", (Opcode.CSTORE, 0), (Opcode.STORE, 1))
+        b = summary("b", (Opcode.STORE, 0), (Opcode.PUSH, 1))
+        forward = [d.to_dict() for d in check_pair(a, b)]
+        backward = [d.to_dict() for d in check_pair(b, a)]
+        assert forward == backward
+        assert codes(check_pair(a, b)) == ["TPP022", "TPP021"]
+
+    def test_multi_word_pair_emits_one_diag_per_word(self):
+        a = summary("a", (Opcode.STORE, 0), (Opcode.STORE, 1),
+                    (Opcode.STORE, 2))
+        b = summary("b", (Opcode.STORE, 0), (Opcode.PUSH, 1))
+        assert codes(check_pair(a, b)) == ["TPP020", "TPP021"]
+
+    def test_instruction_indices_are_reported(self):
+        instructions = [
+            Instruction(Opcode.NOP, 0, 0),
+            Instruction(Opcode.STORE, SRAM_BASE + 0, 0),
+            Instruction(Opcode.STORE, SRAM_BASE + 0, 1),
+        ]
+        a = summarize_instructions(instructions, name="a",
+                                   program_key=b"a")
+        b = summary("b", (Opcode.STORE, 0))
+        (d,) = check_pair(a, b)
+        indices = {d.program_a: d.instructions_a,
+                   d.program_b: d.instructions_b}
+        assert indices["a"] == (1, 2)
+        assert indices["b"] == (0,)
+
+    def test_severity_table_is_stable(self):
+        assert RACE_CODES == {"TPP020": "error", "TPP021": "warning",
+                              "TPP022": "error", "TPP023": "info"}
+
+
+class TestSummaries:
+    SOURCE = """
+        .memory 2
+        .data 0 1
+        ADD [Packet:0], [Sram:Word2]
+        STORE [Sram:Word2], [Packet:0]
+        CSTORE [Sram:Word5], 10, 99
+    """
+
+    def test_program_section_certificate_agree(self):
+        program = assemble(self.SOURCE)
+        from_program = summarize_program(program, task_id=3)
+        from_section = summarize_section(program.build(task_id=3))
+        result = verify_program(program, memory_map=_MAP, task_id=3)
+        assert result.ok
+        from_cert = summarize_certificate(result.certificate)
+        for s in (from_program, from_section, from_cert):
+            assert s.task_id == 3
+            assert s.reads == {2: (0,)}
+            assert s.writes == {2: (1,)}
+            assert s.claims == {5: (2,)}
+            assert s.words == {2, 5}
+            assert s.touches_sram
+        assert (from_program.program_key == from_section.program_key
+                == from_cert.program_key)
+
+    def test_certificate_embeds_access_sets(self):
+        program = assemble(self.SOURCE)
+        certificate = verify_program(
+            program, memory_map=_MAP, task_id=3).certificate
+        assert certificate.task_id == 3
+        assert certificate.sram_reads == ((2, 0),)
+        assert certificate.sram_writes == ((2, 1),)
+        assert certificate.sram_claims == ((5, 2),)
+        blob = certificate.to_dict()
+        assert blob["task_id"] == 3
+        assert blob["sram_claims"] == [[5, 2]]
+
+    def test_sram_free_program_has_empty_sets(self):
+        program = assemble("PUSH [Queue:QueueSize]")
+        certificate = verify_program(
+            program, memory_map=_MAP).certificate
+        assert certificate.sram_reads == ()
+        assert certificate.sram_writes == ()
+        assert certificate.sram_claims == ()
+        assert not summarize_program(program).touches_sram
+
+    def test_summary_to_dict(self):
+        blob = summary("a", (Opcode.STORE, 1), (Opcode.PUSH, 2)).to_dict()
+        assert blob["writes"] == {"1": [0]}
+        assert blob["reads"] == {"2": [1]}
+        assert blob["claims"] == {}
+
+
+class TestFleetReport:
+    def test_race_free_fleet(self):
+        report = check_fleet([summary("a", (Opcode.STORE, 0)),
+                              summary("b", (Opcode.STORE, 1)),
+                              summary("c", (Opcode.PUSH, 0),
+                                      (Opcode.PUSH, 1))])
+        assert report.pairs_checked == 3
+        assert not report.race_free  # c reads both written words
+        assert report.ok
+        assert report.by_code() == {"TPP021": 2}
+
+    def test_fully_disjoint_fleet_is_race_free(self):
+        report = check_fleet([summary("a", (Opcode.STORE, 0)),
+                              summary("b", (Opcode.STORE, 1))])
+        assert report.race_free
+        assert report.ok
+        assert "race-free" in report.format()
+
+    def test_racy_fleet_report(self):
+        report = check_fleet([summary("a", (Opcode.STORE, 0)),
+                              summary("b", (Opcode.STORE, 0)),
+                              summary("c", (Opcode.CSTORE, 0))])
+        assert not report.ok
+        assert report.by_code() == {"TPP020": 1, "TPP022": 2}
+        blob = report.to_dict()
+        assert blob["ok"] is False
+        assert blob["race_free"] is False
+        assert len(blob["diagnostics"]) == 3
+        assert "racy" in report.format()
+
+    def test_diagnostics_sorted_canonically(self):
+        report = check_fleet([summary("b", (Opcode.STORE, 1)),
+                              summary("a", (Opcode.STORE, 1)),
+                              summary("c", (Opcode.STORE, 0),
+                                      (Opcode.STORE, 1))])
+        ordering = [(d.word, d.code, d.program_a, d.program_b)
+                    for d in report.diagnostics]
+        assert ordering == sorted(ordering)
+
+
+def pool(task_spread=False):
+    """A pool of overlapping summaries the table tests draw from."""
+    task = (lambda i: i % 2) if task_spread else (lambda i: 0)
+    specs = [
+        ("w0", [(Opcode.STORE, 0)]),
+        ("w0b", [(Opcode.STORE, 0)]),
+        ("c0", [(Opcode.CSTORE, 0)]),
+        ("r0w1", [(Opcode.PUSH, 0), (Opcode.STORE, 1)]),
+        ("w1", [(Opcode.STORE, 1)]),
+        ("c2", [(Opcode.CSTORE, 2)]),
+        ("r2", [(Opcode.LOAD, 2)]),
+        ("quiet", [(Opcode.STORE, 9)]),
+        ("mixed", [(Opcode.CSTORE, 1), (Opcode.ADD, 2),
+                   (Opcode.STORE, 3)]),
+    ]
+    return [summary(name, *accesses, task_id=task(i))
+            for i, (name, accesses) in enumerate(specs)]
+
+
+def assert_conformant(table, members):
+    """The incremental invariant: table report == from-scratch pass."""
+    scratch = check_fleet(members)
+    report = table.report()
+    assert sorted(s.name for s in table.members) == sorted(
+        s.name for s in members)
+    assert ([d.to_dict() for d in report.diagnostics]
+            == [d.to_dict() for d in scratch.diagnostics])
+    assert report.ok == scratch.ok
+    assert report.race_free == scratch.race_free
+
+
+class TestFleetRaceTable:
+    def test_admit_returns_introduced_diagnostics(self):
+        table = FleetRaceTable()
+        a, b = summary("a", (Opcode.STORE, 0)), summary(
+            "b", (Opcode.STORE, 0))
+        assert table.admit(a) == []
+        assert codes(table.admit(b)) == ["TPP020"]
+        assert len(table) == 2
+        assert table.racy_admissions == 1
+
+    def test_admit_is_idempotent(self):
+        table = FleetRaceTable()
+        a = summary("a", (Opcode.STORE, 0))
+        b = summary("b", (Opcode.STORE, 0))
+        table.admit(a)
+        first = table.admit(b)
+        checks = table.pair_checks
+        again = table.admit(b)
+        assert ([d.to_dict() for d in again]
+                == [d.to_dict() for d in first])
+        assert table.pair_checks == checks  # no re-analysis
+        assert len(table) == 2
+
+    def test_only_word_sharing_pairs_are_checked(self):
+        table = FleetRaceTable()
+        for i in range(6):
+            table.admit(summary(f"p{i}", (Opcode.STORE, i)))
+        assert table.pair_checks == 0  # fully disjoint fleet
+        table.admit(summary("clash", (Opcode.PUSH, 2)))
+        assert table.pair_checks == 1
+
+    def test_revoke_clears_diagnostics(self):
+        table = FleetRaceTable()
+        a, b = summary("a", (Opcode.STORE, 0)), summary(
+            "b", (Opcode.STORE, 0))
+        table.admit(a)
+        table.admit(b)
+        assert table.revoke(a)
+        assert table.diagnostics() == []
+        assert_conformant(table, [b])
+        assert not table.revoke(a)  # already gone
+
+    def test_revoke_accepts_certificate_like_objects(self):
+        program = assemble("STORE [Sram:Word0], [Packet:0]\n.memory 1")
+        certificate = verify_program(
+            program, memory_map=_MAP).certificate
+        table = FleetRaceTable()
+        table.admit(summarize_certificate(certificate))
+        assert table.revoke(certificate)
+        assert len(table) == 0
+
+    def test_readmission_after_rival_revoked(self):
+        table = FleetRaceTable()
+        rival = summary("rival", (Opcode.STORE, 0))
+        racy = summary("racy", (Opcode.STORE, 0))
+        table.admit(rival)
+        assert codes(table.admit(racy)) == ["TPP020"]
+        table.revoke(racy)
+        table.revoke(rival)
+        # With the rival gone, the same program admits cleanly.
+        assert table.admit(racy) == []
+        assert_conformant(table, [racy])
+
+    def test_diagnostics_for_member(self):
+        table = FleetRaceTable()
+        a = summary("a", (Opcode.STORE, 0), (Opcode.STORE, 5))
+        b = summary("b", (Opcode.STORE, 0))
+        c = summary("c", (Opcode.PUSH, 5))
+        for s in (a, b, c):
+            table.admit(s)
+        assert codes(table.diagnostics_for(b)) == ["TPP020"]
+        assert codes(table.diagnostics_for(a)) == ["TPP020", "TPP021"]
+
+    def test_cross_task_members_never_interact(self):
+        table = FleetRaceTable()
+        table.admit(summary("t1", (Opcode.STORE, 0), task_id=1))
+        assert table.admit(summary("t2", (Opcode.STORE, 0),
+                                   task_id=2)) == []
+        assert table.diagnostics() == []
+        assert table.pair_checks == 0  # word index is per-task
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_conformance_random_sequences(self, seed):
+        """Incremental == from-scratch after every admit/revoke."""
+        rng = random.Random(seed)
+        candidates = pool(task_spread=(seed % 3 == 0))
+        table = FleetRaceTable()
+        members = []
+        for _ in range(40):
+            if members and rng.random() < 0.4:
+                victim = rng.choice(members)
+                members.remove(victim)
+                assert table.revoke(victim)
+            else:
+                newcomer = rng.choice(candidates)
+                if newcomer not in members:
+                    members.append(newcomer)
+                table.admit(newcomer)
+            assert_conformant(table, members)
+        full = len(members) * (len(members) - 1) // 2
+        assert table.report().pairs_checked == full
+
+    @settings(max_examples=50, deadline=None)
+    @given(ops=st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=8)),
+        min_size=1, max_size=30))
+    def test_conformance_property(self, ops):
+        candidates = pool()
+        table = FleetRaceTable()
+        members = []
+        for is_revoke, index in ops:
+            candidate = candidates[index]
+            if is_revoke:
+                expected = candidate in members
+                assert table.revoke(candidate) == expected
+                if expected:
+                    members.remove(candidate)
+            else:
+                if candidate not in members:
+                    members.append(candidate)
+                table.admit(candidate)
+        assert_conformant(table, members)

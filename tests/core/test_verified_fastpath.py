@@ -323,3 +323,117 @@ class TestRandomizedVerifiedSweep:
             _, _, _, tcpu = run_three_way(source, hops=hops)
             verified_runs += tcpu.verified_executions
         assert verified_runs > 50  # the sweep actually exercised elision
+
+
+class TestCertificateStaleness:
+    """MMU layout bumps must sweep the certificate table.
+
+    A certificate pins address-resolution facts (TPP005) proven against
+    the accessor bindings in force at verification time; a
+    ``bind_reader`` re-binding silently changes those facts, so eliding
+    checks under the old certificate would replay stale reads.
+    Regression for the pre-sweep behaviour where only the compiled
+    cache was invalidated and ``_verified`` survived the bump.
+    """
+
+    def _trusted(self, source="PUSH [Switch:ClockLo]"):
+        program = assemble(source)
+        cert = verify_program(program, memory_map=_MAP).certificate
+        mmu = make_mmu(clock=5)
+        tcpu = TCPU(mmu, compile=True)
+        assert tcpu.trust(cert)
+        return program, cert, mmu, tcpu
+
+    def test_layout_bump_sweeps_certificate_table(self):
+        program, cert, mmu, tcpu = self._trusted()
+        tcpu.execute(program.build(), make_ctx())
+        assert tcpu.verified_executions == 1
+        mmu.bind_reader("Switch:ClockLo", lambda ctx: 42)
+        assert tcpu.certificates == 0
+        assert tcpu.certificates_swept == 1
+        tcpu.execute(program.build(), make_ctx())
+        assert tcpu.verified_executions == 1  # no stale elision
+
+    def test_rebound_reader_value_observed_after_bump(self):
+        """Executing after a re-bind must see the new binding — the
+        stale-certificate TCPU and a fresh TCPU must agree bit for
+        bit on the packet memory."""
+        program, _, mmu, tcpu = self._trusted()
+        tcpu.execute(program.build(), make_ctx())
+        mmu.bind_reader("Switch:ClockLo", lambda ctx: 42)
+        stale = program.build()
+        tcpu.execute(stale, make_ctx())
+        fresh = program.build()
+        TCPU(mmu, compile=True).execute(fresh, make_ctx())
+        assert bytes(stale.memory) == bytes(fresh.memory)
+
+    def test_retrust_after_bump_restores_verified_path(self):
+        program, cert, mmu, tcpu = self._trusted()
+        mmu.bind_reader("Switch:ClockLo", lambda ctx: 42)
+        assert tcpu.certificates == 0
+        assert tcpu.trust(cert)
+        assert tcpu.certificates == 1
+        tcpu.execute(program.build(), make_ctx())
+        assert tcpu.verified_executions == 1
+
+    def test_layout_bump_resets_race_fleet(self):
+        writer_a = assemble(".memory 1\nSTORE [Sram:Word0], [Packet:0]")
+        writer_b = assemble(".memory 2\nSTORE [Sram:Word0], [Packet:1]")
+        mmu = make_mmu()
+        tcpu = TCPU(mmu, compile=True, race_mode="warn")
+        for program in (writer_a, writer_b):
+            cert = verify_program(program, memory_map=_MAP).certificate
+            assert tcpu.trust(cert)
+        assert len(tcpu.fleet) == 2
+        assert any(d.code == "TPP020" for d in tcpu.race_conflicts)
+        mmu.bind_reader("Switch:ClockLo", lambda ctx: 42)
+        assert tcpu.certificates == 0  # triggers the sweep
+        assert len(tcpu.fleet) == 0
+        assert tcpu.certificates_swept == 2
+
+
+class TestTrustRaceGating:
+    """Fleet race policy at the ``TCPU.trust`` admission point."""
+
+    def _certs(self):
+        a = assemble(".memory 1\nSTORE [Sram:Word0], [Packet:0]")
+        b = assemble(".memory 2\nSTORE [Sram:Word0], [Packet:1]")
+        return (verify_program(a, memory_map=_MAP).certificate,
+                verify_program(b, memory_map=_MAP).certificate)
+
+    def test_invalid_race_mode_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            TCPU(make_mmu(), race_mode="paranoid")
+
+    def test_warn_mode_trusts_and_records_conflicts(self):
+        cert_a, cert_b = self._certs()
+        tcpu = TCPU(make_mmu(), compile=True, race_mode="warn")
+        assert tcpu.trust(cert_a)
+        assert tcpu.trust(cert_b)
+        assert tcpu.certificates == 2
+        assert tcpu.certificates_refused == 0
+        assert [d.code for d in tcpu.race_conflicts] == ["TPP020"]
+
+    def test_enforce_mode_refuses_racing_certificate(self):
+        cert_a, cert_b = self._certs()
+        tcpu = TCPU(make_mmu(), compile=True, race_mode="enforce")
+        assert tcpu.trust(cert_a)
+        assert not tcpu.trust(cert_b)
+        assert tcpu.certificates == 1
+        assert tcpu.certificates_refused == 1
+        assert len(tcpu.fleet) == 1
+        # The incumbent keeps its slot and the word is freed on
+        # distrust, after which the rival admits cleanly.
+        tcpu.distrust(cert_a)
+        assert tcpu.trust(cert_b)
+        assert tcpu.certificates == 1
+
+    def test_off_mode_skips_fleet_analysis(self):
+        cert_a, cert_b = self._certs()
+        tcpu = TCPU(make_mmu(), compile=True, race_mode="off")
+        assert tcpu.trust(cert_a)
+        assert tcpu.trust(cert_b)
+        assert tcpu.certificates == 2
+        assert tcpu.race_conflicts == []
+        assert len(tcpu.fleet) == 0

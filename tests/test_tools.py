@@ -368,3 +368,74 @@ class TestTppasmJsonModes:
         names = {entry["name"] for entry in blob["entries"]}
         assert "Queue:QueueSize" in names
         assert any(r["name"].startswith("Sram:") for r in blob["ranges"])
+
+
+class TestTppasmRacecheck:
+    WRITER_A = ".memory 1\nSTORE [Sram:Word0], [Packet:0]\n"
+    WRITER_B = ".memory 2\nSTORE [Sram:Word0], [Packet:1]\n"
+    READER = "PUSH [Sram:Word0]\n"
+    DISJOINT = ".memory 1\nSTORE [Sram:Word9], [Packet:0]\n"
+
+    def write(self, tmp_path, name, source):
+        path = tmp_path / name
+        path.write_text(source)
+        return str(path)
+
+    def test_clean_fleet_exits_zero(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.tpp", self.WRITER_A)
+        b = self.write(tmp_path, "b.tpp", self.DISJOINT)
+        assert tppasm.main(["racecheck", a, b]) == 0
+        assert "race-free" in capsys.readouterr().out
+
+    def test_racy_fleet_exits_nonzero(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.tpp", self.WRITER_A)
+        b = self.write(tmp_path, "b.tpp", self.WRITER_B)
+        assert tppasm.main(["racecheck", a, b]) == 1
+        out = capsys.readouterr().out
+        assert "TPP020" in out
+        assert "a.tpp" in out and "b.tpp" in out
+
+    def test_json_shape(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.tpp", self.WRITER_A)
+        b = self.write(tmp_path, "b.tpp", self.WRITER_B)
+        assert tppasm.main(["racecheck", "--json", a, b]) == 1
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["ok"] is False
+        assert blob["race_free"] is False
+        codes = [d["code"] for d in blob["diagnostics"]]
+        assert codes == ["TPP020"]
+        assert len(blob["programs"]) == 2
+        assert blob["diagnostics"][0]["word"] == 0
+
+    def test_strict_promotes_warnings(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.tpp", self.WRITER_A)
+        b = self.write(tmp_path, "b.tpp", self.READER)
+        # Read-write is a warning: admitted normally...
+        assert tppasm.main(["racecheck", a, b]) == 0
+        capsys.readouterr()
+        # ...but --strict demands a fully race-free fleet.
+        assert tppasm.main(["racecheck", "--strict", a, b]) == 1
+        assert "TPP021" in capsys.readouterr().out
+
+    def test_task_isolation_respected(self, tmp_path, capsys):
+        """Same sources on different --task values never conflict with
+        each other's run: each invocation models ONE task's fleet."""
+        a = self.write(tmp_path, "a.tpp", self.WRITER_A)
+        b = self.write(tmp_path, "b.tpp", self.WRITER_B)
+        assert tppasm.main(["racecheck", "--task", "3", a, b]) == 1
+        capsys.readouterr()
+        assert tppasm.main(["racecheck", "--json",
+                            "--task", "3", a, b]) == 1
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["diagnostics"][0]["task_id"] == 3
+
+    def test_assembler_error_reported(self, tmp_path, capsys):
+        bad = self.write(tmp_path, "bad.tpp", "FROB [Sram:Word0]\n")
+        assert tppasm.main(["racecheck", bad]) == 1
+        assert "assembly error" in capsys.readouterr().err
+
+    def test_single_program_is_trivially_race_free(self, tmp_path,
+                                                   capsys):
+        a = self.write(tmp_path, "a.tpp", self.WRITER_A)
+        assert tppasm.main(["racecheck", a]) == 0
+        assert "race-free" in capsys.readouterr().out
