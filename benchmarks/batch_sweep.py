@@ -1,0 +1,116 @@
+"""Batch-size sweep for the batched TCPU engine (EXPERIMENTS.md E18).
+
+Runs the ``tpp_exec_batched`` steady-state workload at a range of batch
+sizes on a fixed total execution count, so the table answers: where does
+amortization saturate, and what does a half-empty drain window cost?
+The scalar (batch-of-one through ``TCPU.execute``) rate is measured in
+the same process as the 1.0x reference.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/batch_sweep.py [--total 64000]
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Any, Dict, List
+
+from perf_baseline import (
+    _BENCH_SOURCE,
+    _FakePort,
+    _bench_mmu,
+    _timed,
+)
+
+from repro.asic.metadata import PacketMetadata
+from repro.core.assembler import assemble
+from repro.core.batch import HAVE_NUMPY, BatchArena
+from repro.core.memory_map import MemoryMap
+from repro.core.mmu import ExecutionContext
+from repro.core.tcpu import TCPU
+from repro.core.verifier import verify_program
+
+SWEEP_SIZES = (1, 2, 4, 8, 16, 32, 64)
+
+
+def sweep_point(batch_size: int, total_executions: int) -> Dict[str, Any]:
+    """Executions/sec at one batch size, vector lane engaged."""
+    mmu = _bench_mmu()
+    tcpu = TCPU(mmu)
+    program = assemble(_BENCH_SOURCE, hops=1)
+    result = verify_program(program, memory_map=MemoryMap.standard())
+    certificate = result.raise_on_error().certificate
+    if certificate is not None:
+        tcpu.trust(certificate)
+    sections = [program.build() for _ in range(batch_size)]
+    initial_hop_or_sp = sections[0].hop_or_sp
+    ctx = ExecutionContext(metadata=PacketMetadata(),
+                           egress_port=_FakePort(), time_ns=1000)
+    ctxs = [ctx] * batch_size
+    arena = BatchArena(sections) if HAVE_NUMPY else None
+    n_batches = max(1, total_executions // batch_size)
+
+    def drive() -> None:
+        for _ in range(n_batches):
+            for section in sections:
+                section.hop_or_sp = initial_hop_or_sp
+            tcpu.execute_batch(sections, ctxs, arena=arena)
+
+    drive()  # warm-up (compiles + plans the program)
+    _, elapsed = _timed(drive)
+    return {
+        "batch_size": batch_size,
+        "n_executions": n_batches * batch_size,
+        "execs_per_sec": n_batches * batch_size / elapsed,
+        "vector_batches": tcpu.vector_batches,
+        "batch_fallbacks": tcpu.batch_fallbacks,
+    }
+
+
+def scalar_point(total_executions: int) -> float:
+    """The scalar control: fresh section + context per execution."""
+    mmu = _bench_mmu()
+    tcpu = TCPU(mmu)
+    program = assemble(_BENCH_SOURCE, hops=1)
+    n = max(1, total_executions // 8)
+
+    def drive() -> None:
+        for _ in range(n):
+            tpp = program.build()
+            ctx = ExecutionContext(metadata=PacketMetadata(),
+                                   egress_port=_FakePort(), time_ns=1000)
+            tcpu.execute(tpp, ctx)
+
+    drive()  # warm-up
+    _, elapsed = _timed(drive)
+    return n / elapsed
+
+
+def main(argv: Any = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--total", type=int, default=64_000,
+                        help="target executions per sweep point")
+    args = parser.parse_args(argv)
+
+    scalar = scalar_point(args.total)
+    print(f"numpy lane: {'on' if HAVE_NUMPY else 'off'}")
+    print(f"scalar (TCPU.execute, rebuild per exec): {scalar:>12,.0f} "
+          f"execs/s\n")
+    print(f"{'batch':>5} | {'execs/s':>12} | {'vs scalar':>9} | "
+          f"{'vec-batches':>11} | {'fallbacks':>9}")
+    print("-" * 60)
+    points: List[Dict[str, Any]] = []
+    for size in SWEEP_SIZES:
+        point = sweep_point(size, args.total)
+        points.append(point)
+        print(f"{point['batch_size']:>5} | "
+              f"{point['execs_per_sec']:>12,.0f} | "
+              f"{point['execs_per_sec'] / scalar:>8.2f}x | "
+              f"{point['vector_batches']:>11} | "
+              f"{point['batch_fallbacks']:>9}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -48,7 +48,7 @@ from repro.sim.events import EventQueue
 from repro.sim.simulator import Simulator
 from repro.sim.timers import OneShotTimer
 
-SCHEMA = "simcore-bench/v3"
+SCHEMA = "simcore-bench/v4"
 DEFAULT_SEED = 20260806
 
 
@@ -229,10 +229,14 @@ class _FakePort:
 
 
 def _bench_mmu() -> MMU:
+    # batch_stable mirrors the switch's bindings: these statistics cannot
+    # change while a batch executes, which is what licenses the batched
+    # engine's vectorized lane (see repro.core.batch).
     mmu = MMU(name="bench")
-    mmu.bind_reader("Switch:SwitchID", lambda ctx: 7)
+    mmu.bind_reader("Switch:SwitchID", lambda ctx: 7, batch_stable=True)
     mmu.bind_reader("Queue:QueueSize",
-                    lambda ctx: ctx.queue.occupancy_bytes)
+                    lambda ctx: ctx.queue.occupancy_bytes,
+                    batch_stable=True)
     return mmu
 
 
@@ -408,6 +412,82 @@ def bench_tpp_exec_verified(n_executions: int = 50_000) -> Dict[str, Any]:
     }
 
 
+_BATCH_SIZE = 32
+
+
+def bench_tpp_exec_batched(n_batches: int = 2_000) -> Dict[str, Any]:
+    """Batched steady state: 32 same-program TPPs per ``execute_batch``.
+
+    The workload models a switch draining a burst of identical probes:
+    32 pre-built sections resident in one :class:`~repro.core.batch.
+    BatchArena`, one shared execution context (the warm pipeline state,
+    same precedent as ``tpp_exec_cached``), and a verifier certificate
+    installed so the batch qualifies for the vectorized lane.  The
+    scalar control runs the ``tpp_exec`` loop (fresh section + context
+    per execution) on the same machine in the same process, so
+    ``speedup_vs_scalar`` is the acceptance ratio measured, not
+    inferred from a previous run.  ``vector_batches``/``batch_fallbacks``
+    are exported so a report can *prove* the fast lane engaged.
+    """
+    from repro.core.batch import BatchArena, HAVE_NUMPY
+    from repro.core.memory_map import MemoryMap
+    from repro.core.verifier import verify_program
+
+    mmu = _bench_mmu()
+    tcpu = TCPU(mmu)
+    scalar = TCPU(mmu)
+    program = assemble(_BENCH_SOURCE, hops=1)
+    result = verify_program(program, memory_map=MemoryMap.standard())
+    certificate = result.raise_on_error().certificate
+    if certificate is not None:
+        tcpu.trust(certificate)
+    sections = [program.build() for _ in range(_BATCH_SIZE)]
+    initial_hop_or_sp = sections[0].hop_or_sp
+    n_instructions = len(sections[0].instructions)
+    ctx = ExecutionContext(metadata=PacketMetadata(),
+                           egress_port=_FakePort(), time_ns=1000)
+    ctxs = [ctx] * _BATCH_SIZE
+    arena = BatchArena(sections) if HAVE_NUMPY else None
+
+    def drive() -> None:
+        for _ in range(n_batches):
+            for section in sections:
+                section.hop_or_sp = initial_hop_or_sp
+            tcpu.execute_batch(sections, ctxs, arena=arena)
+
+    drive()  # warm-up (compiles + plans the program)
+    _, elapsed = _timed(drive)
+    n_executions = n_batches * _BATCH_SIZE
+
+    scalar_n = max(1, n_executions // 8)
+
+    def drive_scalar() -> None:
+        for _ in range(scalar_n):
+            tpp = program.build()
+            scalar_ctx = ExecutionContext(metadata=PacketMetadata(),
+                                          egress_port=_FakePort(),
+                                          time_ns=1000)
+            scalar.execute(tpp, scalar_ctx)
+
+    drive_scalar()  # warm-up
+    _, scalar_elapsed = _timed(drive_scalar)
+
+    execs_per_sec = n_executions / elapsed
+    scalar_per_sec = scalar_n / scalar_elapsed
+    return {
+        "batch_size": _BATCH_SIZE,
+        "n_batches": n_batches,
+        "n_executions": n_executions,
+        "numpy_lane": HAVE_NUMPY,
+        "tpp_execs_per_sec": execs_per_sec,
+        "instructions_per_sec": execs_per_sec * n_instructions,
+        "scalar_execs_per_sec": scalar_per_sec,
+        "speedup_vs_scalar": execs_per_sec / scalar_per_sec,
+        "vector_batches": tcpu.vector_batches,
+        "batch_fallbacks": tcpu.batch_fallbacks,
+    }
+
+
 # --------------------------------------------------------------------- #
 # Harness entry point
 # --------------------------------------------------------------------- #
@@ -423,6 +503,7 @@ def run_all(quick: bool = False, seed: int = DEFAULT_SEED) -> Dict[str, Any]:
         "tpp_exec": bench_tpp_exec(50_000 // scale),
         "tpp_exec_cached": bench_tpp_exec_cached(50_000 // scale),
         "tpp_exec_verified": bench_tpp_exec_verified(50_000 // scale),
+        "tpp_exec_batched": bench_tpp_exec_batched(2_000 // scale),
     }
     now = time.time()
     return {

@@ -98,6 +98,38 @@ def fastpath_report(switches: Iterable = ()) -> str:
         rows, title="Execution fast path")
 
 
+def batch_report(switches: Iterable = ()) -> str:
+    """Batched-execution counters per switch, as one table.
+
+    ``switches`` are :class:`repro.asic.switch.TPPSwitch` instances.
+    Each row answers: how often the ingress drain found same-program
+    runs, how many TPPs rode them, how many went through the vectorized
+    lane versus the packet-at-a-time safe lane, and the mean batch
+    occupancy (TPPs per batch) — the amortization factor actually
+    achieved, as opposed to the one hoped for.
+    """
+    rows = []
+    for switch in switches:
+        stats = switch.fastpath_stats()
+        occupancy = stats["batch_occupancy"]
+        total = sum(size * count for size, count in occupancy.items())
+        batches = sum(occupancy.values())
+        mean = (total / batches) if batches else 0.0
+        rows.append([
+            switch.name,
+            "on" if stats["batch_enabled"] else "off",
+            stats["batches_executed"], stats["batched_tpps"],
+            stats["vector_batches"], stats["vector_tpps"],
+            stats["batch_fallbacks"], f"{mean:.1f}",
+        ])
+    if not rows:
+        return "(nothing to report)"
+    return format_table(
+        ["switch", "batching", "batches", "tpps", "vec-batches",
+         "vec-tpps", "fallbacks", "mean-occ"],
+        rows, title="Batched execution")
+
+
 def race_report(switches: Iterable = (),
                 policies: Iterable = ()) -> str:
     """Fleet race-table counters per switch / policy, as aligned tables.

@@ -52,6 +52,10 @@ DEFAULT_PIPELINE_LATENCY_NS = 500
 class TPPSwitch(Device):
     """A switch with L2/L3/TCAM forwarding and a dataplane TCPU."""
 
+    # Links announce scheduled deliveries in our ``inbound_at`` ledger so
+    # receive() can defer same-instant frames into one TCPU batch.
+    batches_ingress = True
+
     def __init__(self, sim: Simulator, name: str, switch_id: int,
                  mac: int = 0, trace: Optional[TraceRecorder] = None,
                  memory_map: Optional[MemoryMap] = None,
@@ -89,6 +93,10 @@ class TPPSwitch(Device):
         self.packets_dropped_by_rule = 0
         self.tpps_stripped = 0
         self.tpps_dropped = 0
+
+        # Ingress buffer for the zero-delay drain event (see receive()).
+        self._ingress: list = []
+        self._drain_scheduled = False
 
         self._bind_memory_map()
 
@@ -131,6 +139,13 @@ class TPPSwitch(Device):
         stats["layout_version"] = self.mmu.layout_version
         stats["certificates"] = self.tcpu.certificates
         stats["verified_executions"] = self.tcpu.verified_executions
+        stats["batch_enabled"] = self.tcpu.batch_enabled
+        stats["batches_executed"] = self.tcpu.batches_executed
+        stats["batched_tpps"] = self.tcpu.batched_tpps
+        stats["vector_batches"] = self.tcpu.vector_batches
+        stats["vector_tpps"] = self.tcpu.vector_tpps
+        stats["batch_fallbacks"] = self.tcpu.batch_fallbacks
+        stats["batch_occupancy"] = dict(self.tcpu.batch_occupancy)
         return stats
 
     def emit_fastpath_summary(self) -> dict:
@@ -148,20 +163,160 @@ class TPPSwitch(Device):
     # ------------------------------------------------------------------ #
 
     def receive(self, frame: EthernetFrame, in_port: int) -> None:
-        self.ports[in_port].note_rx(frame)
-        headers = parse_frame(frame)
+        """RX accounting at arrival; when more frames are due this
+        instant (per the link layer's ``inbound_at`` ledger) the
+        pipeline is deferred to a zero-delay drain event so same-ns
+        frames across any ports can be executed as one TCPU batch.  A
+        lone arrival — the steady state — runs the pipeline inline with
+        no event overhead.
 
+        The event queue is FIFO at equal timestamps, so every same-ns
+        ``receive`` lands before the drain fires and per-frame latency
+        is unchanged: egress enqueue still happens at arrival +
+        ``pipeline_latency_ns``.
+        """
+        self.ports[in_port].note_rx(frame)
+        if not self._ingress and not self.inbound_now:
+            # Inline fast path: the delivering link counts announced
+            # arrivals and sets ``inbound_now`` to how many *other*
+            # frames are still due this instant — zero proves no
+            # same-ns peer can arrive, so batching is impossible and
+            # the deferred drain would be pure event overhead.  This is
+            # ``_process_parsed``, unrolled: the lone-arrival steady
+            # state is the wall-clock-critical path.
+            headers = parse_frame(frame)
+            looked = self._ingress_metadata(frame, in_port, headers)
+            if looked is None:
+                return
+            result, metadata = looked
+            if headers.tpp is not None:
+                forwarded = self._handle_tpp(frame, headers.tpp, metadata,
+                                             in_port)
+                if forwarded is None:
+                    return
+                frame = forwarded
+            self._finalize(frame, result, metadata)
+            return
+        self._ingress.append((frame, in_port))
+        if not self._drain_scheduled:
+            self._drain_scheduled = True
+            self.sim.schedule(0, self._drain_ingress)
+
+    def _drain_ingress(self) -> None:
+        """Process everything that arrived this instant.
+
+        Maximal *consecutive* runs of TPP frames sharing a
+        ``program_key`` go through :meth:`TCPU.execute_batch`
+        (amortized parse/lookup/guard, vectorized when eligible);
+        singletons and non-TPP frames take the scalar path.  Arrival
+        order is preserved across runs — drops, traces, hop stamps and
+        egress enqueues happen in the same per-frame order the scalar
+        pipeline would produce (only same-timestamp interleavings of
+        the TPPsExecuted/PacketsSwitched counters differ, which is why
+        those two registers are not batch-stable).
+        """
+        self._drain_scheduled = False
+        buffered, self._ingress = self._ingress, []
+        parsed = [(frame, in_port, parse_frame(frame))
+                  for frame, in_port in buffered]
+        i = 0
+        n = len(parsed)
+        while i < n:
+            frame, in_port, headers = parsed[i]
+            tpp = headers.tpp
+            if tpp is None:
+                self._process_parsed(frame, in_port, headers)
+                i += 1
+                continue
+            j = i + 1
+            key = tpp.program_key
+            while j < n:
+                next_tpp = parsed[j][2].tpp
+                if next_tpp is None or next_tpp.program_key != key:
+                    break
+                j += 1
+            if j - i == 1:
+                self._process_parsed(frame, in_port, headers)
+            else:
+                self._process_run(parsed[i:j])
+            i = j
+
+    def _process_parsed(self, frame: EthernetFrame, in_port: int,
+                        headers: ParsedHeaders) -> None:
+        """The scalar pipeline for one already-parsed frame."""
+        looked = self._ingress_metadata(frame, in_port, headers)
+        if looked is None:
+            return
+        result, metadata = looked
+
+        if headers.tpp is not None:
+            forwarded = self._handle_tpp(frame, headers.tpp, metadata,
+                                         in_port)
+            if forwarded is None:
+                return
+            frame = forwarded
+
+        self._finalize(frame, result, metadata)
+
+    def _process_run(self, run: list) -> None:
+        """Pipeline a run of same-``program_key`` TPP frames as a batch.
+
+        Phase A walks the run in arrival order doing everything scalar
+        (lookup, drops, metadata, edge policy); survivors that want
+        execution stage their section + context.  Phase B executes the
+        staged group in one ``execute_batch`` call.  Phase C finalizes
+        every surviving frame in arrival order, so hook invocation,
+        ``packets_switched``, hop stamps and egress enqueues interleave
+        exactly as the scalar pipeline's would.
+        """
+        staged = []  # (frame, result, metadata, tpp-or-None) in order
+        sections: list = []
+        ctxs: list = []
+        for frame, in_port, headers in run:
+            tpp = headers.tpp
+            looked = self._ingress_metadata(frame, in_port, headers)
+            if looked is None:
+                continue
+            result, metadata = looked
+            forwarded, execute = self._apply_tpp_policy(frame, tpp, in_port)
+            if forwarded is None:
+                continue
+            if not execute:
+                staged.append((forwarded, result, metadata, None))
+                continue
+            ctx = ExecutionContext(
+                metadata=metadata,
+                egress_port=self.ports[metadata.output_port],
+                time_ns=self.sim.now_ns,
+                task_id=tpp.task_id)
+            sections.append(tpp)
+            ctxs.append(ctx)
+            staged.append((forwarded, result, metadata, tpp))
+
+        reports = (self.tcpu.execute_batch(sections, ctxs)
+                   if sections else [])
+
+        index = 0
+        for frame, result, metadata, tpp in staged:
+            if tpp is not None:
+                self._emit_tpp_exec(frame, tpp, reports[index])
+                index += 1
+            self._finalize(frame, result, metadata)
+
+    def _ingress_metadata(self, frame: EthernetFrame, in_port: int,
+                          headers: ParsedHeaders):
+        """Forwarding lookup + metadata stamp; ``None`` means dropped."""
         result = self._lookup(headers, in_port)
         if result is None:
             self.packets_dropped_no_route += 1
             self.trace.emit(self.sim.now_ns, self.name, "switch.no_route",
                             frame_uid=frame.uid, dst=frame.dst)
-            return
+            return None
         if result.is_drop:
             self.packets_dropped_by_rule += 1
             self.trace.emit(self.sim.now_ns, self.name, "switch.rule_drop",
                             frame_uid=frame.uid, entry_id=result.entry_id)
-            return
+            return None
 
         queue_id = self._classify_queue(headers, result)
         metadata = PacketMetadata(
@@ -175,14 +330,11 @@ class TPPSwitch(Device):
             arrival_time_ns=self.sim.now_ns,
             alternate_routes=result.alternate_routes,
         )
+        return result, metadata
 
-        if headers.tpp is not None:
-            forwarded = self._handle_tpp(frame, headers.tpp, metadata,
-                                         in_port)
-            if forwarded is None:
-                return
-            frame = forwarded
-
+    def _finalize(self, frame: EthernetFrame, result: LookupResult,
+                  metadata: PacketMetadata) -> None:
+        """Post-TCPU stages: datagram hooks, counters, egress enqueue."""
         if self.datagram_hooks:
             datagram = self._find_datagram(frame)
             if datagram is not None:
@@ -245,10 +397,15 @@ class TPPSwitch(Device):
                f"{headers.src_port}|{headers.dst_port}").encode()
         return zlib.crc32(key)
 
-    def _handle_tpp(self, frame: EthernetFrame, tpp: TPPSection,
-                    metadata: PacketMetadata,
-                    in_port: int) -> Optional[EthernetFrame]:
-        """Apply edge policy, then execute the TPP on the TCPU."""
+    def _apply_tpp_policy(self, frame: EthernetFrame, tpp: TPPSection,
+                          in_port: int
+                          ) -> "tuple[Optional[EthernetFrame], bool]":
+        """Edge policy for one TPP frame.
+
+        Returns ``(frame, execute)``: the (possibly stripped) frame to
+        keep forwarding — ``None`` if it must be dropped — and whether
+        the TCPU should execute the section.
+        """
         action = "execute"
         if self.tpp_policy is not None:
             action = self.tpp_policy.action_for(self, in_port, tpp)
@@ -257,7 +414,7 @@ class TPPSwitch(Device):
             self.tpps_dropped += 1
             self.trace.emit(self.sim.now_ns, self.name, "tpp.dropped",
                             frame_uid=frame.uid, port=in_port)
-            return None
+            return None, False
         if action == "strip":
             self.tpps_stripped += 1
             self.trace.emit(self.sim.now_ns, self.name, "tpp.stripped",
@@ -267,19 +424,30 @@ class TPPSwitch(Device):
                 frame.payload = inner
                 frame.ethertype = ETHERTYPE_IPV4
                 frame.invalidate_size_cache()
-                return frame
-            return None  # nothing forwardable inside
+                return frame, False
+            return None, False  # nothing forwardable inside
         if action == "forward":
-            return frame  # forward without executing
+            return frame, False  # forward without executing
+        return frame, self.tpp_enabled
 
-        if not self.tpp_enabled:
-            return frame
+    def _handle_tpp(self, frame: EthernetFrame, tpp: TPPSection,
+                    metadata: PacketMetadata,
+                    in_port: int) -> Optional[EthernetFrame]:
+        """Apply edge policy, then execute the TPP on the TCPU."""
+        forwarded, execute = self._apply_tpp_policy(frame, tpp, in_port)
+        if forwarded is None or not execute:
+            return forwarded
 
         ctx = ExecutionContext(metadata=metadata,
                                egress_port=self.ports[metadata.output_port],
                                time_ns=self.sim.now_ns,
                                task_id=tpp.task_id)
         report = self.tcpu.execute(tpp, ctx)
+        self._emit_tpp_exec(forwarded, tpp, report)
+        return forwarded
+
+    def _emit_tpp_exec(self, frame: EthernetFrame, tpp: TPPSection,
+                       report: Any) -> None:
         # wants() guard: snapshotting packet memory (tpp.words()) and
         # building the kwargs dict is the expensive part — skip it all
         # when nobody records tpp.exec.
@@ -291,14 +459,21 @@ class TPPSwitch(Device):
                 fault=int(report.fault), cycles=report.cycles,
                 sp_or_hop=tpp.hop_or_sp, memory_words=tpp.words(),
             )
-        return frame
 
     # ------------------------------------------------------------------ #
     # Memory map bindings
     # ------------------------------------------------------------------ #
 
     def _bind_memory_map(self) -> None:
-        bind = self.mmu.bind_reader
+        # Statistics cannot change while a batch runs (the drain event is
+        # synchronous: no enqueue/dequeue/control-plane event can fire
+        # mid-batch), so nearly every reader is batch-stable.  The two
+        # exceptions are the self-counters the TCPU and pipeline bump
+        # *per packet* — a program reading those must see the scalar
+        # interleaving, so they stay unstable and force the safe lane.
+        def bind(name: str, fn: Callable[[ExecutionContext], int],
+                 batch_stable: bool = True) -> None:
+            self.mmu.bind_reader(name, fn, batch_stable=batch_stable)
 
         # Switch: global registers.
         bind("Switch:SwitchID", lambda ctx: self.switch_id)
@@ -309,8 +484,10 @@ class TPPSwitch(Device):
         bind("Switch:L2TableEntries", lambda ctx: len(self.l2))
         bind("Switch:L3TableEntries", lambda ctx: len(self.l3))
         bind("Switch:TCAMEntries", lambda ctx: len(self.tcam))
-        bind("Switch:TPPsExecuted", lambda ctx: self.tcpu.tpps_executed)
-        bind("Switch:PacketsSwitched", lambda ctx: self.packets_switched)
+        bind("Switch:TPPsExecuted", lambda ctx: self.tcpu.tpps_executed,
+             batch_stable=False)
+        bind("Switch:PacketsSwitched", lambda ctx: self.packets_switched,
+             batch_stable=False)
 
         # PacketMetadata: the packet in the pipeline.
         meta = lambda attr: (lambda ctx: getattr(ctx.metadata, attr))

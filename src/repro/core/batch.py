@@ -1,0 +1,346 @@
+"""Batched TPP execution: drain-a-queue, execute-as-a-group.
+
+The scalar TCPU pays its fixed costs — program-cache lookup, certificate
+guard, report construction, Python dispatch — once per packet.  But the
+workload the paper describes is *massively repetitive*: millions of
+probes carrying the same five-instruction program.  A switch that drains
+its ingress queue as groups of same-``program_key`` frames can pay those
+fixed costs once per group, and — for the verified, write-free programs
+the certificates (PR-4) make recognizable — execute the whole group as a
+handful of numpy array operations instead of ``O(packets)`` Python
+bytecode ("Packet Transactions" makes the same move in hardware:
+compile the program once against the pipeline, then stream packets
+through it).
+
+Two lanes, selected per batch:
+
+**Vectorized lane** (the fast one).  Eligible when the program has a
+trusted certificate, contains no CEXEC and no MMU-write opcodes
+(POP/STORE/CSTORE), every read address is *batch-stable*
+(:meth:`repro.core.mmu.MMU.reader_is_batch_stable`), and every section
+in the batch is flag-clean with identical geometry and hop/SP counter
+inside the certificate guard.  Packet memories live as rows of one
+numpy byte matrix (:class:`BatchArena`) and the kernel runs
+*instruction-major*: for each instruction it gathers the MMU reads for
+all packets, then updates one column of the matrix with a single array
+operation.  The eligibility rules make the packet-major → instruction-
+major reorder unobservable: no instruction writes switch state, no read
+can see another packet's effect, and the certificate already proved
+every packet-memory access in bounds.  Results are bit-identical to the
+scalar interpreter by construction, and the differential suite enforces
+it (``tests/core/test_batch_differential.py``).
+
+If an MMU read faults mid-kernel (unbound statistic, SRAM protection),
+the matrix is restored from a pristine copy and the batch is re-run
+packet-at-a-time — batch-stable readers are pure, so the replay
+reproduces the exact per-packet fault pattern the scalar path would
+have produced.
+
+**Safe lane** (everything else).  Packet-at-a-time through the batch's
+shared :class:`~repro.core.fastpath.CompiledEntry` — full scalar
+semantics (CEXEC bookkeeping, switch writes, per-packet faults) with
+the cache lookup still amortized.  With compilation disabled
+(``REPRO_TPP_FASTPATH=0``) or batching disabled (``REPRO_TPP_BATCH=0``)
+every batch degenerates to a loop over :meth:`repro.core.tcpu.
+TCPU.execute`, which is also the reference the differential tests
+compare against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, cast
+
+from repro.core.exceptions import FaultCode, TCPUFault
+from repro.core.fastpath import BatchPlan, CompiledEntry
+from repro.core.isa import Opcode
+from repro.core.mmu import ExecutionContext
+from repro.core.tcpu import TCPU, ExecutionReport, pipeline_cycles
+from repro.core.tpp import AddressingMode, FLAG_DONE, TPPSection
+
+try:  # pragma: no cover - exercised via HAVE_NUMPY in both states
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy present in CI
+    _np = None  # type: ignore[assignment]
+
+#: Whether the vectorized lane is available at all.  When numpy is
+#: missing every batch takes the (pure-python) safe lane; results are
+#: identical, only slower.
+HAVE_NUMPY = _np is not None
+
+#: Big-endian word dtypes matching the wire format (and
+#: ``fastpath._WORD_STRUCTS``).
+_WORD_DTYPES = {4: ">u4", 8: ">u8"}
+
+
+class BatchArena:
+    """Packet memories of N same-shape sections as one numpy matrix.
+
+    ``adopt`` semantics: each section's ``memory`` bytearray is replaced
+    by a writable :class:`memoryview` of its row, so the vectorized
+    kernel's column writes and every scalar code path (compiled
+    closures, the interpreter, ``encode()``) see the *same* bytes with
+    zero copying.  :meth:`release` moves the rows back into fresh
+    bytearrays — required before a section travels a link again (the
+    corruption injector resizes memory, which a row view cannot do).
+
+    The benchmark harness keeps an arena resident across executions and
+    passes it to :meth:`repro.core.tcpu.TCPU.execute_batch`; the switch
+    drain path builds one transiently per vectorized batch.
+    """
+
+    __slots__ = ("sections", "matrix")
+
+    def __init__(self, sections: Sequence[TPPSection]) -> None:
+        if _np is None:
+            raise RuntimeError("BatchArena requires numpy")
+        if not sections:
+            raise ValueError("cannot build an arena over zero sections")
+        width = len(sections[0].memory)
+        for section in sections:
+            if len(section.memory) != width:
+                raise ValueError(
+                    f"arena sections must share a memory length: "
+                    f"{len(section.memory)} != {width}")
+        self.sections: List[TPPSection] = list(sections)
+        matrix = _np.empty((len(self.sections), width), dtype=_np.uint8)
+        for index, section in enumerate(self.sections):
+            if width:
+                matrix[index] = _np.frombuffer(section.memory,
+                                               dtype=_np.uint8)
+            section.memory = cast(bytearray, memoryview(matrix[index]))
+        self.matrix = matrix
+
+    def release(self) -> None:
+        """Move every section's memory back into an owned bytearray."""
+        for index, section in enumerate(self.sections):
+            section.memory = bytearray(self.matrix[index])
+
+
+def execute_batch(tcpu: TCPU, sections: Sequence[TPPSection],
+                  ctxs: Sequence[ExecutionContext],
+                  arena: Optional[BatchArena] = None
+                  ) -> List[ExecutionReport]:
+    """Execute a group of same-``program_key`` TPPs on one TCPU.
+
+    The reference semantics are ``[tcpu.execute(s, c) for s, c in
+    zip(sections, ctxs)]`` — identical reports, packet memory, flags,
+    wire bytes, and counters-visible-to-programs; only wall-clock time
+    and the TCPU's batch accounting differ.  Sections whose program key
+    diverges from the first section's (a caller bug, or corruption
+    between grouping and execution) demote the whole batch to exactly
+    that reference loop.
+    """
+    n = len(sections)
+    if n != len(ctxs):
+        raise ValueError(
+            f"{n} sections but {len(ctxs)} execution contexts")
+    if n == 0:
+        return []
+    if not tcpu.batch_enabled or not tcpu.compile_enabled:
+        # Packet-at-a-time opt-outs: REPRO_TPP_BATCH=0 (batching off)
+        # and REPRO_TPP_FASTPATH=0 (no compiled entries to share).
+        return [tcpu.execute(section, ctx)
+                for section, ctx in zip(sections, ctxs)]
+
+    tcpu.batches_executed += 1
+    tcpu.batched_tpps += n
+    occupancy = tcpu.batch_occupancy
+    occupancy[n] = occupancy.get(n, 0) + 1
+
+    first = sections[0]
+    key = first.program_key
+    if len(first.instructions) > tcpu.max_instructions:
+        # Scalar execute stamps the TOO_MANY_INSTRUCTIONS fault exactly;
+        # key-mismatched stragglers also get their own correct handling.
+        return [tcpu.execute(section, ctx)
+                for section, ctx in zip(sections, ctxs)]
+
+    entry = tcpu._compiled_entry(first)
+    plan = entry.batch_plan
+
+    h0 = first.hop_or_sp
+    eligible = (HAVE_NUMPY and plan is not None and plan.vectorizable
+                and entry.verified_steps is not None and not entry.has_cexec
+                and entry.guard_lo <= h0 <= entry.guard_hi)
+    # One pass: program-key uniformity (required for every lane) fused
+    # with the per-section certificate guard for the vectorized lane.
+    memory_len = entry.memory_len
+    perhop = entry.perhop_len_bytes
+    for section in sections:
+        if section._program_key != key and section.program_key != key:
+            return [tcpu.execute(section, ctx)
+                    for section, ctx in zip(sections, ctxs)]
+        if eligible and (section.flags or section.hop_or_sp != h0
+                         or len(section.memory) != memory_len
+                         or section.perhop_len_bytes != perhop):
+            eligible = False
+    if eligible:
+        reports = _run_vectorized(tcpu, entry, plan, sections, ctxs,
+                                  arena, h0)
+        if reports is not None:
+            return reports
+        tcpu.batch_fallbacks += 1
+
+    # Safe lane: full scalar semantics, shared compiled entry.
+    out: List[ExecutionReport] = []
+    for section, ctx in zip(sections, ctxs):
+        report = ExecutionReport()
+        if section.flags & FLAG_DONE:
+            out.append(report)
+            continue
+        ctx.task_id = section.task_id
+        out.append(tcpu._run_entry(section, ctx, entry, report))
+    return out
+
+
+def _run_vectorized(tcpu: TCPU, entry: CompiledEntry, plan: BatchPlan,
+                    sections: Sequence[TPPSection],
+                    ctxs: Sequence[ExecutionContext],
+                    arena: Optional[BatchArena],
+                    h0: int) -> Optional[List[ExecutionReport]]:
+    """Instruction-major kernel; ``None`` means "re-run via safe lane".
+
+    Precondition (checked by :func:`execute_batch`): certificate guard
+    holds for every section at ``hop_or_sp == h0``, all flags clear,
+    geometry uniform, program free of CEXEC/MMU-writes, reads
+    batch-stable.  On a mid-kernel MMU fault the matrix is restored
+    from a pristine copy, so the safe-lane replay starts from exactly
+    the bytes the scalar path would have started from.
+    """
+    local_arena = arena is None
+    if local_arena:
+        arena = BatchArena(sections)
+    assert arena is not None
+    matrix = arena.matrix
+    word = sections[0].word_size
+    dtype = _WORD_DTYPES[word]
+    mask = (1 << (8 * word)) - 1
+    perhop = entry.perhop_len_bytes
+
+    # A batch whose contexts are all one object (the warm steady state:
+    # same ingress pipeline, same metadata) lets every batch-stable read
+    # collapse to a single call broadcast across the lane — stable
+    # readers are pure, so N identical calls and one call are the same
+    # bytes.
+    ctx0 = ctxs[0]
+    shared_ctx = True
+    for ctx in ctxs:
+        if ctx is not ctx0:
+            shared_ctx = False
+            break
+    if plan.uses_task_id:
+        task0 = sections[0].task_id
+        uniform_task = True
+        for section in sections:
+            if section.task_id != task0:
+                uniform_task = False
+                break
+        if uniform_task:
+            ctx0.task_id = task0
+            if not shared_ctx:
+                for ctx in ctxs:
+                    ctx.task_id = task0
+        else:
+            if shared_ctx or len({id(ctx) for ctx in ctxs}) != len(ctxs):
+                # Aliased contexts with mixed task ids: a pre-pass stamp
+                # would let one packet's task id leak into another's
+                # SRAM reads.  The safe lane re-stamps per packet.
+                if local_arena:
+                    arena.release()
+                return None
+            for section, ctx in zip(sections, ctxs):
+                ctx.task_id = section.task_id
+    pristine = matrix.copy() if plan.touches_memory else None
+
+    assert plan.ops is not None
+    cursor = h0  # the (uniform) hop/SP counter, advanced by PUSH
+    try:
+        for op in plan.ops:
+            kind = op[0]
+            if kind == "nop":
+                continue
+            if kind == "push":
+                read = op[1]
+                col = matrix[:, cursor:cursor + word].view(dtype)[:, 0]
+                if shared_ctx:
+                    col[:] = read(ctx0) & mask
+                else:
+                    col[:] = [read(ctx) & mask for ctx in ctxs]
+                cursor += word
+                continue
+            if kind == "load":
+                _, read, hop_relative, offset = op
+                ea = cursor * perhop + offset if hop_relative else offset
+                col = matrix[:, ea:ea + word].view(dtype)[:, 0]
+                if shared_ctx:
+                    col[:] = read(ctx0) & mask
+                else:
+                    col[:] = [read(ctx) & mask for ctx in ctxs]
+                continue
+            # ("arith", opcode, read, hop_relative, offset)
+            _, opcode, read, hop_relative, offset = op
+            ea = cursor * perhop + offset if hop_relative else offset
+            lane = matrix[:, ea:ea + word].view(dtype)[:, 0]
+            if shared_ctx:
+                operand = read(ctx0) & mask
+            else:
+                operand = _np.array([read(ctx) & mask for ctx in ctxs],
+                                    dtype=dtype)
+            if opcode == Opcode.ADD:
+                lane += operand
+            elif opcode == Opcode.SUB:
+                lane -= operand
+            elif opcode == Opcode.AND:
+                lane &= operand
+            elif opcode == Opcode.OR:
+                lane |= operand
+            elif opcode == Opcode.XOR:
+                lane ^= operand
+            elif opcode == Opcode.MIN:
+                _np.minimum(lane, operand, out=lane)
+            else:
+                _np.maximum(lane, operand, out=lane)
+    except TCPUFault:
+        # A reader faulted for some packet.  Stable readers are pure,
+        # so replaying packet-at-a-time reproduces the exact scalar
+        # fault pattern — provided memory is back to its pre-batch
+        # bytes (earlier columns were already rewritten).
+        if pristine is not None:
+            matrix[:] = pristine
+        if local_arena:
+            arena.release()
+        return None
+
+    # Epilogue: per-section state and reports, all uniform.
+    hop_mode = sections[0].mode == AddressingMode.HOP
+    final = cursor + 1 if hop_mode else cursor
+    dirty = plan.touches_memory or hop_mode
+    n_instructions = plan.n_instructions
+    cycles = pipeline_cycles(n_instructions)
+    report_cls = ExecutionReport
+    new_report = report_cls.__new__
+    no_fault = FaultCode.NONE
+    reports: List[ExecutionReport] = []
+    append = reports.append
+    for section in sections:
+        section.hop_or_sp = final
+        if dirty:
+            section._wire_cache = None
+        report = new_report(report_cls)
+        report.executed = n_instructions
+        report.skipped = 0
+        report.fault = no_fault
+        report.cexec_disabled_at = None
+        report.cycles = cycles
+        report.switch_writes = []
+        append(report)
+
+    n = len(sections)
+    tcpu.verified_executions += n
+    tcpu.tpps_executed += n
+    tcpu.instructions_executed += n_instructions * n
+    tcpu.vector_batches += 1
+    tcpu.vector_tpps += n
+    if local_arena:
+        arena.release()
+    return reports

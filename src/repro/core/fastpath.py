@@ -52,6 +52,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.exceptions import FaultCode, TCPUFault
 from repro.core.isa import HOP_RELATIVE_OPCODES, Instruction, Opcode
+from repro.core.memory_map import is_link_scratch, is_sram
 from repro.core.mmu import MMU
 from repro.core.tpp import AddressingMode
 
@@ -99,16 +100,24 @@ class CompiledEntry:
     ``memory_len``/``perhop_len_bytes`` exactly and whose hop/SP counter
     lies in ``[guard_lo, guard_hi]`` — the TCPU checks this per
     execution and otherwise runs ``steps``.
+
+    ``batch_plan`` (attached by the TCPU for certified programs) carries
+    the batch-shape facts :mod:`repro.core.batch` needs to decide per
+    batch whether the vectorized kernel may run; ``None`` means the
+    program was never analysed (no certificate) and batches of it always
+    take the safe packet-at-a-time lane.
     """
 
     __slots__ = ("steps", "verified_steps", "guard_lo", "guard_hi",
-                 "memory_len", "perhop_len_bytes", "has_cexec")
+                 "memory_len", "perhop_len_bytes", "has_cexec",
+                 "batch_plan")
 
     def __init__(self, steps: Tuple[Step, ...],
                  verified_steps: Optional[Tuple[Step, ...]] = None,
                  certificate: Any = None) -> None:
         self.steps = steps
         self.verified_steps = verified_steps
+        self.batch_plan: Optional[BatchPlan] = None
         if certificate is not None:
             self.guard_lo: int = certificate.guard_lo
             self.guard_hi: int = certificate.guard_hi
@@ -121,6 +130,110 @@ class CompiledEntry:
             self.memory_len = -1
             self.perhop_len_bytes = -1
             self.has_cexec = True
+
+
+#: Opcodes the vectorized batch kernel understands.  Everything here is
+#: free of MMU writes and of control flow: reorderable across packets of
+#: a batch without any observable difference.
+_VECTOR_OPCODES = frozenset((
+    Opcode.NOP, Opcode.PUSH, Opcode.LOAD, Opcode.ADD, Opcode.SUB,
+    Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.MIN, Opcode.MAX,
+))
+
+#: Opcodes that write switch state through the MMU.
+_MMU_WRITE_OPCODES = frozenset((Opcode.POP, Opcode.STORE, Opcode.CSTORE))
+
+
+class BatchPlan:
+    """Batch-shape facts about one compiled program.
+
+    Built once per compilation (certified programs only) by
+    :func:`build_batch_plan` and attached to the program's
+    :class:`CompiledEntry`.  ``ops`` is the instruction list lowered to
+    the vectorized kernel's micro-ops (``None`` when any instruction is
+    outside the kernel's vocabulary):
+
+    - ``("nop",)``
+    - ``("push", reader)`` — effective address is the running SP
+    - ``("load", reader, hop_relative, offset_bytes)``
+    - ``("arith", opcode, reader, hop_relative, offset_bytes)``
+
+    ``vectorizable`` additionally requires every read to be
+    *batch-stable* (:meth:`repro.core.mmu.MMU.reader_is_batch_stable`):
+    side-effect-free and unchanged by the TPP executions within one
+    batch, so instruction-major execution order is unobservable.
+    """
+
+    __slots__ = ("ops", "vectorizable", "writes_mmu", "stable_reads",
+                 "uses_task_id", "touches_memory", "n_instructions")
+
+    def __init__(self, ops: Optional[Tuple[Tuple[Any, ...], ...]],
+                 vectorizable: bool, writes_mmu: bool, stable_reads: bool,
+                 uses_task_id: bool, touches_memory: bool,
+                 n_instructions: int) -> None:
+        self.ops = ops
+        self.vectorizable = vectorizable
+        self.writes_mmu = writes_mmu
+        self.stable_reads = stable_reads
+        self.uses_task_id = uses_task_id
+        self.touches_memory = touches_memory
+        self.n_instructions = n_instructions
+
+
+def build_batch_plan(instructions: List[Instruction],
+                     mode: AddressingMode, word_size: int,
+                     mmu: MMU) -> BatchPlan:
+    """Lower a program to the vectorized kernel's micro-ops (if possible).
+
+    Valid for the same lifetime as the compiled closures: a
+    ``layout_version`` bump (which can change which readers are
+    batch-stable) clears the program cache, and the plan is rebuilt with
+    the entry.
+    """
+    hop_mode = mode == AddressingMode.HOP
+    ops: List[Tuple[Any, ...]] = []
+    vector_ok = True
+    writes_mmu = False
+    stable = True
+    uses_task_id = False
+    touches_memory = False
+    for instruction in instructions:
+        opcode = instruction.opcode
+        if opcode in _MMU_WRITE_OPCODES:
+            writes_mmu = True
+        if opcode not in _VECTOR_OPCODES:
+            vector_ok = False
+            continue
+        if opcode == Opcode.NOP:
+            ops.append(("nop",))
+            continue
+        addr = instruction.addr
+        if not mmu.reader_is_batch_stable(addr):
+            stable = False
+        if is_sram(addr) or is_link_scratch(addr):
+            # SRAM protection domains resolve against ``ctx.task_id``,
+            # so the kernel must stamp it per packet before reading.
+            uses_task_id = True
+        reader = mmu.reader_for(addr)
+        touches_memory = True
+        offset_bytes = instruction.offset * word_size
+        hop_relative = hop_mode and opcode in HOP_RELATIVE_OPCODES
+        if opcode == Opcode.PUSH:
+            ops.append(("push", reader))
+        elif opcode == Opcode.LOAD:
+            ops.append(("load", reader, hop_relative, offset_bytes))
+        else:
+            ops.append(("arith", opcode, reader, hop_relative,
+                        offset_bytes))
+    return BatchPlan(
+        ops=tuple(ops) if vector_ok else None,
+        vectorizable=vector_ok and stable and not writes_mmu,
+        writes_mmu=writes_mmu,
+        stable_reads=stable,
+        uses_task_id=uses_task_id,
+        touches_memory=touches_memory,
+        n_instructions=len(instructions),
+    )
 
 
 class ProgramCache:

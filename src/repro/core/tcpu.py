@@ -29,6 +29,7 @@ from repro.core.fastpath import (
     DEFAULT_PROGRAM_CACHE_CAPACITY,
     CompiledEntry,
     ProgramCache,
+    build_batch_plan,
     compile_program,
 )
 from repro.core.isa import HOP_RELATIVE_OPCODES, Instruction, Opcode
@@ -59,6 +60,19 @@ def _fastpath_default() -> bool:
     """
     return os.environ.get("REPRO_TPP_FASTPATH", "1") != "0"
 
+
+def batch_default() -> bool:
+    """Batched execution is on unless ``REPRO_TPP_BATCH=0``.
+
+    Mirrors :func:`_fastpath_default`: the opt-out exists so CI can run
+    the whole simulator packet-at-a-time (the reference arrival order)
+    and so a debugging session can rule batching out in one line.
+    """
+    return os.environ.get("REPRO_TPP_BATCH", "1") != "0"
+
+#: Memoized ``repro.core.batch.execute_batch`` (deferred import).
+_BATCH_IMPL = None
+
 #: Pipeline stages after the header parser has fetched the instructions.
 PIPELINE_STAGES = ("decode", "execute", "memory-read", "memory-write")
 PIPELINE_LATENCY_CYCLES = len(PIPELINE_STAGES)  # 4, as in the paper
@@ -88,7 +102,8 @@ class TCPU:
                  max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
                  name: str = "tcpu", compile: Optional[bool] = None,
                  cache_capacity: int = DEFAULT_PROGRAM_CACHE_CAPACITY,
-                 race_mode: str = "warn") -> None:
+                 race_mode: str = "warn",
+                 batch: Optional[bool] = None) -> None:
         if race_mode not in RACE_MODES:
             raise ValueError(
                 f"race_mode must be one of {RACE_MODES}, "
@@ -132,6 +147,23 @@ class TCPU:
         self.certificates_refused = 0
         #: Certificates dropped by MMU layout-version sweeps.
         self.certificates_swept = 0
+        #: ``batch=False`` forces packet-at-a-time execution even through
+        #: :meth:`execute_batch`; ``None`` follows ``REPRO_TPP_BATCH``.
+        self.batch_enabled = (batch_default() if batch is None
+                              else bool(batch))
+        # -- Batched-execution accounting (repro.core.batch) --------------
+        #: ``execute_batch`` calls that processed at least one section.
+        self.batches_executed = 0
+        #: Sections that went through ``execute_batch`` (any lane).
+        self.batched_tpps = 0
+        #: Batches / sections that ran the vectorized numpy kernel.
+        self.vector_batches = 0
+        self.vector_tpps = 0
+        #: Vectorized attempts aborted mid-kernel (a reader faulted);
+        #: the batch re-ran packet-at-a-time on pristine memory.
+        self.batch_fallbacks = 0
+        #: Histogram of batch sizes seen: ``{occupancy: count}``.
+        self.batch_occupancy: dict = {}
 
     # ------------------------------------------------------------------ #
     # Certificates
@@ -245,87 +277,122 @@ class TCPU:
             return report
 
         ctx.task_id = tpp.task_id
-        enabled = True
         if self.compile_enabled:
-            entry = self._compiled_entry(tpp)
-            steps = entry.steps
-            # Per-execution certificate guard: the verified (elided)
-            # closures may only run when the section's geometry matches
-            # the certificate exactly and the hop/SP counter is inside
-            # the proven-safe interval.  Anything else — a corrupted
-            # header, a replayed section, a later hop of a stack
-            # program — silently falls back to the checked closures,
-            # which fault exactly like the interpreter.
-            if (entry.verified_steps is not None
-                    and len(tpp.memory) == entry.memory_len
-                    and tpp.perhop_len_bytes == entry.perhop_len_bytes
-                    and entry.guard_lo <= tpp.hop_or_sp <= entry.guard_hi):
-                self.verified_executions += 1
-                if not entry.has_cexec:
-                    # Tight loop: no CEXEC means no enabled/skip
-                    # bookkeeping either.  MMU accessors can still fault
-                    # (unbound statistic, SRAM domain) — per-switch
-                    # state the certificate deliberately doesn't cover.
-                    executed = 0
-                    try:
-                        for step in entry.verified_steps:
-                            step(tpp, ctx, report)
-                            executed += 1
-                    except TCPUFault as fault:
-                        self._fault(tpp, report, fault)
-                    report.executed = executed
-                    self._advance_hop(tpp)
-                    if executed:
-                        report.cycles = (PIPELINE_LATENCY_CYCLES
-                                         + executed - 1)
-                    self.tpps_executed += 1
-                    self.instructions_executed += executed
-                    return report
-                steps = entry.verified_steps
-            executed = 0
-            index = 0
-            # The faulting instruction is *not* counted as executed (the
-            # increment sits after the step call), matching the
-            # interpreter loop below exactly.
-            try:
-                for step in steps:
-                    if enabled:
-                        enabled = step(tpp, ctx, report)
+            return self._run_entry(tpp, ctx, self._compiled_entry(tpp),
+                                   report)
+        return self._run_interpreted(tpp, ctx, report)
+
+    def execute_batch(self, sections, ctxs, arena=None):
+        """Execute a group of same-program TPPs in one pass.
+
+        Semantically identical to calling :meth:`execute` once per
+        ``(section, ctx)`` pair in order — same reports, same packet
+        memory bytes, same fault stamping, same counters — but the
+        program-cache lookup and certificate guard are paid once per
+        batch, and eligible batches (verified certificate, no CEXEC, no
+        switch writes, batch-stable reads) run a vectorized numpy
+        kernel over an arena of packet memories.  See
+        :mod:`repro.core.batch` for the engine and the eligibility
+        rules.  ``arena`` optionally passes a resident
+        :class:`~repro.core.batch.BatchArena` the sections already live
+        in (the benchmark harness does this to amortize adoption).
+        """
+        global _BATCH_IMPL
+        if _BATCH_IMPL is None:
+            # Deferred to break the tcpu <-> batch import cycle; memoized
+            # because the import-machinery lookup is measurable per batch.
+            from repro.core.batch import execute_batch
+            _BATCH_IMPL = execute_batch
+        return _BATCH_IMPL(self, sections, ctxs, arena)
+
+    def _run_entry(self, tpp: TPPSection, ctx: ExecutionContext,
+                   entry: CompiledEntry,
+                   report: ExecutionReport) -> ExecutionReport:
+        """Run one section through compiled closures (shared by
+        :meth:`execute` and the batch engine's safe lane; the caller has
+        already done the done/limit prologue and set ``ctx.task_id``)."""
+        steps = entry.steps
+        # Per-execution certificate guard: the verified (elided)
+        # closures may only run when the section's geometry matches
+        # the certificate exactly and the hop/SP counter is inside
+        # the proven-safe interval.  Anything else — a corrupted
+        # header, a replayed section, a later hop of a stack
+        # program — silently falls back to the checked closures,
+        # which fault exactly like the interpreter.
+        if (entry.verified_steps is not None
+                and len(tpp.memory) == entry.memory_len
+                and tpp.perhop_len_bytes == entry.perhop_len_bytes
+                and entry.guard_lo <= tpp.hop_or_sp <= entry.guard_hi):
+            self.verified_executions += 1
+            if not entry.has_cexec:
+                # Tight loop: no CEXEC means no enabled/skip
+                # bookkeeping either.  MMU accessors can still fault
+                # (unbound statistic, SRAM domain) — per-switch
+                # state the certificate deliberately doesn't cover.
+                executed = 0
+                try:
+                    for step in entry.verified_steps:
+                        step(tpp, ctx, report)
                         executed += 1
-                        if not enabled:
-                            report.cexec_disabled_at = index
-                    else:
-                        report.skipped += 1
-                    index += 1
+                except TCPUFault as fault:
+                    self._fault(tpp, report, fault)
+                report.executed = executed
+                self._advance_hop(tpp)
+                report.cycles = pipeline_cycles(executed)
+                self.tpps_executed += 1
+                self.instructions_executed += executed
+                return report
+            steps = entry.verified_steps
+        enabled = True
+        executed = 0
+        index = 0
+        # The faulting instruction is *not* counted as executed (the
+        # increment sits after the step call), matching the
+        # interpreter loop exactly.  ``cexec_disabled_at`` records the
+        # *first* disabling CEXEC only (first-occurrence semantics,
+        # identical guard to the interpreter below).
+        try:
+            for step in steps:
+                if enabled:
+                    enabled = step(tpp, ctx, report)
+                    executed += 1
+                    if not enabled and report.cexec_disabled_at is None:
+                        report.cexec_disabled_at = index
+                else:
+                    report.skipped += 1
+                index += 1
+        except TCPUFault as fault:
+            self._fault(tpp, report, fault)
+        except IndexError as exc:
+            self._fault(tpp, report, TCPUFault(
+                FaultCode.MEMORY_BOUNDS, str(exc)))
+        report.executed = executed
+        self._advance_hop(tpp)
+        report.cycles = pipeline_cycles(executed)
+        self.tpps_executed += 1
+        self.instructions_executed += executed
+        return report
+
+    def _run_interpreted(self, tpp: TPPSection, ctx: ExecutionContext,
+                         report: ExecutionReport) -> ExecutionReport:
+        """Reference interpreter loop (the ``compile=False`` path)."""
+        enabled = True
+        for index, instruction in enumerate(tpp.instructions):
+            if not enabled:
+                report.skipped += 1
+                continue
+            try:
+                enabled = self._step(tpp, ctx, instruction, report)
+                report.executed += 1
+                if not enabled and report.cexec_disabled_at is None:
+                    report.cexec_disabled_at = index
             except TCPUFault as fault:
                 self._fault(tpp, report, fault)
+                break
             except IndexError as exc:
                 self._fault(tpp, report, TCPUFault(
                     FaultCode.MEMORY_BOUNDS, str(exc)))
-            report.executed = executed
-            self._advance_hop(tpp)
-            if executed:
-                report.cycles = PIPELINE_LATENCY_CYCLES + executed - 1
-            self.tpps_executed += 1
-            self.instructions_executed += executed
-            return report
-        else:
-            for index, instruction in enumerate(tpp.instructions):
-                if not enabled:
-                    report.skipped += 1
-                    continue
-                try:
-                    enabled = self._step(tpp, ctx, instruction, report)
-                    report.executed += 1
-                    if not enabled and report.cexec_disabled_at is None:
-                        report.cexec_disabled_at = index
-                except TCPUFault as fault:
-                    self._fault(tpp, report, fault)
-                    break
-                except IndexError as exc:
-                    self._fault(tpp, report, TCPUFault(
-                        FaultCode.MEMORY_BOUNDS, str(exc)))
-                    break
+                break
 
         self._advance_hop(tpp)
 
@@ -362,6 +429,8 @@ class TCPU:
                     tpp.instructions, tpp.mode, tpp.word_size, mmu,
                     certificate=certificate)
                 entry = CompiledEntry(steps, verified_steps, certificate)
+                entry.batch_plan = build_batch_plan(
+                    tpp.instructions, tpp.mode, tpp.word_size, mmu)
             else:
                 entry = CompiledEntry(steps)
             self.cache.put(key, entry)

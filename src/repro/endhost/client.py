@@ -41,14 +41,18 @@ import itertools
 import random
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.assembler import AssembledProgram
 from repro.core.exceptions import FaultCode
 from repro.core.memory_map import MemoryMap
 from repro.core.tcpu import DEFAULT_MAX_INSTRUCTIONS
 from repro.core.tpp import TPPSection
-from repro.core.verifier import VerificationError, verify_program
+from repro.core.verifier import (
+    VerificationError,
+    VerificationResult,
+    verify_program,
+)
 from repro.errors import ReproError
 from repro.net.host import Host
 from repro.net.packet import ETHERTYPE_TPP, Datagram, EthernetFrame
@@ -57,6 +61,11 @@ from repro.sim.timers import OneShotTimer
 ResponseCallback = Callable[["TPPResultView"], None]
 TimeoutCallback = Callable[["ProbeRequest"], None]
 TPPTap = Callable[[TPPSection, EthernetFrame], None]
+
+#: Admission-cache key: program fingerprint + memory geometry.
+AdmissionKey = Tuple[bytes, int, int, Optional[int]]
+#: Completed-request memo: (outcome, first_sent_ns, attempts).
+CompletedEntry = Tuple[str, int, int]
 
 #: The TPP header carries an 8-bit sequence number (see
 #: :data:`repro.core.tpp._HEADER_STRUCT`); this is the whole wire space.
@@ -266,7 +275,8 @@ class TPPEndpoint:
         self.verify_memory_map = verify_memory_map
         self.verify_max_instructions = verify_max_instructions
         self.verify_max_hops = verify_max_hops
-        self._admissions: "OrderedDict[tuple, object]" = OrderedDict()
+        self._admissions: (
+            "OrderedDict[AdmissionKey, VerificationResult]") = OrderedDict()
         #: Default policy for probes sent without an explicit one.
         #: ``None`` preserves the historical behaviour: no deadline, the
         #: request waits forever (fine on lossless topologies).
@@ -277,7 +287,8 @@ class TPPEndpoint:
         #: (seq, task_id) of recently answered/expired requests, for
         #: classifying stragglers.  Values: ("done" | "timeout",
         #: first_sent_ns, attempts).
-        self._completed: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._completed: (
+            "OrderedDict[Tuple[int, int], CompletedEntry]") = OrderedDict()
         self._retry_rng: Optional[random.Random] = None
         self._taps: List[TPPTap] = []
         #: Task ids whose *payload-carrying* TPPs get a trimmed echo: the
@@ -285,7 +296,7 @@ class TPPEndpoint:
         #: (no payload) is sent back to the source — how piggybacked
         #: probes ("using the flow's packets", §2.2) report home without
         #: re-transmitting the data.
-        self._trimmed_echo_tasks: set = set()
+        self._trimmed_echo_tasks: Set[int] = set()
         self.probes_sent = 0
         self.responses_received = 0
         self.tpps_echoed = 0
@@ -315,7 +326,7 @@ class TPPEndpoint:
     # Admission (static verification)
     # ------------------------------------------------------------------ #
 
-    def admit(self, program: AssembledProgram):
+    def admit(self, program: AssembledProgram) -> VerificationResult:
         """Statically verify a program against this endpoint's settings.
 
         Returns the :class:`~repro.core.verifier.VerificationResult`
@@ -366,7 +377,7 @@ class TPPEndpoint:
     # ------------------------------------------------------------------ #
 
     def send(self, program: AssembledProgram, dst_mac: Optional[int] = None,
-             payload=None, task_id: int = 0,
+             payload: object = None, task_id: int = 0,
              on_response: Optional[ResponseCallback] = None,
              on_timeout: Optional[TimeoutCallback] = None,
              retry_policy: Optional[RetryPolicy] = None) -> int:
@@ -400,7 +411,7 @@ class TPPEndpoint:
                               ethertype=ETHERTYPE_TPP, payload=tpp)
         self.host.send_frame(frame)
 
-    def wrap(self, program: AssembledProgram, payload,
+    def wrap(self, program: AssembledProgram, payload: object,
              task_id: int = 0,
              on_response: Optional[ResponseCallback] = None,
              on_timeout: Optional[TimeoutCallback] = None,
@@ -442,7 +453,7 @@ class TPPEndpoint:
             f"are in flight")
 
     def _register(self, program: Optional[AssembledProgram],
-                  dst_mac: Optional[int], payload, task_id: int,
+                  dst_mac: Optional[int], payload: object, task_id: int,
                   on_response: Optional[ResponseCallback],
                   on_timeout: Optional[TimeoutCallback],
                   policy: Optional[RetryPolicy]) -> Optional[ProbeRequest]:
@@ -484,6 +495,8 @@ class TPPEndpoint:
             if record.on_timeout is not None:
                 record.on_timeout(record)
             return
+        assert record.program is not None
+        assert record.responder_mac is not None
         record.attempts += 1
         self.retries += 1
         # Retransmit standalone: for piggybacked probes the data's own
@@ -550,6 +563,7 @@ class TPPEndpoint:
             if outcome == "done":
                 self.duplicate_responses += 1
             elif outcome == "timeout":
+                assert entry is not None
                 self.late_responses += 1
                 # A late echo is still a valid RTT sample (Karn's rule
                 # permitting), and the most important one: it proves the

@@ -6,7 +6,8 @@ arrival port.  Hosts and switches both subclass :class:`Device`.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional
+from collections import defaultdict
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.sim.simulator import Simulator
 from repro.sim.trace import TraceRecorder
@@ -19,6 +20,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class Device:
     """A named node with numbered ports attached to a simulator."""
 
+    #: Whether this device defers same-instant arrivals for batched
+    #: processing.  Links only maintain the ``inbound_at`` ledger for
+    #: devices that opt in (the TPP switch); for everything else the
+    #: announcements would be dead weight on the delivery hot path.
+    batches_ingress = False
+
     def __init__(self, sim: Simulator, name: str,
                  trace: Optional[TraceRecorder] = None) -> None:
         self.sim = sim
@@ -26,6 +33,19 @@ class Device:
         self.trace = (trace if trace is not None
                       else TraceRecorder(enabled=False))
         self.ports: List["Port"] = []
+        #: In-flight link arrivals, keyed by absolute arrival time.  Each
+        #: :class:`~repro.net.link.Link` increments the destination's count
+        #: when it schedules a delivery and retires the entry as frames
+        #: land.  Maintained by the link layer; devices read the digest
+        #: below instead.
+        self.inbound_at: Dict[int, int] = defaultdict(int)
+        #: Digest of the ledger, refreshed by the delivering link just
+        #: before each ``receive`` callback: the number of *other* frames
+        #: still due this instant.  The switch uses this to run its
+        #: pipeline inline when no same-instant batch is possible.  Every
+        #: announced arrival is eventually delivered, so the count always
+        #: returns to zero by the end of each instant.
+        self.inbound_now = 0
 
     def add_port(self, port: "Port") -> int:
         """Attach a port; returns its index on this device."""

@@ -23,7 +23,7 @@ non-TPP frame is dropped at the receiver the way a bad-FCS frame would be.
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro import units
 from repro.errors import ConfigurationError
@@ -75,6 +75,7 @@ class Link:
         self.name = name
         self.peer_device: Optional["Device"] = None
         self.peer_port_index: Optional[int] = None
+        self._peer_inbound: Optional[Dict[int, int]] = None
         #: Administrative / physical state.  A downed link silently loses
         #: every frame handed to it (and everything already in flight
         #: arrives — photons in the fiber don't care about the failure).
@@ -92,6 +93,11 @@ class Link:
         """Set the device/port that frames on this link arrive at."""
         self.peer_device = device
         self.peer_port_index = port_index
+        # Hot-path alias: the arrival ledger is touched once per frame
+        # at schedule time and once at delivery, and only kept at all
+        # for receivers that batch their ingress.
+        self._peer_inbound = (device.inbound_at if device.batches_ingress
+                              else None)
 
     def serialization_time_ns(self, frame: EthernetFrame) -> int:
         """Time to clock the frame's bytes onto the wire."""
@@ -142,7 +148,11 @@ class Link:
         if self.impairments is not None:
             self._deliver_impaired(frame)
             return
-        self.sim.schedule(self.delay_ns, self._arrive, frame)
+        # _schedule_arrival, inlined: this is the per-frame hot path.
+        event = self.sim.schedule(self.delay_ns, self._arrive, frame)
+        arrivals = self._peer_inbound
+        if arrivals is not None:
+            arrivals[event.time_ns] += 1
 
     # ------------------------------------------------------------------ #
     # Impaired delivery (off the hot path: only runs when configured)
@@ -153,6 +163,24 @@ class Link:
         assert imp is not None
         rng = imp.rng
         trace = self.peer_device.trace if self.peer_device else None
+        # A wire duplicate is an independent copy of the *transmitted*
+        # signal: it is cloned before any damage to the original and
+        # rolls its own loss/corruption.  The draw order is fixed —
+        # loss(orig), corrupt(orig), dup?, then loss(dup)/corrupt(dup)
+        # only when the dup roll fired — so a given seed replays one
+        # byte-identical delivery sequence, regardless of outcomes.
+        pristine = frame.clone() if imp.duplicate_rate else None
+        self._impair_one(frame, imp, rng, trace)
+        if pristine is not None and rng.random() < imp.duplicate_rate:
+            self.frames_duplicated += 1
+            if trace is not None and trace.wants("link.dup"):
+                trace.emit(self.sim.now_ns, self.name or "link", "link.dup",
+                           frame_uid=frame.uid, size_bytes=pristine.size_bytes)
+            self._impair_one(pristine, imp, rng, trace)
+
+    def _impair_one(self, frame: EthernetFrame, imp: "LinkImpairments",
+                    rng: random.Random, trace) -> None:
+        """Loss and corruption rolls for one copy; schedules its arrival."""
         if imp.loss_rate and rng.random() < imp.loss_rate:
             self.frames_lost += 1
             self.frames_impaired_lost += 1
@@ -165,14 +193,7 @@ class Link:
             frame = self._corrupt(frame, rng, trace)
             if frame is None:
                 return
-        self.sim.schedule(self.delay_ns, self._arrive, frame)
-        if imp.duplicate_rate and rng.random() < imp.duplicate_rate:
-            dup = frame.clone()
-            self.frames_duplicated += 1
-            if trace is not None and trace.wants("link.dup"):
-                trace.emit(self.sim.now_ns, self.name or "link", "link.dup",
-                           frame_uid=frame.uid, size_bytes=frame.size_bytes)
-            self.sim.schedule(self.delay_ns, self._arrive, dup)
+        self._schedule_arrival(frame)
 
     def _corrupt(self, frame: EthernetFrame, rng: random.Random,
                  trace) -> Optional[EthernetFrame]:
@@ -219,12 +240,43 @@ class Link:
                        damage=damage)
         return frame
 
+    def _schedule_arrival(self, frame: EthernetFrame) -> None:
+        """Schedule ``_arrive`` and announce it in the peer's ledger.
+
+        The announcement is what lets the receiving switch decide, from
+        inside its ``receive`` callback, whether any *other* frame can
+        still land this instant (and therefore whether deferring for a
+        TCPU batch is worthwhile).  With a positive propagation delay
+        every arrival for time ``t`` is announced before ``t`` begins,
+        so the ledger is a complete signal; a zero-delay link can
+        announce mid-instant, which at worst forgoes a batch.
+
+        Non-batching receivers (hosts) have no ledger; ``deliver_after_
+        propagation`` inlines this body on its unimpaired hot path.
+        """
+        event = self.sim.schedule(self.delay_ns, self._arrive, frame)
+        arrivals = self._peer_inbound
+        if arrivals is not None:
+            arrivals[event.time_ns] += 1
+
     def _arrive(self, frame: EthernetFrame) -> None:
         self.bytes_delivered += frame.size_bytes
         self.frames_delivered += 1
         peer = self.peer_device
         assert peer is not None
         assert self.peer_port_index is not None
+        arrivals = self._peer_inbound
+        if arrivals is not None:
+            # Retire this frame's ledger entry and hand the peer a
+            # digest — the count it observes in receive() is only the
+            # still-due peers.
+            now = self.sim.now_ns
+            remaining = arrivals.pop(now, 1) - 1
+            if remaining > 0:
+                arrivals[now] = remaining
+                peer.inbound_now = remaining
+            else:
+                peer.inbound_now = 0
         trace = peer.trace
         if trace.wants("link.deliver"):
             # DEBUG firehose: one record per frame per link traversal.

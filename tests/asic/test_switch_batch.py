@@ -1,0 +1,140 @@
+"""Ingress-drain batching on the switch dataplane.
+
+Same-instant arrivals of the same TPP program must be grouped into one
+:meth:`TCPU.execute_batch` call — and doing so must not change a single
+observable output relative to packet-at-a-time execution.
+"""
+
+import os
+
+import pytest
+
+from repro import units
+from repro.analysis.reporting import batch_report
+from repro.core.assembler import assemble
+from repro.endhost.client import TPPEndpoint
+from repro.net.routing import install_shortest_path_routes
+from repro.net.topology import TopologyBuilder
+
+
+def star_net(n_hosts=4):
+    builder = TopologyBuilder(rate_bps=units.GIGABITS_PER_SEC,
+                              delay_ns=1_000)
+    net = builder.star(n_hosts=n_hosts)
+    install_shortest_path_routes(net)
+    return net
+
+
+def burst_probes(net, program, n_hosts=4, on_response=None):
+    """One probe from every spoke host toward h0, all at t=0, so they
+    arrive at the hub switch in the same drain window."""
+    target = net.host("h0")
+    TPPEndpoint(target)
+    for index in range(1, n_hosts):
+        client = TPPEndpoint(net.host(f"h{index}"))
+        client.send(program, dst_mac=target.mac, on_response=on_response)
+
+
+#: batch accounting is (by design) absent when the engine is disabled
+#: via the environment; the correctness tests below still run.
+requires_batch = pytest.mark.skipif(
+    os.environ.get("REPRO_TPP_BATCH") == "0"
+    or os.environ.get("REPRO_TPP_FASTPATH") == "0",
+    reason="batched engine disabled via environment")
+
+
+class TestDrainBatching:
+    @requires_batch
+    def test_same_instant_probes_form_a_batch(self):
+        net = star_net()
+        switch = net.switch("sw0")
+        program = assemble("PUSH [Queue:QueueSize]", hops=2)
+        burst_probes(net, program)
+        net.run(until_seconds=0.01)
+        stats = switch.fastpath_stats()
+        assert stats["batches_executed"] >= 1
+        assert stats["batched_tpps"] >= 3
+        assert switch.tcpu.tpps_executed >= 3
+
+    def test_staggered_probes_do_not_batch(self):
+        """Arrivals in different drain windows stay scalar."""
+        net = star_net()
+        switch = net.switch("sw0")
+        target = net.host("h0")
+        TPPEndpoint(target)
+        client = TPPEndpoint(net.host("h1"))
+        program = assemble("PUSH [Queue:QueueSize]", hops=2)
+
+        def send_one():
+            client.send(program, dst_mac=target.mac)
+
+        for at_ns in (0, 50_000, 100_000):
+            net.sim.schedule(at_ns, send_one)
+        net.run(until_seconds=0.01)
+        assert switch.fastpath_stats()["batches_executed"] == 0
+        assert switch.tcpu.tpps_executed == 3
+
+    def test_batching_off_produces_identical_responses(self):
+        """Observable equivalence: responses, hop words, and counters
+        match with the ingress batcher enabled and disabled."""
+        def run_once(batch):
+            net = star_net()
+            for switch in net.switches.values():
+                switch.tcpu.batch_enabled = batch
+            results = []
+            program = assemble("""
+                PUSH [Switch:SwitchID]
+                PUSH [Queue:QueueSize]
+            """, hops=2)
+            burst_probes(net, program,
+                         on_response=lambda r: results.append(r))
+            net.run(until_seconds=0.01)
+            switch = net.switch("sw0")
+            return ([(r.tpp.encode(), r.per_hop_words())
+                     for r in results],
+                    switch.tcpu.tpps_executed,
+                    switch.packets_switched)
+
+        batched, scalar = run_once(True), run_once(False)
+        assert len(batched[0]) == 3
+        assert sorted(batched[0]) == sorted(scalar[0])
+        assert batched[1:] == scalar[1:]
+
+    def test_mixed_programs_split_into_runs(self):
+        """Different program keys in one drain window never share a
+        batch; every probe still executes correctly."""
+        net = star_net()
+        switch = net.switch("sw0")
+        target = net.host("h0")
+        TPPEndpoint(target)
+        sources = ["PUSH [Switch:SwitchID]", "PUSH [Queue:QueueSize]",
+                   "PUSH [Switch:SwitchID]"]
+        results = []
+        for index, source in enumerate(sources, start=1):
+            client = TPPEndpoint(net.host(f"h{index}"))
+            client.send(assemble(source, hops=2), dst_mac=target.mac,
+                        on_response=results.append)
+        net.run(until_seconds=0.01)
+        assert len(results) == 3
+        assert switch.tcpu.tpps_executed == 3
+
+
+class TestBatchStats:
+    def test_fastpath_stats_exposes_batch_counters(self):
+        net = star_net()
+        stats = net.switch("sw0").fastpath_stats()
+        for key in ("batch_enabled", "batches_executed", "batched_tpps",
+                    "vector_batches", "vector_tpps", "batch_fallbacks",
+                    "batch_occupancy"):
+            assert key in stats
+        assert isinstance(stats["batch_occupancy"], dict)
+
+    def test_batch_report_renders(self):
+        net = star_net()
+        program = assemble("PUSH [Queue:QueueSize]", hops=2)
+        burst_probes(net, program)
+        net.run(until_seconds=0.01)
+        text = batch_report(net.switches.values())
+        assert "Batched execution" in text
+        assert "sw0" in text
+        assert batch_report([]) == "(nothing to report)"

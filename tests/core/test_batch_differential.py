@@ -1,0 +1,630 @@
+"""Differential proof: batched execution ≡ reference interpreter.
+
+Every case runs the same batch of same-program sections twice — once
+through :meth:`TCPU.execute_batch` on a compiled TCPU and once
+packet-at-a-time through a ``compile=False`` interpreter — against two
+independent, identically-prepared MMUs, then asserts bit-identity of
+reports, section state (flags, hop/SP, memory bytes, wire encoding) and
+switch-side state (SRAM, link scratch).  Batch sizes 1, 2 and 32 are
+swept so the degenerate, pair and full-burst shapes all stay honest.
+
+Programs with a verifier certificate and only batch-stable reads go
+through the vectorized numpy lane (asserted explicitly below); writes,
+CEXEC, unstable reads, non-uniform batches and mid-kernel faults take
+the packet-at-a-time safe lane — the differential assertions are the
+same either way.
+"""
+
+import random
+
+import pytest
+
+from repro.asic.metadata import PacketMetadata
+from repro.core.assembler import assemble
+from repro.core.batch import HAVE_NUMPY, BatchArena
+from repro.core.exceptions import FaultCode, TCPUFault
+from repro.core.memory_map import SRAM_WORDS, MemoryMap
+from repro.core.mmu import MMU, ExecutionContext
+from repro.core.tcpu import TCPU, pipeline_cycles
+from repro.core.verifier import verify_program
+
+SIZES = (1, 2, 32)
+
+
+class FakeQueue:
+    def __init__(self, occupancy=500):
+        self.occupancy_bytes = occupancy
+
+
+class FakePort:
+    def __init__(self, index=0):
+        self.index = index
+        self.queue = FakeQueue()
+
+
+def make_mmu(clock=123456, stable=True):
+    """Bound statistics, batch-stable by default (as the switch binds
+    them) so certified read-only programs qualify for the vector lane."""
+    mmu = MMU(name="batchdiff")
+    mmu.bind_reader("Switch:SwitchID", lambda ctx: 7, batch_stable=stable)
+    mmu.bind_reader("Switch:ClockLo", lambda ctx: clock, batch_stable=stable)
+    mmu.bind_reader("Queue:QueueSize",
+                    lambda ctx: ctx.queue.occupancy_bytes,
+                    batch_stable=stable)
+    return mmu
+
+
+def make_ctx(task_id=0):
+    return ExecutionContext(metadata=PacketMetadata(),
+                            egress_port=FakePort(), time_ns=1000,
+                            task_id=task_id)
+
+
+def report_tuple(report):
+    return (report.executed, report.skipped, report.fault,
+            report.cexec_disabled_at, report.cycles,
+            list(report.switch_writes))
+
+
+def certificate_for(program, max_instructions):
+    """A verifier certificate when the program earns one, else None."""
+    try:
+        result = verify_program(program, memory_map=MemoryMap.standard(),
+                                max_instructions=max_instructions)
+        return result.raise_on_error().certificate
+    except Exception:
+        return None
+
+
+def run_batch_vs_interpreter(source, sizes=SIZES, hops=1, task_ids=None,
+                             max_instructions=5, prepare=None, damage=None,
+                             shared_ctx=False, stable=True,
+                             **assemble_kwargs):
+    """Assert batched ≡ interpreter for every batch size; return the
+    per-size ``(batched_side, reference_side)`` tuples, where each side
+    is ``(reports_per_hop, sections, mmu, tcpu)``.
+
+    ``damage(section, index)`` mangles individual sections before the
+    first hop (mid-batch corruption); ``task_ids`` sets per-section task
+    ids (SRAM protection domains); ``shared_ctx`` aliases one context
+    across the whole batch (the switch's warm steady state).
+    """
+    program = assemble(source, **assemble_kwargs)
+    certificate = certificate_for(program, max_instructions)
+    out = []
+    for n in sizes:
+        tasks = list(task_ids) if task_ids is not None else [0] * n
+        assert len(tasks) == n, "task_ids must match the batch size"
+        sides = []
+        for batched in (True, False):
+            mmu = make_mmu(stable=stable)
+            if prepare is not None:
+                prepare(mmu)
+            # Explicit flags so the suite still exercises the real batch
+            # engine under the REPRO_TPP_BATCH=0 / _FASTPATH=0 env
+            # opt-outs (which have their own dedicated tests).
+            tcpu = TCPU(mmu, max_instructions=max_instructions,
+                        compile=batched, batch=True)
+            if certificate is not None:
+                tcpu.trust(certificate)
+            sections = [program.build(task_id=t) for t in tasks]
+            if damage is not None:
+                for index, section in enumerate(sections):
+                    damage(section, index)
+                    section.invalidate_caches()
+            reports_per_hop = []
+            for _ in range(hops):
+                if shared_ctx:
+                    ctx = make_ctx(tasks[0])
+                    ctxs = [ctx] * n
+                else:
+                    ctxs = [make_ctx(t) for t in tasks]
+                if batched:
+                    reports_per_hop.append(
+                        tcpu.execute_batch(sections, ctxs))
+                else:
+                    reports_per_hop.append(
+                        [tcpu.execute(s, c)
+                         for s, c in zip(sections, ctxs)])
+            sides.append((reports_per_hop, sections, mmu, tcpu))
+
+        (b_reports, b_sections, b_mmu, _) = sides[0]
+        (r_reports, r_sections, r_mmu, _) = sides[1]
+        for hop in range(hops):
+            for index, (fast, ref) in enumerate(zip(b_reports[hop],
+                                                    r_reports[hop])):
+                assert report_tuple(fast) == report_tuple(ref), \
+                    f"size {n}, hop {hop}, packet {index}"
+                assert fast.cycles == pipeline_cycles(fast.executed)
+        for index, (fast, ref) in enumerate(zip(b_sections, r_sections)):
+            assert fast.flags == ref.flags, f"size {n}, packet {index}"
+            assert fast.hop_or_sp == ref.hop_or_sp
+            assert bytes(fast.memory) == bytes(ref.memory)
+            assert fast.encode() == ref.encode()
+        sram = [b_mmu.peek_sram(i) for i in range(SRAM_WORDS)]
+        assert sram == [r_mmu.peek_sram(i) for i in range(SRAM_WORDS)]
+        assert ([b_mmu.peek_link_scratch(0, s) for s in range(4)]
+                == [r_mmu.peek_link_scratch(0, s) for s in range(4)])
+        out.append(tuple(sides))
+    return out
+
+
+class TestOpcodes:
+    def test_nop(self):
+        run_batch_vs_interpreter("NOP")
+
+    def test_push(self):
+        run_batch_vs_interpreter("PUSH [Switch:SwitchID]")
+
+    def test_push_pop_roundtrip(self):
+        results = run_batch_vs_interpreter("""
+            PUSH [Queue:QueueSize]
+            POP [Sram:Word3]
+        """)
+        (_, _, mmu, _), _ = results[-1]
+        assert mmu.peek_sram(3) == 500
+
+    def test_load_hop_relative_multihop(self):
+        run_batch_vs_interpreter(
+            ".mode hop\n.hops 3\n"
+            "LOAD [Switch:SwitchID], [Packet:Hop[0]]", hops=3)
+
+    def test_load_absolute(self):
+        run_batch_vs_interpreter(".mode absolute\n.memory 2\n"
+                                 "LOAD [Switch:ClockLo], [Packet:1]")
+
+    def test_store(self):
+        results = run_batch_vs_interpreter("""
+            .data 0 0xCAFE
+            STORE [Sram:Word2], [Packet:0]
+        """)
+        (_, _, mmu, _), _ = results[0]
+        assert mmu.peek_sram(2) == 0xCAFE
+
+    def test_cstore(self):
+        def seed(mmu):
+            mmu.poke_sram(0, 10)
+
+        run_batch_vs_interpreter("CSTORE [Sram:Word0], 10, 99",
+                                 prepare=seed)
+
+    def test_cexec(self):
+        run_batch_vs_interpreter("""
+            CEXEC [Switch:SwitchID], 0xFFFFFFFF, 8
+            PUSH [Queue:QueueSize]
+        """)
+
+    @pytest.mark.parametrize("op", ["ADD", "SUB", "AND", "OR", "XOR",
+                                    "MIN", "MAX"])
+    def test_arithmetic(self, op):
+        run_batch_vs_interpreter(f"""
+            .data 0 41
+            {op} [Packet:{{0}}], [Switch:SwitchID]
+        """.format(0))
+
+    def test_arithmetic_wraps_identically(self):
+        results = run_batch_vs_interpreter("""
+            .data 0 3
+            SUB [Packet:0], [Switch:SwitchID]
+        """)
+        (_, sections, _, _), _ = results[-1]
+        assert sections[0].read_word(0) == (3 - 7) & 0xFFFFFFFF
+
+
+class TestLaneSelection:
+    """The fast lane must actually engage — and must not over-engage."""
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="vector lane needs numpy")
+    def test_certified_read_only_program_vectorizes(self):
+        results = run_batch_vs_interpreter("""
+            PUSH [Switch:SwitchID]
+            PUSH [Queue:QueueSize]
+        """)
+        for (_, _, _, tcpu), _ in results:
+            assert tcpu.vector_batches == 1
+            assert tcpu.batch_fallbacks == 0
+
+    def test_writes_take_the_safe_lane(self):
+        results = run_batch_vs_interpreter("""
+            PUSH [Switch:SwitchID]
+            POP [Sram:Word0]
+        """)
+        for (_, _, _, tcpu), _ in results:
+            assert tcpu.vector_batches == 0
+
+    def test_unstable_readers_take_the_safe_lane(self):
+        results = run_batch_vs_interpreter("PUSH [Switch:SwitchID]",
+                                           stable=False)
+        for (_, _, _, tcpu), _ in results:
+            assert tcpu.vector_batches == 0
+
+    def test_uncertified_program_takes_the_safe_lane(self):
+        # An unmapped read can never earn a certificate; the batch must
+        # still fault identically to the interpreter, packet by packet.
+        results = run_batch_vs_interpreter(
+            ".memory 1\nLOAD [0x0999], [Packet:0]")
+        for (b_reports, _, _, tcpu), _ in results:
+            assert tcpu.vector_batches == 0
+            assert all(r.fault == FaultCode.BAD_ADDRESS
+                       for r in b_reports[0])
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="vector lane needs numpy")
+    def test_non_uniform_hop_counters_take_the_safe_lane(self):
+        def advance_one(section, index):
+            if index == 1:
+                section.hop_or_sp += 4
+
+        results = run_batch_vs_interpreter("PUSH [Switch:SwitchID]",
+                                           sizes=(2,), damage=advance_one)
+        (_, _, _, tcpu), _ = results[0]
+        assert tcpu.vector_batches == 0
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="vector lane needs numpy")
+    def test_shared_context_batch_is_identical(self):
+        results = run_batch_vs_interpreter("""
+            PUSH [Switch:SwitchID]
+            PUSH [Queue:QueueSize]
+        """, shared_ctx=True)
+        for (_, _, _, tcpu), _ in results:
+            assert tcpu.vector_batches == 1
+
+
+class TestFaults:
+    def test_bad_address_read(self):
+        run_batch_vs_interpreter(".memory 1\nLOAD [0x0999], [Packet:0]")
+
+    def test_write_protected(self):
+        results = run_batch_vs_interpreter("""
+            PUSH [Switch:SwitchID]
+            POP [Queue:QueueSize]
+        """)
+        assert results[0][0][0][0][0].fault == FaultCode.WRITE_PROTECTED
+
+    def test_memory_bounds(self):
+        run_batch_vs_interpreter(".mode absolute\n.memory 1\n"
+                                 "LOAD [Switch:SwitchID], [Packet:5]")
+
+    def test_stack_overflow_on_second_hop(self):
+        results = run_batch_vs_interpreter(
+            ".hops 1\nPUSH [Switch:SwitchID]", hops=2)
+        (b_reports, _, _, _), _ = results[-1]
+        assert all(r.fault == FaultCode.STACK_OVERFLOW
+                   for r in b_reports[1])
+
+    def test_stack_underflow(self):
+        run_batch_vs_interpreter("POP [Sram:Word0]")
+
+    def test_too_many_instructions(self):
+        results = run_batch_vs_interpreter("\n".join(["NOP"] * 4),
+                                           max_instructions=3)
+        (b_reports, _, _, _), _ = results[-1]
+        assert all(r.fault == FaultCode.TOO_MANY_INSTRUCTIONS
+                   for r in b_reports[0])
+
+    def test_sram_protection_mid_batch(self):
+        """Mixed task ids: only the intruding packets fault."""
+        def prepare(mmu):
+            mmu.allocate_sram(0, 2, task_id=1)
+            mmu.enforce_sram_protection = True
+
+        results = run_batch_vs_interpreter("""
+            PUSH [Switch:SwitchID]
+            POP [Sram:Word0]
+        """, sizes=(4,), task_ids=[1, 2, 1, 2], prepare=prepare)
+        (b_reports, _, _, _), _ = results[0]
+        faults = [r.fault for r in b_reports[0]]
+        assert faults == [FaultCode.NONE, FaultCode.SRAM_PROTECTION,
+                          FaultCode.NONE, FaultCode.SRAM_PROTECTION]
+
+    def test_mid_batch_corrupted_section(self):
+        """One truncated section inside an otherwise healthy batch."""
+        def truncate_one(section, index):
+            if index == 1:
+                del section.memory[:]
+
+        results = run_batch_vs_interpreter(
+            ".mode hop\n.hops 2\n"
+            "LOAD [Switch:SwitchID], [Packet:Hop[0]]",
+            sizes=(3,), damage=truncate_one)
+        (b_reports, _, _, _), _ = results[0]
+        faults = [r.fault for r in b_reports[0]]
+        assert faults == [FaultCode.NONE, FaultCode.MEMORY_BOUNDS,
+                          FaultCode.NONE]
+
+    def test_scrambled_hop_counter_mid_batch(self):
+        def scramble_one(section, index):
+            if index == 0:
+                section.hop_or_sp ^= 1 << 9
+
+        run_batch_vs_interpreter(
+            ".mode hop\n.hops 2\n"
+            "LOAD [Switch:SwitchID], [Packet:Hop[0]]",
+            sizes=(2,), damage=scramble_one)
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="vector lane needs numpy")
+class TestVectorLaneFaultRecovery:
+    """A mid-kernel MMU fault must rewind and replay bit-identically."""
+
+    def _flaky_mmu(self, stable=True):
+        mmu = MMU(name="flaky")
+        mmu.bind_reader("Switch:SwitchID", lambda ctx: 7,
+                        batch_stable=stable)
+
+        def flaky(ctx):
+            if ctx.task_id == 2:
+                raise TCPUFault(FaultCode.BAD_ADDRESS,
+                                "statistic unbound for task 2")
+            return 11
+
+        mmu.bind_reader("Switch:ClockLo", flaky, batch_stable=stable)
+        return mmu
+
+    def test_fault_mid_kernel_falls_back_bit_identically(self):
+        source = """
+            PUSH [Switch:SwitchID]
+            PUSH [Switch:ClockLo]
+        """
+        program = assemble(source)
+        certificate = certificate_for(program, 5)
+        assert certificate is not None
+        task_ids = [1, 1, 2, 1]
+
+        sides = []
+        for batched in (True, False):
+            tcpu = TCPU(self._flaky_mmu(), compile=batched, batch=True)
+            tcpu.trust(certificate)
+            sections = [program.build(task_id=t) for t in task_ids]
+            ctxs = [make_ctx(t) for t in task_ids]
+            if batched:
+                reports = tcpu.execute_batch(sections, ctxs)
+            else:
+                reports = [tcpu.execute(s, c)
+                           for s, c in zip(sections, ctxs)]
+            sides.append((reports, sections, tcpu))
+
+        (b_reports, b_sections, b_tcpu), (r_reports, r_sections, _) = sides
+        # The kernel started (first column written), hit the fault on
+        # packet 2, rewound, and replayed through the safe lane.
+        assert b_tcpu.batch_fallbacks == 1
+        assert b_tcpu.vector_batches == 0
+        for fast, ref in zip(b_reports, r_reports):
+            assert report_tuple(fast) == report_tuple(ref)
+        assert [r.fault for r in b_reports] == [
+            FaultCode.NONE, FaultCode.NONE, FaultCode.BAD_ADDRESS,
+            FaultCode.NONE]
+        for fast, ref in zip(b_sections, r_sections):
+            assert bytes(fast.memory) == bytes(ref.memory)
+            assert fast.encode() == ref.encode()
+
+
+class TestMultiCEXEC:
+    """First-occurrence ``cexec_disabled_at`` on every execution path."""
+
+    PASS = "CEXEC [Switch:SwitchID], 0xFFFFFFFF, 7"
+    FAIL = "CEXEC [Switch:SwitchID], 0xFFFFFFFF, 8"
+    TAIL = "PUSH [Queue:QueueSize]"
+
+    def _all_paths(self, source, max_instructions=5):
+        """Reports from interpreter, checked fast path, and batch."""
+        program = assemble(source)
+        reports = {}
+        for name, compile_flag in (("interp", False), ("fastpath", True)):
+            tcpu = TCPU(make_mmu(), max_instructions=max_instructions,
+                        compile=compile_flag)
+            reports[name] = tcpu.execute(program.build(), make_ctx())
+        tcpu = TCPU(make_mmu(), max_instructions=max_instructions,
+                    compile=True, batch=True)
+        reports["batch"] = tcpu.execute_batch(
+            [program.build(), program.build()],
+            [make_ctx(), make_ctx()])[0]
+        return reports
+
+    def test_pass_then_fail_records_second_index(self):
+        source = "\n".join([self.PASS, self.FAIL, self.TAIL])
+        for name, report in self._all_paths(source).items():
+            assert report.cexec_disabled_at == 1, name
+            assert report.executed == 2, name
+            assert report.skipped == 1, name
+
+    def test_fail_then_fail_records_first_index(self):
+        source = "\n".join([self.FAIL, self.FAIL, self.TAIL])
+        for name, report in self._all_paths(source).items():
+            assert report.cexec_disabled_at == 0, name
+            assert report.executed == 1, name
+            assert report.skipped == 2, name
+
+    def test_all_pass_records_none(self):
+        source = "\n".join([self.PASS, self.PASS, self.TAIL])
+        for name, report in self._all_paths(source).items():
+            assert report.cexec_disabled_at is None, name
+            assert report.skipped == 0, name
+
+    def test_differential_multi_cexec(self):
+        run_batch_vs_interpreter(
+            "\n".join([self.PASS, self.FAIL, self.TAIL]))
+        run_batch_vs_interpreter(
+            "\n".join([self.FAIL, self.PASS, self.TAIL]))
+
+
+class TestWideWords:
+    def test_word8_push(self):
+        run_batch_vs_interpreter(".word 8\nPUSH [Switch:ClockLo]")
+
+    def test_word8_arithmetic(self):
+        results = run_batch_vs_interpreter("""
+            .word 8
+            .data 0 1
+            ADD [Packet:0], [Switch:ClockLo]
+        """)
+        (_, sections, _, _), _ = results[-1]
+        assert sections[0].read_word(0) == 123457
+
+
+class TestBatchMechanics:
+    def test_length_mismatch_raises(self):
+        tcpu = TCPU(make_mmu())
+        with pytest.raises(ValueError):
+            tcpu.execute_batch([], [make_ctx()])
+
+    def test_empty_batch(self):
+        assert TCPU(make_mmu()).execute_batch([], []) == []
+
+    def test_mixed_program_keys_degrade_to_scalar(self):
+        """A caller bug (mixed programs in one batch) must not corrupt
+        anything: every section still executes its own program."""
+        a = assemble("PUSH [Switch:SwitchID]").build()
+        b = assemble("PUSH [Queue:QueueSize]").build()
+        tcpu = TCPU(make_mmu())
+        reports = tcpu.execute_batch([a, b], [make_ctx(), make_ctx()])
+        assert [r.executed for r in reports] == [1, 1]
+        assert a.read_word(0) == 7
+        assert b.read_word(0) == 500
+
+    def test_batch_opt_out_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TPP_BATCH", "0")
+        tcpu = TCPU(make_mmu())
+        assert tcpu.batch_enabled is False
+        program = assemble("PUSH [Switch:SwitchID]")
+        sections = [program.build() for _ in range(3)]
+        reports = tcpu.execute_batch(sections,
+                                     [make_ctx() for _ in range(3)])
+        # Degenerates to the scalar loop: no batch accounting at all.
+        assert tcpu.batches_executed == 0
+        assert [r.executed for r in reports] == [1, 1, 1]
+        assert all(s.read_word(0) == 7 for s in sections)
+
+    def test_batch_ctor_flag_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TPP_BATCH", "0")
+        assert TCPU(make_mmu(), batch=True).batch_enabled is True
+        monkeypatch.delenv("REPRO_TPP_BATCH")
+        assert TCPU(make_mmu(), batch=False).batch_enabled is False
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="arena needs numpy")
+class TestBatchArena:
+    def test_adopt_aliases_rows(self):
+        sections = [assemble(".memory 1\n.data 0 1\nNOP").build()
+                    for _ in range(2)]
+        arena = BatchArena(sections)
+        arena.matrix[0, 0] = 0xAB
+        assert sections[0].memory[0] == 0xAB
+        sections[1].memory[0] = 0xCD
+        assert arena.matrix[1, 0] == 0xCD
+
+    def test_release_restores_bytearrays(self):
+        sections = [assemble(".memory 1\n.data 0 7\nNOP").build()]
+        before = bytes(sections[0].memory)
+        arena = BatchArena(sections)
+        arena.release()
+        assert isinstance(sections[0].memory, bytearray)
+        assert bytes(sections[0].memory) == before
+        # A released section survives the corruption injector's resize.
+        del sections[0].memory[:]
+
+    def test_mismatched_lengths_rejected(self):
+        a = assemble(".memory 1\nNOP").build()
+        b = assemble(".memory 2\nNOP").build()
+        with pytest.raises(ValueError):
+            BatchArena([a, b])
+
+    def test_resident_arena_across_executions(self):
+        program = assemble("PUSH [Switch:SwitchID]")
+        certificate = certificate_for(program, 5)
+        tcpu = TCPU(make_mmu(), compile=True, batch=True)
+        tcpu.trust(certificate)
+        sections = [program.build() for _ in range(4)]
+        h0 = sections[0].hop_or_sp
+        arena = BatchArena(sections)
+        ctxs = [make_ctx() for _ in range(4)]
+        for _ in range(3):
+            for section in sections:
+                section.hop_or_sp = h0
+            reports = tcpu.execute_batch(sections, ctxs, arena=arena)
+            assert all(r.ok for r in reports)
+        assert tcpu.vector_batches == 3
+        assert all(s.read_word(0) == 7 for s in sections)
+
+
+class TestNumpySRAM:
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy")
+    def test_numpy_sram_preserves_contents_and_semantics(self):
+        mmu = make_mmu()
+        mmu.poke_sram(0, 0xDEADBEEF)
+        assert mmu.use_numpy_sram() is True
+        assert mmu.peek_sram(0) == 0xDEADBEEF
+        mmu.poke_sram(1, 2 ** 64 - 1)
+        assert mmu.peek_sram(1) == 2 ** 64 - 1
+        assert mmu.use_numpy_sram() is True  # idempotent
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy")
+    def test_differential_with_numpy_sram(self):
+        def prepare(mmu):
+            mmu.poke_sram(2, 41)
+            mmu.use_numpy_sram()
+
+        results = run_batch_vs_interpreter("""
+            PUSH [Queue:QueueSize]
+            POP [Sram:Word2]
+        """, prepare=prepare)
+        (_, _, mmu, _), _ = results[0]
+        assert mmu.peek_sram(2) == 500
+
+
+class TestRandomizedSweep:
+    """Seeded fuzz across batch sizes: batched ≡ interpreter, always."""
+
+    TEMPLATES = [
+        "PUSH [Switch:SwitchID]",
+        "PUSH [Queue:QueueSize]",
+        "PUSH [Switch:ClockLo]",
+        "POP [Sram:Word{word}]",
+        "POP [Queue:QueueSize]",
+        "LOAD [Switch:ClockLo], [Packet:{slot}]",
+        "LOAD [0x0999], [Packet:{slot}]",
+        "STORE [Sram:Word{word}], [Packet:{slot}]",
+        "CSTORE [Sram:Word{word}], {imm}, {imm2}",
+        "CEXEC [Switch:SwitchID], 0xFF, {imm}",
+        "ADD [Packet:{slot}], [Switch:SwitchID]",
+        "SUB [Packet:{slot}], [Queue:QueueSize]",
+        "XOR [Packet:{slot}], [Switch:ClockLo]",
+        "MIN [Packet:{slot}], [Switch:SwitchID]",
+        "NOP",
+    ]
+
+    def test_random_programs_agree(self):
+        rng = random.Random(20260808)
+        for _ in range(60):
+            n = rng.randint(1, 5)
+            memory_words = rng.randint(0, 6)
+            lines = [f".mode {rng.choice(['stack', 'absolute'])}",
+                     f".memory {memory_words}"]
+            for _ in range(n):
+                template = rng.choice(self.TEMPLATES)
+                lines.append(template.format(
+                    word=rng.randint(0, 5),
+                    slot=rng.randint(0, 7),
+                    imm=rng.randint(0, 255),
+                    imm2=rng.randint(0, 255),
+                ))
+            run_batch_vs_interpreter("\n".join(lines),
+                                     sizes=(1, 2, 32),
+                                     hops=rng.randint(1, 2))
+
+    def test_random_hop_programs_agree(self):
+        rng = random.Random(78)
+        hop_templates = [
+            "LOAD [Switch:ClockLo], [Packet:Hop[{slot}]]",
+            "LOAD [Queue:QueueSize], [Packet:Hop[{slot}]]",
+            "ADD [Packet:Hop[{slot}]], [Switch:SwitchID]",
+            "STORE [Sram:Word{word}], [Packet:Hop[{slot}]]",
+        ]
+        for _ in range(30):
+            hops = rng.randint(1, 4)
+            perhop = rng.randint(1, 3)
+            lines = [".mode hop", f".hops {hops}", f".perhop {perhop}"]
+            for _ in range(rng.randint(1, 3)):
+                lines.append(rng.choice(hop_templates).format(
+                    slot=rng.randint(0, perhop), word=rng.randint(0, 3)))
+            run_batch_vs_interpreter("\n".join(lines), sizes=(1, 2, 32),
+                                     hops=hops + 1)

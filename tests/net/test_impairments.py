@@ -124,6 +124,82 @@ class TestDuplication:
         assert seen and len(seen) == 2 * len(set(seen))
 
 
+class TestDuplicationDrawOrder:
+    """The impairment draw order is pinned: loss(orig) -> corrupt(orig)
+    -> dup roll -> loss(dup) -> corrupt(dup).  The duplicate is cloned
+    from the pre-corruption bytes and rolls its own loss/corruption
+    independently, so seeded runs replay byte-identically."""
+
+    def _send_probes(self, net, count):
+        h0, h1 = net.host("h0"), net.host("h1")
+        client = TPPEndpoint(h0)
+        TPPEndpoint(h1)
+        program = assemble("PUSH [Switch:SwitchID]", hops=4)
+        for _ in range(count):
+            client.send(program, dst_mac=h1.mac)
+
+    def test_duplicate_rolls_corruption_independently(self):
+        net = build_net()
+        link = first_link(net)
+        link.set_impairments(corrupt_rate=1.0, duplicate_rate=1.0)
+        self._send_probes(net, 10)
+        net.run(until_seconds=0.02)
+        assert link.frames_duplicated == 10
+        # Original AND duplicate each rolled (and hit) corruption: the
+        # dup is not a copy of the already-damaged original.
+        assert link.frames_corrupted == 20
+        assert link.frames_delivered == 20
+
+    def test_duplicate_cloned_from_pristine_bytes(self):
+        """Both copies arrive with *different* damage: the dup was
+        cloned before the original was corrupted, then corrupted by its
+        own draws."""
+        net = build_net(seed=5)
+        h1 = net.host("h1")
+        link = first_link(net)
+        link.set_impairments(corrupt_rate=1.0, duplicate_rate=1.0)
+        seen = {}
+        original = h1.receive
+
+        def spy(frame, in_port):
+            seen.setdefault(frame.uid, []).append(
+                bytes(frame.payload.encode()))
+            return original(frame, in_port)
+
+        h1.receive = spy
+        self._send_probes(net, 5)
+        net.run(until_seconds=0.02)
+        pairs = [wires for wires in seen.values() if len(wires) == 2]
+        assert pairs
+        assert any(a != b for a, b in pairs)
+
+    def test_dup_runs_replay_byte_identically(self):
+        """Determinism regression for the pinned draw order."""
+        def run_once():
+            net = build_net(seed=2026)
+            h1 = net.host("h1")
+            link = first_link(net)
+            link.set_impairments(loss_rate=0.2, corrupt_rate=0.5,
+                                 duplicate_rate=0.5)
+            seen = []
+            original = h1.receive
+
+            def spy(frame, in_port):
+                seen.append(bytes(frame.payload.encode()))
+                return original(frame, in_port)
+
+            h1.receive = spy
+            self._send_probes(net, 40)
+            net.run(until_seconds=0.05)
+            return seen, (link.frames_impaired_lost,
+                          link.frames_corrupted, link.frames_duplicated)
+
+        first, second = run_once(), run_once()
+        assert first == second
+        assert first[1][2] > 0      # duplicates actually occurred
+        assert first[1][0] > 0      # ... and losses interleaved with them
+
+
 class TestCorruption:
     def test_corrupted_non_tpp_frame_dropped(self):
         net = build_net()

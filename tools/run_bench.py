@@ -12,8 +12,9 @@ Usage::
 The JSON is the perf trajectory the ROADMAP tracks: every PR can re-run
 this and diff events/sec, packets/sec, and TPP-exec/sec against the
 committed baseline.  ``--validate`` exits non-zero on a malformed file
-(the v1, v2 and v3 schemas are all accepted); ``--compare`` exits non-zero
-when any shared workload's primary metric regressed by more than 10%.
+(the v1 through v4 schemas are all accepted); ``--compare`` exits
+non-zero when any shared workload's primary metric regressed by more
+than 10%.
 """
 
 from __future__ import annotations
@@ -33,7 +34,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_simcore.json"
 
 SUPPORTED_SCHEMAS = ("simcore-bench/v1", "simcore-bench/v2",
-                     "simcore-bench/v3")
+                     "simcore-bench/v3", "simcore-bench/v4")
 
 #: metric keys that must exist and be positive finite numbers, per workload.
 REQUIRED_METRICS = {
@@ -60,6 +61,14 @@ REQUIRED_METRICS_V3 = {
                           "speedup_vs_unverified"),
 }
 
+#: additional requirements introduced by the v4 schema (the batched
+#: engine; ``vector_batches`` is deliberately not listed — no-numpy and
+#: --no-fastpath runs legitimately report 0).
+REQUIRED_METRICS_V4 = {
+    "tpp_exec_batched": ("tpp_execs_per_sec", "instructions_per_sec",
+                         "scalar_execs_per_sec", "speedup_vs_scalar"),
+}
+
 #: headline metric per workload, used by ``--compare``.
 PRIMARY_METRICS = {
     "event_core": "events_per_sec",
@@ -68,6 +77,7 @@ PRIMARY_METRICS = {
     "tpp_exec": "tpp_execs_per_sec",
     "tpp_exec_cached": "tpp_execs_per_sec",
     "tpp_exec_verified": "tpp_execs_per_sec",
+    "tpp_exec_batched": "tpp_execs_per_sec",
 }
 
 #: a workload counts as regressed when new < (1 - tolerance) * old.
@@ -91,7 +101,9 @@ def validate(report: dict) -> list:
         return problems + ["missing workloads object"]
     required = {name: list(metrics)
                 for name, metrics in REQUIRED_METRICS.items()}
-    if schema in ("simcore-bench/v2", "simcore-bench/v3"):
+    generation = (SUPPORTED_SCHEMAS.index(schema) + 1
+                  if schema in SUPPORTED_SCHEMAS else 0)
+    if generation >= 2:
         for name, metrics in REQUIRED_METRICS_V2.items():
             required.setdefault(name, []).extend(metrics)
         stamp = report.get("timestamp_iso")
@@ -99,8 +111,11 @@ def validate(report: dict) -> list:
             datetime.fromisoformat(stamp)
         except (TypeError, ValueError):
             problems.append(f"timestamp_iso not ISO-8601: {stamp!r}")
-    if schema == "simcore-bench/v3":
+    if generation >= 3:
         for name, metrics in REQUIRED_METRICS_V3.items():
+            required.setdefault(name, []).extend(metrics)
+    if generation >= 4:
+        for name, metrics in REQUIRED_METRICS_V4.items():
             required.setdefault(name, []).extend(metrics)
     for name, metrics in required.items():
         workload = workloads.get(name)
@@ -175,6 +190,13 @@ def _print_summary(report: dict) -> None:
               f"{verified['tpp_execs_per_sec']:>10,.0f} TPP-execs/s  "
               f"({verified['speedup_vs_unverified']:.2f}x vs unverified, "
               f"{verified['verified_executions']} guard hits)")
+    batched = wl.get("tpp_exec_batched")
+    if batched:
+        print(f"tpp exec (batched): "
+              f"{batched['tpp_execs_per_sec']:>11,.0f} TPP-execs/s  "
+              f"({batched['speedup_vs_scalar']:.2f}x vs scalar at batch "
+              f"{batched['batch_size']}, "
+              f"{batched['vector_batches']} vector batches)")
 
 
 def main(argv=None) -> int:
