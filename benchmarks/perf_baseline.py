@@ -19,7 +19,13 @@ Measures, on fixed-seed workloads:
 - ``tpp_exec_verified`` — the same steady state with a verifier
   certificate installed (:meth:`repro.core.tcpu.TCPU.trust`), so the
   per-instruction bounds checks are elided; the speedup over the
-  uncertified warm-cache run is the verified fast path's measured win.
+  uncertified warm-cache run is the verified fast path's measured win;
+- ``tpp_exec_batched`` — same-program TPP batches through the vectorized
+  batch engine (v4 addition);
+- ``fleet_scale`` — the sharded fleet driver at 1 vs 4 shards on one
+  fixed ring of regions: modeled-critical-path packets/s and flows/s,
+  the speedup sharding buys, and a 0/1 bit-identical flag asserting the
+  determinism fingerprints matched (v5 addition).
 
 ``tools/run_bench.py`` drives :func:`run_all` and emits
 ``BENCH_simcore.json`` so every future PR's perf delta is visible.  The
@@ -48,7 +54,7 @@ from repro.sim.events import EventQueue
 from repro.sim.simulator import Simulator
 from repro.sim.timers import OneShotTimer
 
-SCHEMA = "simcore-bench/v4"
+SCHEMA = "simcore-bench/v5"
 DEFAULT_SEED = 20260806
 
 
@@ -488,6 +494,49 @@ def bench_tpp_exec_batched(n_batches: int = 2_000) -> Dict[str, Any]:
     }
 
 
+def bench_fleet_scale(probe_bursts: int = 3,
+                      flows_per_probe: int = 250,
+                      duration_ns: int = 2_000_000,
+                      seed: int = DEFAULT_SEED) -> Dict[str, Any]:
+    """Sharded fleet throughput: one fixed ring at 1 vs 4 shards.
+
+    Reports the modeled-critical-path rates (per barrier round the
+    slowest shard's busy time is what every other shard waits on, so
+    the sum of per-round maxima is what an S-machine deployment would
+    take even on this single-core box) and the speedup 4 shards buy
+    over 1.  ``bit_identical`` is 1 only when both runs produced the
+    same determinism fingerprint — a 0 here is a correctness failure,
+    not a slow run, and trips the validator's positive-metric check.
+    """
+    from repro.fleet import fleet_specs, run_fleet
+
+    specs = fleet_specs(4, switches=2, hosts_per_switch=2,
+                        master_seed=seed, probe_bursts=probe_bursts,
+                        probe_interval_ns=100_000,
+                        flows_per_probe=flows_per_probe)
+    # Warm-up: first-run one-time costs (imports, allocator growth,
+    # bytecode caches) must not be billed to the 1-shard point.
+    run_fleet(specs, duration_ns, shards=1)
+
+    one = run_fleet(specs, duration_ns, shards=1)
+    four = run_fleet(specs, duration_ns, shards=4)
+    return {
+        "n_regions": 4,
+        "probe_bursts": probe_bursts,
+        "flows_per_probe": flows_per_probe,
+        "duration_ns": duration_ns,
+        "logical_flows": four.counters["logical_flows"],
+        "packets_switched": four.counters["packets_switched"],
+        "boundary_messages": four.messages_exchanged,
+        "verifications_saved": four.counters["verifications_saved"],
+        "packets_per_sec_modeled": four.packets_per_modeled_second,
+        "flows_per_sec_modeled": four.flows_per_modeled_second,
+        "speedup_vs_one_shard": (four.packets_per_modeled_second
+                                 / one.packets_per_modeled_second),
+        "bit_identical": int(one.fingerprint() == four.fingerprint()),
+    }
+
+
 # --------------------------------------------------------------------- #
 # Harness entry point
 # --------------------------------------------------------------------- #
@@ -504,6 +553,10 @@ def run_all(quick: bool = False, seed: int = DEFAULT_SEED) -> Dict[str, Any]:
         "tpp_exec_cached": bench_tpp_exec_cached(50_000 // scale),
         "tpp_exec_verified": bench_tpp_exec_verified(50_000 // scale),
         "tpp_exec_batched": bench_tpp_exec_batched(2_000 // scale),
+        "fleet_scale": bench_fleet_scale(
+            probe_bursts=3 if quick else 10,
+            flows_per_probe=250 if quick else 1_000,
+            seed=seed),
     }
     now = time.time()
     return {

@@ -130,6 +130,39 @@ def batch_report(switches: Iterable = ()) -> str:
         rows, title="Batched execution")
 
 
+def fleet_report(result) -> str:
+    """One-screen summary of a :class:`repro.fleet.driver.FleetResult`.
+
+    The headline numbers an operator compares across shard counts: the
+    determinism fingerprint (must not move), the admission amortization
+    (verifier runs vs logical flows covered), and the modeled
+    critical-path throughput the sharding bought.
+    """
+    counters = result.counters
+    lines = [
+        f"Sharded fleet: {result.n_regions} region(s) on "
+        f"{result.shards} shard(s) [{result.transport}], "
+        f"{result.rounds} round(s) of {result.quantum_ns} ns",
+        f"  fingerprint     {result.fingerprint()}",
+        f"  boundary msgs   {result.messages_exchanged}",
+        f"  logical flows   {counters.get('logical_flows', 0)} "
+        f"({counters.get('probes_sent', 0)} probes, "
+        f"{counters.get('responses_received', 0)} echoes)",
+        f"  admission       {counters.get('programs_verified', 0)} "
+        f"verifier run(s) covered "
+        f"{counters.get('flows_admitted', 0)} flow(s) "
+        f"({counters.get('verifications_saved', 0)} saved); "
+        f"{counters.get('certificates_installed', 0)} certificate(s)",
+        f"  switching       {counters.get('packets_switched', 0)} packets, "
+        f"{counters.get('tpps_executed', 0)} TPP executions",
+        f"  modeled time    {result.modeled_seconds * 1e3:.2f} ms "
+        f"({result.packets_per_modeled_second:,.0f} packets/s, "
+        f"{result.flows_per_modeled_second:,.0f} flows/s)",
+        f"  wall time       {result.wall_seconds * 1e3:.2f} ms",
+    ]
+    return "\n".join(lines)
+
+
 def race_report(switches: Iterable = (),
                 policies: Iterable = ()) -> str:
     """Fleet race-table counters per switch / policy, as aligned tables.

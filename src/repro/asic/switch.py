@@ -69,7 +69,15 @@ class TPPSwitch(Device):
         self.tpp_enabled = tpp_enabled
 
         self.mmu = MMU(memory_map, name=name)
-        self.tcpu = TCPU(self.mmu, max_tpp_instructions, name=f"{name}.tcpu")
+        # The switch knows its own SwitchID, so its TCPU's race table can
+        # discount accesses behind constant fences that never pass here.
+        try:
+            fence_values = {
+                self.mmu.memory_map.resolve("Switch:SwitchID"): switch_id}
+        except KeyError:  # pragma: no cover - custom maps may omit it
+            fence_values = None
+        self.tcpu = TCPU(self.mmu, max_tpp_instructions,
+                         name=f"{name}.tcpu", fence_values=fence_values)
 
         allocator = EntryAllocator()
         self._allocator = allocator

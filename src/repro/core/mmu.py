@@ -357,6 +357,20 @@ class MMU:
                 return region.task_id
         return None
 
+    def sram_image(self) -> bytes:
+        """The full SRAM contents as canonical bytes.
+
+        One big-endian 64-bit word per SRAM slot, independent of the
+        backing store (plain list or numpy).  This is the determinism
+        fingerprint the sharded fleet driver hashes: two runs whose
+        switches end with identical images performed identical SRAM
+        write sequences, whatever the shard layout was.
+        """
+        sram = self._sram
+        return b"".join(
+            (int(sram[word]) & 0xFFFF_FFFF_FFFF_FFFF).to_bytes(8, "big")
+            for word in range(SRAM_WORDS))
+
     def _check_sram_access(self, word: int, task_id: int) -> None:
         if not self.enforce_sram_protection:
             return

@@ -41,10 +41,33 @@ truth).  Programs of *different* tasks are never paired — cross-task
 access is already a ``TPP007`` admission error and an
 ``SRAM_PROTECTION`` runtime fault.
 
-The analysis is may-access: writes behind a CEXEC fence count even when
-the fence could statically never pass, so it can flag pairs that never
-diverge in practice (documented false positives), but a diagnosed-free
-fleet is genuinely race free.
+The analysis is may-access, refined by *constant-mask CEXEC fences*: a
+CEXEC whose switch operand is a per-switch constant (``Switch:SwitchID``)
+and whose mask/value operand words provably survive every hop unmodified
+is a stable predicate — on any given switch it either always passes or
+always fails.  Accesses guarded by two mutually exclusive such fences
+(same register and mask, different expected values) can never execute in
+the same switch's interleaving, so the pairwise classification only
+counts *co-executable* access pairs, and accesses behind self-
+contradictory fences are statically unreachable and dropped from the
+summary.  Fences with matching predicates suppress nothing: the analysis
+does not know the register's value, and on some switch both programs'
+guarded accesses may run.
+
+When the analysis runs on behalf of a *specific* switch the register
+values stop being unknowns: admission is per-switch (``TCPU.trust``
+keeps one :class:`FleetRaceTable` per switch), so callers may supply
+``fence_values`` — a ``{switch_vaddr: value}`` binding of the stable
+registers for that switch.  A fence whose predicate is falsified by the
+bindings (``value & mask != expected``) can never pass there, so every
+access it guards is statically dead on that switch and drops out of the
+pairwise classification entirely.  This is the refinement that retires
+the dominant false-positive class: a write fenced on the *wrong*
+``Switch:SwitchID`` looked like a may-write to the unbound analysis.
+Everything else stays may-access — writes behind non-constant fences
+still count — so a diagnosed-free fleet is genuinely race free on the
+bound switch, at a measurably lower false-positive rate
+(``tests/props/test_race_harness.py`` pins the measurement).
 
 Two consumption modes:
 
@@ -67,15 +90,33 @@ from typing import (
     Dict,
     Iterable,
     List,
+    Mapping,
     Optional,
     Sequence,
     Set,
     Tuple,
 )
 
-from repro.core.isa import Instruction, Opcode, SWITCH_WRITING_OPCODES
-from repro.core.memory_map import SRAM_BASE, is_sram
+from repro.core.isa import (
+    HOP_RELATIVE_OPCODES,
+    Instruction,
+    Opcode,
+    SWITCH_WRITING_OPCODES,
+)
+from repro.core.memory_map import MemoryMap, SRAM_BASE, is_sram
 from repro.core.tpp import AddressingMode, TPPSection, program_key_of
+
+#: Hop horizon used when a program declares no budget (mirrors the
+#: verifier's scan limit; a larger horizon only widens the written
+#: intervals, which is the conservative direction for fence constancy).
+FENCE_SCAN_LIMIT = 1024
+
+#: Switch registers whose value is a per-switch constant for the life of
+#: a run: set at boot, never written by the dataplane or control plane.
+#: Only CEXECs reading these can be *stable* fences — a fence on a
+#: counter or queue register can flip between two packets of the same
+#: interleaving and proves nothing.
+STABLE_FENCE_REGISTERS = ("Switch:SwitchID",)
 
 #: Stable race diagnostic codes with their severity.  Kept separate from
 #: the single-program ``TPP0xx`` table in :mod:`repro.core.verifier`:
@@ -119,21 +160,52 @@ class ProgramAccessSummary:
     summary is the unit the fleet analysis intersects; it is cheap to
     build (one linear scan) and cheap to carry inside a
     :class:`~repro.core.verifier.VerifiedProgram` certificate.
+
+    ``fences`` holds the program's provably-stable CEXEC fences as
+    ``(instruction_index, switch_vaddr, mask, expected)`` tuples (see
+    :func:`collect_constant_fences`); an access at index ``i`` is
+    guarded by every fence at a smaller index.  Accesses whose own guard
+    set is self-contradictory are statically unreachable and dropped at
+    construction, so every index the maps carry can actually execute on
+    some switch.
     """
 
     __slots__ = ("name", "task_id", "program_key",
-                 "reads", "writes", "claims")
+                 "reads", "writes", "claims", "fences")
 
     def __init__(self, name: str, task_id: int, program_key: bytes,
                  reads: Dict[int, Tuple[int, ...]],
                  writes: Dict[int, Tuple[int, ...]],
-                 claims: Dict[int, Tuple[int, ...]]) -> None:
+                 claims: Dict[int, Tuple[int, ...]],
+                 fences: Tuple[Tuple[int, int, int, int], ...] = (),
+                 ) -> None:
         self.name = name
         self.task_id = task_id
         self.program_key = program_key
-        self.reads = reads
-        self.writes = writes
-        self.claims = claims
+        self.fences = tuple(sorted(fences))
+        self.reads = self._drop_unreachable(reads)
+        self.writes = self._drop_unreachable(writes)
+        self.claims = self._drop_unreachable(claims)
+
+    def guards(self, index: int) -> Tuple[Tuple[int, int, int], ...]:
+        """The fence predicates guarding the instruction at ``index``
+        (every stable CEXEC at a smaller index)."""
+        return tuple((addr, mask, expected)
+                     for fence_index, addr, mask, expected in self.fences
+                     if fence_index < index)
+
+    def _drop_unreachable(
+            self, table: Dict[int, Tuple[int, ...]],
+    ) -> Dict[int, Tuple[int, ...]]:
+        if not self.fences:
+            return table
+        filtered: Dict[int, Tuple[int, ...]] = {}
+        for word, indices in table.items():
+            live = tuple(i for i in indices
+                         if not _self_contradictory(self.guards(i)))
+            if live:
+                filtered[word] = live
+        return filtered
 
     @property
     def key(self) -> Tuple[bytes, int]:
@@ -162,6 +234,7 @@ class ProgramAccessSummary:
             "reads": render(self.reads),
             "writes": render(self.writes),
             "claims": render(self.claims),
+            "fences": [list(fence) for fence in self.fences],
         }
 
 
@@ -193,19 +266,199 @@ def collect_sram_accesses(
     return tuple(reads), tuple(writes), tuple(claims)
 
 
+def written_byte_intervals(instructions: Sequence[Instruction], *,
+                           mode: Any,
+                           word_size: int,
+                           memory_len: int,
+                           perhop_len_bytes: int = 0,
+                           max_hops: Optional[int] = None,
+                           ) -> List[Tuple[int, int]]:
+    """Over-approximated byte ranges any instruction can write into
+    packet memory across the whole hop horizon.
+
+    The single source of truth for "which packet-memory bytes are
+    provably constant": the verifier's dead-code analysis and the fence
+    extraction below both exclude these intervals.  PUSH coverage uses
+    the per-instruction SP prefix sums over the worst achievable per-hop
+    growth; LOAD/arithmetic write back at their operand (striding per
+    hop in hop mode); CSTORE writes the old switch value over its
+    condition word.
+    """
+    hop_mode = mode == AddressingMode.HOP
+    word = word_size
+    n = len(instructions)
+    horizon = max_hops if max_hops is not None else FENCE_SCAN_LIMIT
+    top_hop = max(horizon - 1, 0)
+    prefix = [0] * (n + 1)
+    for j, instruction in enumerate(instructions):
+        delta = 0
+        if instruction.opcode == Opcode.PUSH:
+            delta = word
+        elif instruction.opcode == Opcode.POP:
+            delta = -word
+        prefix[j + 1] = prefix[j] + delta
+    deltas = {prefix[n]}
+    for k, instruction in enumerate(instructions):
+        if instruction.opcode == Opcode.CEXEC:
+            deltas.add(prefix[k])
+    dmax = max(deltas)
+    pushes = [j for j, i in enumerate(instructions)
+              if i.opcode == Opcode.PUSH]
+    intervals: List[Tuple[int, int]] = []
+    if pushes:
+        growth = top_hop * max(dmax, 0)
+        hi = max(growth + prefix[j] + word for j in pushes)
+        intervals.append((0, min(hi, memory_len)))
+    for j, instruction in enumerate(instructions):
+        opcode = instruction.opcode
+        base = instruction.offset * word
+        if opcode == Opcode.LOAD or opcode in (
+                Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR,
+                Opcode.XOR, Opcode.MIN, Opcode.MAX):
+            if hop_mode and opcode in HOP_RELATIVE_OPCODES:
+                intervals.append((base,
+                                  top_hop * perhop_len_bytes + base + word))
+            else:
+                intervals.append((base, base + word))
+        elif opcode == Opcode.CSTORE:
+            # Writes the old switch value back over the cond word.
+            intervals.append((base, base + word))
+    return intervals
+
+
+def collect_constant_fences(instructions: Sequence[Instruction], *,
+                            mode: Any,
+                            word_size: int,
+                            memory_len: int,
+                            perhop_len_bytes: int = 0,
+                            initial_memory: Optional[bytes] = None,
+                            max_hops: Optional[int] = None,
+                            memory_map: Optional[MemoryMap] = None,
+                            ) -> Tuple[Tuple[int, int, int, int], ...]:
+    """Extract the provably-stable CEXEC fences of one program.
+
+    Returns ``(instruction_index, switch_vaddr, mask, expected)`` tuples
+    for every CEXEC that (a) reads a :data:`STABLE_FENCE_REGISTERS`
+    register and (b) takes its mask/value operand pair from packet-memory
+    bytes no instruction can overwrite on any hop within the horizon.
+    Such a fence evaluates identically on every execution of the program
+    on a given switch, so it partitions the fleet's interleavings; every
+    access at a later index is guarded by it (CEXEC kills the program
+    suffix).  Without an initial memory image nothing is provable and
+    the result is empty — the conservative, pre-fence behaviour.
+    """
+    if initial_memory is None:
+        return ()
+    resolver = memory_map if memory_map is not None else MemoryMap.standard()
+    stable_addrs = set()
+    for name in STABLE_FENCE_REGISTERS:
+        try:
+            stable_addrs.add(resolver.resolve(name))
+        except KeyError:  # pragma: no cover - custom maps may omit it
+            continue
+    if not stable_addrs:
+        return ()
+    cexecs = [(j, i) for j, i in enumerate(instructions)
+              if i.opcode == Opcode.CEXEC and i.addr in stable_addrs]
+    if not cexecs:
+        return ()
+    written = written_byte_intervals(
+        instructions, mode=mode, word_size=word_size,
+        memory_len=memory_len, perhop_len_bytes=perhop_len_bytes,
+        max_hops=max_hops)
+    word = word_size
+    fences: List[Tuple[int, int, int, int]] = []
+    for j, instruction in cexecs:
+        base = instruction.offset * word
+        end = base + 2 * word
+        if end > len(initial_memory) or end > memory_len:
+            continue
+        if any(lo < end and base < hi for lo, hi in written):
+            continue  # operands are mutable: the fence can flip
+        mask = int.from_bytes(initial_memory[base:base + word], "big")
+        expected = int.from_bytes(initial_memory[base + word:end], "big")
+        fences.append((j, instruction.addr, mask, expected))
+    return tuple(fences)
+
+
+def _exclusive_guards(guards_a: Tuple[Tuple[int, int, int], ...],
+                      guards_b: Tuple[Tuple[int, int, int], ...]) -> bool:
+    """Whether two guard sets can never both pass on one switch.
+
+    True iff they contain fences on the same stable register with the
+    same mask but different expected values — at most one of the two
+    predicates holds for any register value.  Matching predicates are
+    *not* exclusive: the analysis does not know the register's value,
+    and on some switch both pass.
+    """
+    for addr_a, mask_a, expected_a in guards_a:
+        for addr_b, mask_b, expected_b in guards_b:
+            if (addr_a == addr_b and mask_a == mask_b
+                    and expected_a != expected_b):
+                return True
+    return False
+
+
+def _falsified(guards: Tuple[Tuple[int, int, int], ...],
+               fence_values: Optional[Mapping[int, int]]) -> bool:
+    """Whether known per-switch register values kill this guard set.
+
+    ``fence_values`` maps a stable register's switch vaddr to its
+    concrete value on the switch the analysis is run for.  A fence on a
+    bound register passes iff ``value & mask == expected``; one failing
+    fence makes every access behind it unreachable on that switch.
+    Unbound registers stay unknowns (handled by mutual exclusion).
+    """
+    if not fence_values or not guards:
+        return False
+    for addr, mask, expected in guards:
+        value = fence_values.get(addr)
+        if value is not None and (value & mask) != expected:
+            return True
+    return False
+
+
+def _self_contradictory(
+        guards: Tuple[Tuple[int, int, int], ...]) -> bool:
+    """Whether one access's own guard set can never all pass: a fence
+    whose expected value has bits outside its mask (never true), or two
+    fences on the same register/mask demanding different values."""
+    for _, mask, expected in guards:
+        if expected & ~mask:
+            return True
+    return _exclusive_guards(guards, guards)
+
+
 def summarize_instructions(instructions: Sequence[Instruction], *,
                            task_id: int = 0,
                            mode: Any = None,
                            word_size: int = 4,
                            name: str = "",
                            program_key: Optional[bytes] = None,
+                           memory_len: int = 0,
+                           perhop_len_bytes: int = 0,
+                           initial_memory: Optional[bytes] = None,
+                           max_hops: Optional[int] = None,
+                           memory_map: Optional[MemoryMap] = None,
                            ) -> ProgramAccessSummary:
-    """Build a :class:`ProgramAccessSummary` from decoded instructions."""
+    """Build a :class:`ProgramAccessSummary` from decoded instructions.
+
+    ``initial_memory`` (plus the memory geometry) enables the
+    constant-fence refinement; without it the summary is the plain
+    may-access one.
+    """
     if program_key is None:
         program_key = program_key_of(
             list(instructions),
             AddressingMode.STACK if mode is None else mode, word_size)
     reads, writes, claims = collect_sram_accesses(instructions)
+    fences = collect_constant_fences(
+        instructions,
+        mode=AddressingMode.STACK if mode is None else mode,
+        word_size=word_size, memory_len=memory_len,
+        perhop_len_bytes=perhop_len_bytes,
+        initial_memory=initial_memory, max_hops=max_hops,
+        memory_map=memory_map)
     return ProgramAccessSummary(
         name=name or f"{program_key.hex()[:12]}/t{task_id}",
         task_id=task_id,
@@ -213,6 +466,7 @@ def summarize_instructions(instructions: Sequence[Instruction], *,
         reads=_index_map(reads),
         writes=_index_map(writes),
         claims=_index_map(claims),
+        fences=fences,
     )
 
 
@@ -222,7 +476,10 @@ def summarize_section(tpp: TPPSection,
     return summarize_instructions(
         tpp.instructions, task_id=tpp.task_id, mode=tpp.mode,
         word_size=tpp.word_size, name=name,
-        program_key=tpp.program_key)
+        program_key=tpp.program_key,
+        memory_len=len(tpp.memory),
+        perhop_len_bytes=tpp.perhop_len_bytes,
+        initial_memory=bytes(tpp.memory))
 
 
 def summarize_program(program: Any, task_id: int = 0,
@@ -230,7 +487,11 @@ def summarize_program(program: Any, task_id: int = 0,
     """Summary of an :class:`~repro.core.assembler.AssembledProgram`."""
     return summarize_instructions(
         program.instructions, task_id=task_id, mode=program.mode,
-        word_size=program.word_size, name=name)
+        word_size=program.word_size, name=name,
+        memory_len=len(program.initial_memory),
+        perhop_len_bytes=program.perhop_len_bytes,
+        initial_memory=bytes(program.initial_memory),
+        max_hops=getattr(program, "hops", None))
 
 
 def summarize_certificate(certificate: Any,
@@ -250,6 +511,9 @@ def summarize_certificate(certificate: Any,
         reads=_index_map(certificate.sram_reads),
         writes=_index_map(certificate.sram_writes),
         claims=_index_map(certificate.sram_claims),
+        # Old certificates carry no fences: the conservative pre-fence
+        # analysis applies unchanged.
+        fences=getattr(certificate, "sram_fences", ()),
     )
 
 
@@ -298,13 +562,17 @@ def _sort_key(diagnostic: RaceDiagnostic) -> Tuple:
 
 
 def check_pair(a: ProgramAccessSummary,
-               b: ProgramAccessSummary) -> List[RaceDiagnostic]:
+               b: ProgramAccessSummary,
+               fence_values: Optional[Mapping[int, int]] = None,
+               ) -> List[RaceDiagnostic]:
     """Race diagnostics between two programs (same task only).
 
     The pair is canonically ordered by ``(name, program_key)`` before
     classification, so the result is identical no matter which way the
     caller hands the two summaries in — a requirement for the
     incremental table to match a from-scratch pass exactly.
+    ``fence_values`` binds stable registers to the target switch's
+    values (see module docstring); ``None`` keeps them unknown.
     """
     if a.task_id != b.task_id:
         return []  # disjoint protection domains: TPP007's job
@@ -312,25 +580,62 @@ def check_pair(a: ProgramAccessSummary,
     shared = a.words & b.words
     diagnostics: List[RaceDiagnostic] = []
     for word in sorted(shared):
-        finding = _classify_word(a, b, word)
+        finding = _classify_word(a, b, word, fence_values)
         if finding is not None:
             diagnostics.append(finding)
     return diagnostics
 
 
-def _write_indices(summary: ProgramAccessSummary,
-                   word: int) -> Tuple[int, ...]:
-    """All indices that mutate ``word``: plain stores and CSTORE claims."""
-    return tuple(sorted(summary.writes.get(word, ())
-                        + summary.claims.get(word, ())))
+def _live_pairs(a: ProgramAccessSummary, indices_a: Tuple[int, ...],
+                b: ProgramAccessSummary, indices_b: Tuple[int, ...],
+                fence_values: Optional[Mapping[int, int]] = None,
+                ) -> Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+    """Filter two access-index sets down to the co-executable pairs.
+
+    An access dead on the bound switch (a guard falsified by
+    ``fence_values``) is dropped outright.  Of the remainder, an access
+    of ``a`` and an access of ``b`` are co-executable unless their guard
+    sets contain mutually exclusive stable fences — then no single
+    switch can ever run both, so the pair cannot race there.  Returns
+    the surviving indices on each side, or ``None`` when no cross pair
+    survives (guard sets without fences always survive: the pre-fence
+    may-access behaviour).
+    """
+    if not indices_a or not indices_b:
+        return None
+    if not a.fences and not b.fences:
+        return (indices_a, indices_b)  # fast path: nothing to exclude
+    guards_a = {i: a.guards(i) for i in indices_a
+                if not _falsified(a.guards(i), fence_values)}
+    guards_b = {j: b.guards(j) for j in indices_b
+                if not _falsified(b.guards(j), fence_values)}
+    live_a = tuple(i for i in guards_a
+                   if any(not _exclusive_guards(guards_a[i], guards_b[j])
+                          for j in guards_b))
+    live_b = tuple(j for j in guards_b
+                   if any(not _exclusive_guards(guards_a[i], guards_b[j])
+                          for i in guards_a))
+    if live_a and live_b:
+        return (live_a, live_b)
+    return None
 
 
 def _classify_word(a: ProgramAccessSummary, b: ProgramAccessSummary,
-                   word: int) -> Optional[RaceDiagnostic]:
-    """Most severe applicable classification for one shared word."""
-    write_a, write_b = word in a.writes, word in b.writes
-    claim_a, claim_b = word in a.claims, word in b.claims
-    read_a, read_b = word in a.reads, word in b.reads
+                   word: int,
+                   fence_values: Optional[Mapping[int, int]] = None,
+                   ) -> Optional[RaceDiagnostic]:
+    """Most severe applicable classification for one shared word.
+
+    Each relation only fires for *co-executable* access pairs: accesses
+    separated by mutually exclusive constant fences run on disjoint
+    switches and cannot interleave (see :func:`_live_pairs`).
+    """
+    writes_a = a.writes.get(word, ())
+    writes_b = b.writes.get(word, ())
+    claims_a = a.claims.get(word, ())
+    claims_b = b.claims.get(word, ())
+    reads_a = a.reads.get(word, ())
+    reads_b = b.reads.get(word, ())
 
     def build(code: str, message: str,
               indices_a: Tuple[int, ...],
@@ -341,49 +646,53 @@ def _classify_word(a: ProgramAccessSummary, b: ProgramAccessSummary,
             program_a=a.name, program_b=b.name,
             instructions_a=indices_a, instructions_b=indices_b)
 
-    if write_a and write_b:
+    ww = _live_pairs(a, writes_a, b, writes_b, fence_values)
+    if ww is not None:
         return build(
             "TPP020",
             f"write-write race: {a.name} and {b.name} both store to "
             f"Sram:Word{word} with no CSTORE claim protocol",
-            a.writes[word], b.writes[word])
-    if (claim_a and write_b) or (claim_b and write_a):
-        if claim_a and write_b:
+            ww[0], ww[1])
+    claim_vs_write = _live_pairs(a, claims_a, b, writes_b, fence_values)
+    write_vs_claim = _live_pairs(a, writes_a, b, claims_b, fence_values)
+    if claim_vs_write is not None or write_vs_claim is not None:
+        if claim_vs_write is not None:
             claimer, writer = a, b
-            indices_a, indices_b = a.claims[word], b.writes[word]
+            indices_a, indices_b = claim_vs_write
         else:
             claimer, writer = b, a
-            indices_a, indices_b = a.writes[word], b.claims[word]
+            indices_a, indices_b = write_vs_claim
         return build(
             "TPP022",
             f"claim protocol violated: {claimer.name} claims "
             f"Sram:Word{word} via CSTORE but {writer.name} writes it "
             f"unconditionally",
             indices_a, indices_b)
-    writes_a_any = write_a or claim_a
-    writes_b_any = write_b or claim_b
-    if (writes_a_any and read_b) or (writes_b_any and read_a):
-        if writes_a_any and read_b:
+    mutates_a = tuple(sorted(writes_a + claims_a))
+    mutates_b = tuple(sorted(writes_b + claims_b))
+    aw_read_b = _live_pairs(a, mutates_a, b, reads_b, fence_values)
+    bw_read_a = _live_pairs(a, reads_a, b, mutates_b, fence_values)
+    if aw_read_b is not None or bw_read_a is not None:
+        if aw_read_b is not None:
             writer, reader = a, b
-            indices_a = _write_indices(a, word)
-            indices_b = b.reads[word]
+            indices_a, indices_b = aw_read_b
         else:
             writer, reader = b, a
-            indices_a = a.reads[word]
-            indices_b = _write_indices(b, word)
+            indices_a, indices_b = bw_read_a
         return build(
             "TPP021",
             f"read-write race: {reader.name} reads Sram:Word{word} "
             f"which {writer.name} writes — torn-read risk, value "
             f"depends on packet interleaving",
             indices_a, indices_b)
-    if claim_a and claim_b:
+    cc = _live_pairs(a, claims_a, b, claims_b, fence_values)
+    if cc is not None:
         return build(
             "TPP023",
             f"claim-coordinated sharing: {a.name} and {b.name} both "
             f"CSTORE Sram:Word{word} — sanctioned protocol, but the "
             f"winning claim depends on arrival order",
-            a.claims[word], b.claims[word])
+            cc[0], cc[1])
     return None  # read-read sharing is always safe
 
 
@@ -447,19 +756,23 @@ class FleetRaceReport:
 
 
 def check_fleet(
-        summaries: Sequence[ProgramAccessSummary]) -> FleetRaceReport:
+        summaries: Sequence[ProgramAccessSummary],
+        fence_values: Optional[Mapping[int, int]] = None,
+        ) -> FleetRaceReport:
     """From-scratch pairwise analysis over a whole fleet.
 
     The reference semantics the incremental :class:`FleetRaceTable`
     must match; diagnostics come out in a canonical order so reports
-    are directly comparable.
+    are directly comparable.  ``fence_values`` binds stable registers
+    to one switch's values, refining every pair (see module docstring).
     """
     diagnostics: List[RaceDiagnostic] = []
     pairs = 0
     for i in range(len(summaries)):
         for j in range(i + 1, len(summaries)):
             pairs += 1
-            diagnostics.extend(check_pair(summaries[i], summaries[j]))
+            diagnostics.extend(
+                check_pair(summaries[i], summaries[j], fence_values))
     diagnostics.sort(key=_sort_key)
     return FleetRaceReport(
         programs=[s.name for s in summaries],
@@ -475,9 +788,20 @@ class FleetRaceTable:
     only re-checks the pairs whose access sets actually intersect the
     newcomer's — on a fleet of N programs touching disjoint words,
     admission is O(program size), not O(N).
+
+    A table guards one deployment point.  When that point is a single
+    switch (``TCPU.trust``), pass ``fence_values`` with the switch's
+    stable register values so constant fences falsified there discount
+    their guarded accesses; a table spanning many switches (an edge
+    policy) leaves it unset and gets the conservative analysis.
     """
 
-    def __init__(self) -> None:
+    def __init__(self,
+                 fence_values: Optional[Mapping[int, int]] = None) -> None:
+        #: Stable-register bindings for the switch this table guards
+        #: (``None`` = unknown, conservative).
+        self.fence_values: Optional[Dict[int, int]] = (
+            dict(fence_values) if fence_values else None)
         self._members: Dict[Tuple[bytes, int], ProgramAccessSummary] = {}
         # (task_id, word) -> member keys touching that word.
         self._word_index: Dict[Tuple[int, int],
@@ -530,7 +854,7 @@ class FleetRaceTable:
         for rival_key in rivals:
             rival = self._members[rival_key]
             self.pair_checks += 1
-            findings = check_pair(summary, rival)
+            findings = check_pair(summary, rival, self.fence_values)
             if findings:
                 self._pair_diagnostics[_pair_key(key, rival_key)] = (
                     findings)
@@ -583,7 +907,8 @@ class FleetRaceTable:
         return collected
 
     def report(self) -> FleetRaceReport:
-        """Snapshot equivalent to ``check_fleet(self.members)``."""
+        """Snapshot equivalent to
+        ``check_fleet(self.members, self.fence_values)``."""
         members = self.members
         n = len(members)
         return FleetRaceReport(

@@ -103,7 +103,8 @@ class TCPU:
                  name: str = "tcpu", compile: Optional[bool] = None,
                  cache_capacity: int = DEFAULT_PROGRAM_CACHE_CAPACITY,
                  race_mode: str = "warn",
-                 batch: Optional[bool] = None) -> None:
+                 batch: Optional[bool] = None,
+                 fence_values: Optional[dict] = None) -> None:
         if race_mode not in RACE_MODES:
             raise ValueError(
                 f"race_mode must be one of {RACE_MODES}, "
@@ -138,9 +139,13 @@ class TCPU:
         self.verified_executions = 0
         #: Fleet race policy for :meth:`trust` (see :data:`RACE_MODES`).
         self.race_mode = race_mode
+        #: Stable-register bindings for this switch (vaddr → value),
+        #: e.g. its ``Switch:SwitchID``.  Lets the race table discount
+        #: accesses behind constant fences that can never pass here.
+        self.fence_values = dict(fence_values) if fence_values else None
         #: Incremental race table over the trusted certificates' SRAM
         #: access sets (:mod:`repro.core.racecheck`).
-        self.fleet = FleetRaceTable()
+        self.fleet = FleetRaceTable(fence_values=self.fence_values)
         #: Race diagnostics recorded by ``warn``-mode admissions.
         self.race_conflicts: List[RaceDiagnostic] = []
         #: Certificates ``enforce`` mode turned away.
@@ -254,7 +259,7 @@ class TCPU:
         if self._verified:
             self.certificates_swept += len(self._verified)
             self._verified.clear()
-        self.fleet = FleetRaceTable()
+        self.fleet = FleetRaceTable(fence_values=self.fence_values)
 
     # ------------------------------------------------------------------ #
     # Execution

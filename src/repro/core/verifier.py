@@ -68,7 +68,11 @@ from repro.core.isa import (
     SWITCH_WRITING_OPCODES,
 )
 from repro.core.memory_map import MemoryMap, SRAM_BASE, is_sram, region_of
-from repro.core.racecheck import collect_sram_accesses
+from repro.core.racecheck import (
+    collect_constant_fences,
+    collect_sram_accesses,
+    written_byte_intervals,
+)
 from repro.core.tcpu import DEFAULT_MAX_INSTRUCTIONS
 from repro.core.tpp import AddressingMode, TPPSection, program_key_of
 
@@ -196,6 +200,13 @@ class VerifiedProgram:
     sram_reads: Tuple[Tuple[int, int], ...] = ()
     sram_writes: Tuple[Tuple[int, int], ...] = ()
     sram_claims: Tuple[Tuple[int, int], ...] = ()
+    #: Provably-stable CEXEC fences as ``(index, addr, mask, expected)``
+    #: tuples (:func:`repro.core.racecheck.collect_constant_fences`) —
+    #: lets the fleet race analysis discount access pairs separated by
+    #: mutually exclusive per-switch predicates.  Empty on certificates
+    #: minted before the fence model existed: the conservative
+    #: may-access analysis applies to those unchanged.
+    sram_fences: Tuple[Tuple[int, int, int, int], ...] = ()
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready representation (for ``tppasm lint --json``)."""
@@ -214,6 +225,7 @@ class VerifiedProgram:
             "sram_reads": [list(p) for p in self.sram_reads],
             "sram_writes": [list(p) for p in self.sram_writes],
             "sram_claims": [list(p) for p in self.sram_claims],
+            "sram_fences": [list(f) for f in self.sram_fences],
         }
 
 
@@ -223,6 +235,12 @@ class VerificationResult:
 
     diagnostics: List[Diagnostic] = field(default_factory=list)
     certificate: Optional[VerifiedProgram] = None
+    #: Hop capacity of the allocated packet memory, from the TPP009
+    #: budget scan: the first hop whose worst-case stack or bounds
+    #: access would fault, or ``None`` when no violation exists inside
+    #: the scan horizon (effectively unbounded).  Surfaced structurally
+    #: so admission layers can budget hops without parsing diagnostics.
+    hop_capacity: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -253,6 +271,7 @@ class VerificationResult:
         """JSON-ready representation (for ``tppasm lint --json``)."""
         return {
             "ok": self.ok,
+            "hop_capacity": self.hop_capacity,
             "diagnostics": [d.to_dict() for d in self.diagnostics],
             "certificate": (self.certificate.to_dict()
                             if self.certificate else None),
@@ -436,7 +455,8 @@ class _Checker:
         self.check_absolute_accesses()
         capacity = self.check_hop_budget()
         self.check_dead_code()
-        result = VerificationResult(diagnostics=self.diagnostics)
+        result = VerificationResult(diagnostics=self.diagnostics,
+                                    hop_capacity=capacity)
         if result.ok and self.word in (4, 8):
             result.certificate = self.certificate(capacity)
         return result
@@ -600,31 +620,13 @@ class _Checker:
 
     def _written_intervals(self) -> List[Tuple[int, int]]:
         """Over-approximated byte ranges any instruction can write into
-        packet memory across the whole hop horizon."""
-        horizon = (self.max_hops if self.max_hops is not None
-                   else HOP_SCAN_LIMIT)
-        top_hop = max(horizon - 1, 0)
-        intervals: List[Tuple[int, int]] = []
-        word = self.word
-        if self.pushes:
-            growth = top_hop * max(self.dmax, 0)
-            hi = max(growth + self.prefix[j] + word for j in self.pushes)
-            intervals.append((0, min(hi, self.memory_len)))
-        for j, instruction in enumerate(self.instructions):
-            opcode = instruction.opcode
-            base = instruction.offset * word
-            if opcode == Opcode.LOAD or opcode in (
-                    Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR,
-                    Opcode.XOR, Opcode.MIN, Opcode.MAX):
-                if self.hop_mode:
-                    intervals.append((base,
-                                      top_hop * self.perhop + base + word))
-                else:
-                    intervals.append((base, base + word))
-            elif opcode == Opcode.CSTORE:
-                # Writes the old switch value back over the cond word.
-                intervals.append((base, base + word))
-        return intervals
+        packet memory across the whole hop horizon (delegated to the
+        shared implementation the fence extraction also uses)."""
+        return written_byte_intervals(
+            self.instructions, mode=self.mode, word_size=self.word,
+            memory_len=self.memory_len, perhop_len_bytes=self.perhop,
+            max_hops=(self.max_hops if self.max_hops is not None
+                      else HOP_SCAN_LIMIT))
 
     def check_dead_code(self) -> None:
         """Constant-condition CEXEC analysis (lint-only, never elision).
@@ -689,6 +691,11 @@ class _Checker:
         if max_hops is None:
             max_hops = capacity if capacity is not None else HOP_SCAN_LIMIT
         reads, writes, claims = collect_sram_accesses(self.instructions)
+        fences = collect_constant_fences(
+            self.instructions, mode=self.mode, word_size=word,
+            memory_len=memlen, perhop_len_bytes=self.perhop,
+            initial_memory=self.initial_memory, max_hops=self.max_hops,
+            memory_map=self.memory_map)
         return VerifiedProgram(
             program_key=program_key_of(self.instructions, self.mode,
                                        self.word),
@@ -706,4 +713,5 @@ class _Checker:
             sram_reads=reads,
             sram_writes=writes,
             sram_claims=claims,
+            sram_fences=fences,
         )

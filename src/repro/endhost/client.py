@@ -37,6 +37,7 @@ per outstanding probe:
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import random
 from collections import OrderedDict
@@ -49,6 +50,7 @@ from repro.core.memory_map import MemoryMap
 from repro.core.tcpu import DEFAULT_MAX_INSTRUCTIONS
 from repro.core.tpp import TPPSection
 from repro.core.verifier import (
+    Diagnostic,
     VerificationError,
     VerificationResult,
     verify_program,
@@ -85,6 +87,14 @@ _ADMISSION_CACHE_SIZE = 64
 #: and counts but still sends, ``enforce`` refuses to inject a program
 #: with error-severity diagnostics.
 VERIFY_MODES = ("off", "warn", "enforce")
+
+#: How an endpoint with a configured ``hop_budget`` reconciles it with
+#: the verifier's measured memory hop capacity (the TPP009 scan):
+#: ``auto`` grows a too-small program's packet memory to fit the budget
+#: when that is provably sound, ``reject`` refuses the send outright.
+#: Either way a probe that *would* have faulted mid-path at hop N
+#: (``STACK_OVERFLOW`` / ``MEMORY_BOUNDS``) is stopped at the endpoint.
+HOP_BUDGET_MODES = ("auto", "reject")
 
 #: Smoothing for the endpoint's echo-RTT estimate (TCP's srtt, but a
 #: faster gain: probes fire every few ms, so the estimate should track
@@ -262,11 +272,19 @@ class TPPEndpoint:
                  verify_mode: str = "off",
                  verify_memory_map: Optional[MemoryMap] = None,
                  verify_max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
-                 verify_max_hops: Optional[int] = None) -> None:
+                 verify_max_hops: Optional[int] = None,
+                 hop_budget: Optional[int] = None,
+                 hop_budget_mode: str = "auto") -> None:
         if verify_mode not in VERIFY_MODES:
             raise ValueError(
                 f"verify_mode must be one of {VERIFY_MODES}, "
                 f"got {verify_mode!r}")
+        if hop_budget_mode not in HOP_BUDGET_MODES:
+            raise ValueError(
+                f"hop_budget_mode must be one of {HOP_BUDGET_MODES}, "
+                f"got {hop_budget_mode!r}")
+        if hop_budget is not None and hop_budget < 1:
+            raise ValueError(f"hop_budget must be >= 1: {hop_budget}")
         self.host = host
         self.default_dst_mac = default_dst_mac
         self.echo_probes = echo_probes
@@ -275,8 +293,19 @@ class TPPEndpoint:
         self.verify_memory_map = verify_memory_map
         self.verify_max_instructions = verify_max_instructions
         self.verify_max_hops = verify_max_hops
+        #: Hops every probe from this endpoint must survive (typically
+        #: the topology's diameter).  ``None`` trusts each program's own
+        #: ``.hops`` geometry — the historical behaviour, which faults
+        #: mid-path when the caller under-sized the allocation.
+        self.hop_budget = hop_budget
+        self.hop_budget_mode = hop_budget_mode
         self._admissions: (
             "OrderedDict[AdmissionKey, VerificationResult]") = OrderedDict()
+        #: Auto-sized replacements keyed like the admission cache, so a
+        #: probing loop pays for the resize (and its confirming
+        #: re-verification) once per program.
+        self._budgeted: "OrderedDict[AdmissionKey, AssembledProgram]" = (
+            OrderedDict())
         #: Default policy for probes sent without an explicit one.
         #: ``None`` preserves the historical behaviour: no deadline, the
         #: request waits forever (fine on lossless topologies).
@@ -307,8 +336,11 @@ class TPPEndpoint:
         self.orphan_responses = 0
         self.duplicate_responses = 0
         self.late_responses = 0
-        #: Sends refused by enforce-mode verification.
+        #: Sends refused by enforce-mode verification or the hop budget.
         self.probes_rejected = 0
+        #: Sends whose program was transparently re-sized to the hop
+        #: budget (``hop_budget_mode="auto"``).
+        self.probes_auto_sized = 0
         #: Sends that carried a program with error diagnostics anyway
         #: (warn mode).
         self.probes_warned = 0
@@ -335,9 +367,7 @@ class TPPEndpoint:
         mode — :meth:`send` does; call this directly to inspect
         diagnostics or obtain the fast-path certificate.
         """
-        key = (self._program_fingerprint(program),
-               len(program.initial_memory), program.perhop_len_bytes,
-               getattr(program, "hops", None))
+        key = self._admission_key(program)
         cached = self._admissions.get(key)
         if cached is not None:
             self._admissions.move_to_end(key)
@@ -350,6 +380,11 @@ class TPPEndpoint:
         while len(self._admissions) > _ADMISSION_CACHE_SIZE:
             self._admissions.popitem(last=False)
         return result
+
+    def _admission_key(self, program: AssembledProgram) -> AdmissionKey:
+        return (self._program_fingerprint(program),
+                len(program.initial_memory), program.perhop_len_bytes,
+                getattr(program, "hops", None))
 
     @staticmethod
     def _program_fingerprint(program: AssembledProgram) -> bytes:
@@ -373,6 +408,90 @@ class TPPEndpoint:
         self.probes_warned += 1
 
     # ------------------------------------------------------------------ #
+    # Hop budgeting (verifier-driven allocation sizing)
+    # ------------------------------------------------------------------ #
+
+    def plan_hops(self, program: AssembledProgram) -> Optional[int]:
+        """Hops the program's packet memory provably supports.
+
+        The verifier's TPP009 budget scan, surfaced structurally
+        (memoized with the rest of admission).  ``None`` means no hop
+        inside the scan horizon can violate bounds — effectively
+        unbounded, e.g. a program with a zero per-hop footprint.
+        """
+        return self.admit(program).hop_capacity
+
+    def budget(self, program: AssembledProgram) -> AssembledProgram:
+        """Reconcile a program's memory geometry with ``hop_budget``.
+
+        The paper has the end-host "preallocate enough packet memory"
+        for the path (§2.1), but nothing checked the caller's arithmetic:
+        a program assembled for fewer hops than the path is long sails
+        through admission and faults mid-path at hop N.
+        With a budget configured, the verifier's measured capacity
+        decides *before* transmission: a sufficient program passes
+        through untouched; an under-sized one is either transparently
+        re-sized (``auto`` — only when the literal pool is empty, so
+        appending zeroed stack/hop words cannot shift any operand the
+        instructions reference) or refused with a synthetic error-grade
+        ``TPP009`` (``reject``, or ``auto`` when re-sizing is unsound).
+        The re-sized program is re-verified to confirm the new capacity
+        before anything is sent.
+        """
+        if self.hop_budget is None:
+            return program
+        capacity = self.plan_hops(program)
+        if capacity is None or capacity >= self.hop_budget:
+            return program
+        key = self._admission_key(program)
+        cached = self._budgeted.get(key)
+        if cached is not None:
+            self._budgeted.move_to_end(key)
+            self.probes_auto_sized += 1
+            return cached
+        word = program.word_size
+        poolless = program.pool_base_word * word == len(
+            program.initial_memory)
+        if (self.hop_budget_mode == "reject" or not poolless
+                or program.perhop_len_bytes <= 0):
+            raise self._refuse_budget(program, capacity, poolless)
+        pad_bytes = (self.hop_budget - capacity) * program.perhop_len_bytes
+        pad_words = pad_bytes // word
+        resized = dataclasses.replace(
+            program,
+            initial_memory=program.initial_memory + bytes(pad_bytes),
+            memory_words=program.memory_words + pad_words,
+            pool_base_word=program.pool_base_word + pad_words,
+            hops=self.hop_budget,
+            _verification=None)
+        confirmed = self.admit(resized).hop_capacity
+        if confirmed is not None and confirmed < self.hop_budget:
+            raise self._refuse_budget(program, capacity, poolless)
+        self._budgeted[key] = resized
+        while len(self._budgeted) > _ADMISSION_CACHE_SIZE:
+            self._budgeted.popitem(last=False)
+        self.probes_auto_sized += 1
+        return resized
+
+    def _refuse_budget(self, program: AssembledProgram,
+                       capacity: int, poolless: bool) -> VerificationError:
+        self.probes_rejected += 1
+        why = ("" if self.hop_budget_mode == "reject" else
+               "; auto-sizing is unsound here" +
+               ("" if poolless else
+                " (the literal pool sits where the memory would grow)"))
+        diagnostic = Diagnostic(
+            code="TPP009", severity="error",
+            message=(f"endpoint hop budget {self.hop_budget} exceeds the "
+                     f"{capacity} hop(s) supported by the program's "
+                     f"{len(program.initial_memory)} B of packet "
+                     f"memory{why}"),
+            hop=capacity)
+        return VerificationError(
+            VerificationResult(diagnostics=[diagnostic],
+                               hop_capacity=capacity))
+
+    # ------------------------------------------------------------------ #
     # Sending
     # ------------------------------------------------------------------ #
 
@@ -392,6 +511,7 @@ class TPPEndpoint:
             dst_mac = self.default_dst_mac
         if dst_mac is None:
             raise ValueError("no destination MAC for TPP probe")
+        program = self.budget(program)
         self._gate(program)
         policy = (retry_policy if retry_policy is not None
                   else self.retry_policy)
@@ -425,6 +545,7 @@ class TPPEndpoint:
         comes back.  ``dst_mac`` (the intended receiver) is optional but
         enables response matching and standalone retransmission on loss.
         """
+        program = self.budget(program)
         self._gate(program)
         policy = (retry_policy if retry_policy is not None
                   else self.retry_policy)

@@ -60,9 +60,14 @@ class PeriodicProber:
         if max_outstanding < 1:
             raise ValueError(
                 f"max_outstanding must be >= 1: {max_outstanding}")
-        # Fail construction, not every tick: an enforcing endpoint would
-        # reject this program on each _fire() anyway, so surface the
-        # verifier's diagnostics where the experiment is being built.
+        # Fail construction, not every tick: an endpoint that would
+        # reject this program (enforce-mode verification, or a hop
+        # budget it cannot satisfy) would do so on each _fire() anyway,
+        # so surface the verifier's diagnostics where the experiment is
+        # being built.  budget() also applies auto-sizing once, so the
+        # prober fires the correctly-sized program from the start.
+        if hasattr(endpoint, "budget"):
+            program = endpoint.budget(program)
         if getattr(endpoint, "verify_mode", "off") == "enforce":
             endpoint.admit(program).raise_on_error()
         self.endpoint = endpoint

@@ -1,0 +1,44 @@
+"""Sharded fleet-scale simulation: regions, boundaries, batched admission.
+
+The fleet subsystem scales the single-simulator model out: the topology
+is partitioned into ring-connected *regions*, each with its own
+deterministically-seeded simulator, coupled only by message-passing
+boundary links under a time-synchronization barrier
+(:mod:`repro.fleet.driver`).  Results are bit-identical for any shard
+count or transport.  On top, :mod:`repro.fleet.aggregate` amortizes
+admission (verifier + per-switch race tables) so one controller can
+stand for 10^5–10^6 logical flows.
+"""
+
+from repro.fleet.aggregate import BatchedAdmission, FleetProbeController
+from repro.fleet.boundary import (
+    BoundaryIngress,
+    BoundaryLink,
+    BoundaryMessage,
+    attach_boundary_port,
+    injection_order,
+)
+from repro.fleet.driver import FleetResult, ShardedFleet, run_fleet
+from repro.fleet.region import (
+    Region,
+    RegionSpec,
+    build_region,
+    fleet_specs,
+)
+
+__all__ = [
+    "BatchedAdmission",
+    "BoundaryIngress",
+    "BoundaryLink",
+    "BoundaryMessage",
+    "FleetProbeController",
+    "FleetResult",
+    "Region",
+    "RegionSpec",
+    "ShardedFleet",
+    "attach_boundary_port",
+    "build_region",
+    "fleet_specs",
+    "injection_order",
+    "run_fleet",
+]

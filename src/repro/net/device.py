@@ -43,8 +43,10 @@ class Device:
         #: before each ``receive`` callback: the number of *other* frames
         #: still due this instant.  The switch uses this to run its
         #: pipeline inline when no same-instant batch is possible.  Every
-        #: announced arrival is eventually delivered, so the count always
-        #: returns to zero by the end of each instant.
+        #: announced arrival is eventually retired — delivered to
+        #: ``receive``, or written off by a loss tombstone when the copy
+        #: dies in flight — so the count always returns to zero by the
+        #: end of each instant and stale instants cannot accumulate.
         self.inbound_now = 0
 
     def add_port(self, port: "Port") -> int:

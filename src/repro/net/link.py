@@ -180,19 +180,28 @@ class Link:
 
     def _impair_one(self, frame: EthernetFrame, imp: "LinkImpairments",
                     rng: random.Random, trace) -> None:
-        """Loss and corruption rolls for one copy; schedules its arrival."""
+        """Loss and corruption rolls for one copy; schedules its arrival.
+
+        Verdicts are *drawn* here, at transmit time — the draw order is
+        part of the determinism contract — but realized at the receiver:
+        a copy that the rolls kill still occupies its arrival instant on
+        the wire, so it is announced in the peer's ledger like any other
+        delivery and retired by a tombstone when it would have landed.
+        Dropping it silently at transmit would leave nothing to announce
+        and, worse, the inverse design (announce, then forget) would
+        leave a stale ledger instant behind for every in-flight loss.
+        """
         if imp.loss_rate and rng.random() < imp.loss_rate:
-            self.frames_lost += 1
-            self.frames_impaired_lost += 1
-            if trace is not None and trace.wants("link.lost"):
-                trace.emit(self.sim.now_ns, self.name or "link", "link.lost",
-                           frame_uid=frame.uid, size_bytes=frame.size_bytes,
-                           reason="impairment")
+            self._schedule_tombstone(frame, "impairment")
             return
         if imp.corrupt_rate and rng.random() < imp.corrupt_rate:
-            frame = self._corrupt(frame, rng, trace)
-            if frame is None:
+            damaged = self._corrupt(frame, rng, trace)
+            if damaged is None:
+                # Unreceivable (bad FCS at the far NIC): the bytes still
+                # cross the wire and die on arrival.
+                self._schedule_tombstone(frame, "corrupt-fcs")
                 return
+            frame = damaged
         self._schedule_arrival(frame)
 
     def _corrupt(self, frame: EthernetFrame, rng: random.Random,
@@ -207,12 +216,8 @@ class Link:
         from repro.core.tpp import TPPSection  # deferred: import cycle
         tpp = frame.payload
         if not isinstance(tpp, TPPSection):
-            self.frames_lost += 1
-            self.frames_impaired_lost += 1
-            if trace is not None and trace.wants("link.lost"):
-                trace.emit(self.sim.now_ns, self.name or "link", "link.lost",
-                           frame_uid=frame.uid, size_bytes=frame.size_bytes,
-                           reason="corrupt-fcs")
+            # Loss accounting and the ``link.lost`` trace happen at the
+            # receiver (``_arrive_dead``), where the FCS check would run.
             return None
         self.frames_corrupted += 1
         damage = "bitflip"
@@ -258,6 +263,55 @@ class Link:
         arrivals = self._peer_inbound
         if arrivals is not None:
             arrivals[event.time_ns] += 1
+
+    def _schedule_tombstone(self, frame: EthernetFrame, reason: str) -> None:
+        """Announce a copy whose in-flight death is already decided.
+
+        The ledger must see every wire copy: the announcement is made
+        exactly like a live delivery, and ``_arrive_dead`` retires it at
+        the arrival instant without invoking ``receive``.  This is the
+        decrement path for announced-then-lost frames — without it the
+        instant's count would never return to zero and the receiver
+        would keep scheduling drains for a frame that is not coming.
+        """
+        event = self.sim.schedule(self.delay_ns, self._arrive_dead,
+                                  frame, reason)
+        arrivals = self._peer_inbound
+        if arrivals is not None:
+            arrivals[event.time_ns] += 1
+
+    def _retire_announcement(self) -> None:
+        """Retire one ledger entry for the current instant.
+
+        (``_arrive`` inlines this same logic on the delivery hot path;
+        keep the two in sync.)
+        """
+        arrivals = self._peer_inbound
+        if arrivals is None:
+            return
+        peer = self.peer_device
+        assert peer is not None
+        now = self.sim.now_ns
+        remaining = arrivals.pop(now, 1) - 1
+        if remaining > 0:
+            arrivals[now] = remaining
+            peer.inbound_now = remaining
+        else:
+            peer.inbound_now = 0
+
+    def _arrive_dead(self, frame: EthernetFrame, reason: str) -> None:
+        """A lost or FCS-failed copy reaches the receiver: count it,
+        retire its ledger entry, deliver nothing."""
+        self.frames_lost += 1
+        self.frames_impaired_lost += 1
+        self._retire_announcement()
+        peer = self.peer_device
+        assert peer is not None
+        trace = peer.trace
+        if trace.wants("link.lost"):
+            trace.emit(self.sim.now_ns, self.name or "link", "link.lost",
+                       frame_uid=frame.uid, size_bytes=frame.size_bytes,
+                       reason=reason)
 
     def _arrive(self, frame: EthernetFrame) -> None:
         self.bytes_delivered += frame.size_bytes

@@ -43,7 +43,11 @@ class Edge:
 class Network:
     """All simulation state for one experiment."""
 
-    def __init__(self, seed: int = 0, trace_enabled: bool = True) -> None:
+    def __init__(self, seed: int = 0, trace_enabled: bool = True,
+                 index_base: int = 0) -> None:
+        if index_base < 0:
+            raise ConfigurationError(
+                f"index_base must be >= 0: {index_base}")
         self.sim = Simulator(seed=seed)
         self.trace = TraceRecorder(enabled=trace_enabled)
         #: The simulator's RNG family (one object, two handles): components
@@ -53,9 +57,16 @@ class Network:
         self.hosts: Dict[str, Host] = {}
         self.switches: Dict[str, Device] = {}
         self.edges: List[Edge] = []
-        self._host_count = 0
-        self._switch_count = 0
-        self._next_ip = 0x0A00_0001  # 10.0.0.1
+        #: Offset into the global MAC / IP / switch-id number spaces.
+        #: Auto-assigned addresses start here, so several ``Network``
+        #: instances (the sharded fleet's regions, each with its own
+        #: counters) can coexist without address collisions — region r
+        #: builds with ``index_base = r * stride`` and every address
+        #: stays derivable from the region index alone.
+        self.index_base = index_base
+        self._host_count = index_base
+        self._switch_count = index_base
+        self._next_ip = 0x0A00_0001 + index_base  # 10.0.0.1 + base
 
     # ------------------------------------------------------------------ #
     # Device creation

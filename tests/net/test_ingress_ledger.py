@@ -1,0 +1,126 @@
+"""The ingress ledger's decrement path under in-flight loss.
+
+Links announce every scheduled delivery in a batching receiver's
+``inbound_at`` ledger.  A copy that the impairment rolls kill still
+occupies its arrival instant on the wire, so the announcement must be
+retired by a tombstone when the dead frame would have landed — otherwise
+stale instants accumulate and the switch keeps scheduling drains for
+frames that are not coming.
+"""
+
+from repro import units
+from repro.core.assembler import assemble
+from repro.endhost.client import TPPEndpoint
+from repro.endhost.flows import Flow, FlowSink
+from repro.net.routing import install_shortest_path_routes
+from repro.net.topology import TopologyBuilder
+
+
+def build_net(seed=0, n_switches=2):
+    builder = TopologyBuilder(seed=seed, rate_bps=units.GIGABITS_PER_SEC,
+                              delay_ns=1_000)
+    net = builder.linear(n_switches=n_switches)
+    install_shortest_path_routes(net)
+    return net
+
+
+def run_until_announced(net, device, deadline_ns):
+    """Step the sim until ``device`` has a ledger entry (or deadline)."""
+    while net.sim.now_ns < deadline_ns and not device.inbound_at:
+        net.sim.run(until_ns=net.sim.now_ns + 100)
+    return dict(device.inbound_at)
+
+
+class TestAnnouncedThenLost:
+    def test_lost_probe_is_announced_and_retired(self):
+        """A 100%-loss link still announces the in-flight copy, and the
+        tombstone retires the entry instead of leaking the instant."""
+        net = build_net()
+        h0, h1 = net.host("h0"), net.host("h1")
+        sw0 = net.switch("sw0")
+        client = TPPEndpoint(h0)
+        TPPEndpoint(h1)
+        link = h0.ports[0].link
+        link.set_impairments(loss_rate=1.0)
+        program = assemble("PUSH [Switch:SwitchID]", hops=4)
+        client.send(program, dst_mac=h1.mac)
+
+        announced = run_until_announced(net, sw0, units.seconds(0.01))
+        assert announced, "in-flight copy was never announced"
+
+        net.run(until_seconds=0.02)
+        assert not sw0.inbound_at
+        assert sw0.inbound_now == 0
+        assert link.frames_lost == 1
+        assert link.frames_impaired_lost == 1
+        assert link.frames_delivered == 0
+
+    def test_corrupt_dropped_non_tpp_is_announced_and_retired(self):
+        """Corrupt non-TPP frames fail their FCS at the receiving NIC:
+        announced like any delivery, retired by the tombstone, counted
+        as impairment loss at arrival time."""
+        net = build_net()
+        h0, h1 = net.host("h0"), net.host("h1")
+        sw0 = net.switch("sw0")
+        link = h0.ports[0].link
+        link.set_impairments(corrupt_rate=1.0)
+        FlowSink(h1, 9)
+        flow = Flow(h0, h1, h1.mac, 9, rate_bps=10_000_000,
+                    packet_bytes=500)
+        flow.start()
+
+        announced = run_until_announced(net, sw0, units.seconds(0.01))
+        assert announced, "in-flight copy was never announced"
+
+        net.run(until_seconds=0.02)
+        flow.stop()
+        net.run(until_seconds=0.03)
+        assert not sw0.inbound_at
+        assert sw0.inbound_now == 0
+        assert link.frames_impaired_lost > 0
+        assert link.frames_delivered == 0
+        assert link.frames_corrupted == 0
+
+    def test_mixed_instant_survivor_still_delivered(self):
+        """When an instant holds both a tombstone and a live frame, the
+        survivor is delivered and the instant drains to zero."""
+        net = build_net()
+        h0, h1 = net.host("h0"), net.host("h1")
+        client = TPPEndpoint(h0)
+        TPPEndpoint(h1)
+        link = h0.ports[0].link
+        # Duplicate everything; the loss roll then kills roughly half
+        # the copies, pairing tombstones with live arrivals.
+        link.set_impairments(loss_rate=0.5, duplicate_rate=1.0)
+        program = assemble("PUSH [Switch:SwitchID]", hops=4)
+        for _ in range(40):
+            client.send(program, dst_mac=h1.mac)
+        net.run(until_seconds=0.05)
+        assert link.frames_duplicated == 40
+        assert link.frames_delivered > 0
+        assert link.frames_impaired_lost > 0
+        assert link.frames_delivered + link.frames_impaired_lost == 80
+        for sw in net.switches.values():
+            assert not sw.inbound_at
+            assert sw.inbound_now == 0
+
+    def test_ledgers_drain_under_sustained_impairment(self):
+        """Stress: every link lossy/corrupting/duplicating for a long
+        run; every switch ledger must end empty."""
+        net = build_net(seed=11, n_switches=3)
+        h0, h1 = net.host("h0"), net.host("h1")
+        client = TPPEndpoint(h0)
+        TPPEndpoint(h1)
+        net.impair_links(loss_rate=0.2, corrupt_rate=0.2,
+                         duplicate_rate=0.2)
+        program = assemble("PUSH [Switch:SwitchID]", hops=6)
+        for _ in range(200):
+            client.send(program, dst_mac=h1.mac)
+        net.run(until_seconds=0.1)
+        for sw in net.switches.values():
+            assert not sw.inbound_at
+            assert sw.inbound_now == 0
+        total_lost = sum(port.link.frames_impaired_lost
+                         for device in net.all_devices()
+                         for port in device.ports)
+        assert total_lost > 0

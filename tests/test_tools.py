@@ -47,6 +47,18 @@ def bench_report(schema="simcore-bench/v3", scale=1.0, **overrides):
               "timestamp": 1_800_000_000.0,
               "timestamp_iso": "2027-01-15T08:00:00+00:00",
               "workloads": workloads}
+    if schema in ("simcore-bench/v4", "simcore-bench/v5"):
+        workloads["tpp_exec_batched"] = {
+            "tpp_execs_per_sec": 1.5e6 * scale,
+            "instructions_per_sec": 3e6 * scale,
+            "scalar_execs_per_sec": 2e5 * scale,
+            "speedup_vs_scalar": 7.5}
+    if schema == "simcore-bench/v5":
+        workloads["fleet_scale"] = {
+            "packets_per_sec_modeled": 8e4 * scale,
+            "flows_per_sec_modeled": 2e5 * scale,
+            "speedup_vs_one_shard": 3.0,
+            "bit_identical": 1}
     if schema in ("simcore-bench/v1", "simcore-bench/v2"):
         del workloads["tpp_exec_verified"]
     if schema == "simcore-bench/v1":
@@ -78,6 +90,24 @@ class TestRunBenchValidate:
         workload) must keep validating."""
         report = bench_report(schema="simcore-bench/v1")
         assert load_run_bench().validate(report) == []
+
+    def test_v5_report_valid(self):
+        report = bench_report(schema="simcore-bench/v5")
+        assert load_run_bench().validate(report) == []
+
+    def test_v5_requires_fleet_workload(self):
+        report = bench_report(schema="simcore-bench/v5")
+        del report["workloads"]["fleet_scale"]
+        problems = load_run_bench().validate(report)
+        assert any("fleet_scale" in p for p in problems)
+
+    def test_v5_diverged_fingerprints_rejected(self):
+        """bit_identical doubles as the determinism gate: a 0 means the
+        1- and 4-shard runs disagreed, and the report must not pass."""
+        report = bench_report(schema="simcore-bench/v5")
+        report["workloads"]["fleet_scale"]["bit_identical"] = 0
+        problems = load_run_bench().validate(report)
+        assert any("bit_identical" in p for p in problems)
 
     def test_unknown_schema_rejected(self):
         problems = load_run_bench().validate(
@@ -139,6 +169,18 @@ class TestRunBenchCompare:
         new = self.write(tmp_path, "new.json", bench_report())
         assert run_bench.main(["--compare", old, new]) == 0
         assert "skipped" in capsys.readouterr().out
+
+    def test_v4_baseline_accepts_v5_report(self, tmp_path, capsys):
+        """A committed v4 baseline still gates a v5 run: fleet_scale is
+        one-sided, so it is reported as skipped, never as a regression."""
+        run_bench = load_run_bench()
+        old = self.write(tmp_path, "old.json",
+                         bench_report(schema="simcore-bench/v4"))
+        new = self.write(tmp_path, "new.json",
+                         bench_report(schema="simcore-bench/v5", scale=1.1))
+        assert run_bench.main(["--compare", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "fleet_scale" in out and "skipped" in out
 
     def test_unreadable_report_fails(self, tmp_path, capsys):
         run_bench = load_run_bench()

@@ -12,7 +12,7 @@ Usage::
 The JSON is the perf trajectory the ROADMAP tracks: every PR can re-run
 this and diff events/sec, packets/sec, and TPP-exec/sec against the
 committed baseline.  ``--validate`` exits non-zero on a malformed file
-(the v1 through v4 schemas are all accepted); ``--compare`` exits
+(the v1 through v5 schemas are all accepted); ``--compare`` exits
 non-zero when any shared workload's primary metric regressed by more
 than 10%.
 """
@@ -34,7 +34,8 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_simcore.json"
 
 SUPPORTED_SCHEMAS = ("simcore-bench/v1", "simcore-bench/v2",
-                     "simcore-bench/v3", "simcore-bench/v4")
+                     "simcore-bench/v3", "simcore-bench/v4",
+                     "simcore-bench/v5")
 
 #: metric keys that must exist and be positive finite numbers, per workload.
 REQUIRED_METRICS = {
@@ -69,6 +70,15 @@ REQUIRED_METRICS_V4 = {
                          "scalar_execs_per_sec", "speedup_vs_scalar"),
 }
 
+#: additional requirements introduced by the v5 schema (the sharded
+#: fleet driver; ``bit_identical`` doubles as a determinism gate — the
+#: positive-number check below fails a report where the 1- and 4-shard
+#: fingerprints diverged and the flag is 0).
+REQUIRED_METRICS_V5 = {
+    "fleet_scale": ("packets_per_sec_modeled", "flows_per_sec_modeled",
+                    "speedup_vs_one_shard", "bit_identical"),
+}
+
 #: headline metric per workload, used by ``--compare``.
 PRIMARY_METRICS = {
     "event_core": "events_per_sec",
@@ -78,6 +88,7 @@ PRIMARY_METRICS = {
     "tpp_exec_cached": "tpp_execs_per_sec",
     "tpp_exec_verified": "tpp_execs_per_sec",
     "tpp_exec_batched": "tpp_execs_per_sec",
+    "fleet_scale": "packets_per_sec_modeled",
 }
 
 #: a workload counts as regressed when new < (1 - tolerance) * old.
@@ -116,6 +127,9 @@ def validate(report: dict) -> list:
             required.setdefault(name, []).extend(metrics)
     if generation >= 4:
         for name, metrics in REQUIRED_METRICS_V4.items():
+            required.setdefault(name, []).extend(metrics)
+    if generation >= 5:
+        for name, metrics in REQUIRED_METRICS_V5.items():
             required.setdefault(name, []).extend(metrics)
     for name, metrics in required.items():
         workload = workloads.get(name)
@@ -197,6 +211,13 @@ def _print_summary(report: dict) -> None:
               f"({batched['speedup_vs_scalar']:.2f}x vs scalar at batch "
               f"{batched['batch_size']}, "
               f"{batched['vector_batches']} vector batches)")
+    fleet = wl.get("fleet_scale")
+    if fleet:
+        identical = "bit-identical" if fleet["bit_identical"] else "DIVERGED"
+        print(f"fleet scale:       "
+              f"{fleet['packets_per_sec_modeled']:>12,.0f} packets/s modeled "
+              f"({fleet['speedup_vs_one_shard']:.2f}x at 4 shards, "
+              f"{identical})")
 
 
 def main(argv=None) -> int:
