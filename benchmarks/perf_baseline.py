@@ -22,6 +22,11 @@ Measures, on fixed-seed workloads:
   uncertified warm-cache run is the verified fast path's measured win;
 - ``tpp_exec_batched`` — same-program TPP batches through the vectorized
   batch engine (v4 addition);
+- ``tpp_exec_batched_write`` — the same batched steady state on a
+  *write-bearing* program (an additive SRAM counter update), so the
+  write-capable vector lane's accumulate class is what is measured;
+  ``vector_write_batches`` is exported to prove it engaged (v6
+  addition);
 - ``fleet_scale`` — the sharded fleet driver at 1 vs 4 shards on one
   fixed ring of regions: modeled-critical-path packets/s and flows/s,
   the speedup sharding buys, and a 0/1 bit-identical flag asserting the
@@ -35,6 +40,7 @@ workloads, wall-clock timing via ``time.perf_counter``.
 
 from __future__ import annotations
 
+import gc
 import heapq
 import math
 import random
@@ -54,7 +60,7 @@ from repro.sim.events import EventQueue
 from repro.sim.simulator import Simulator
 from repro.sim.timers import OneShotTimer
 
-SCHEMA = "simcore-bench/v5"
+SCHEMA = "simcore-bench/v6"
 DEFAULT_SEED = 20260806
 
 
@@ -104,11 +110,20 @@ TIMING_REPEATS = 3
 
 
 def _timed(fn: Callable[[], Any]) -> Tuple[Any, float]:
+    # GC is paused during the measured region (as ``timeit`` does): a
+    # collection landing inside one repetition measures the collector's
+    # schedule, not the workload.
     best = math.inf
-    for _ in range(TIMING_REPEATS):
-        start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(TIMING_REPEATS):
+            start = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - start)
+    finally:
+        if was_enabled:
+            gc.enable()
     return result, best
 
 
@@ -494,6 +509,105 @@ def bench_tpp_exec_batched(n_batches: int = 2_000) -> Dict[str, Any]:
     }
 
 
+#: The write-bench program is the paper's canonical in-network counter:
+#: each packet adds its delta (packet word 0, seeded to 1) into one
+#: shared SRAM word and writes the running total back into its own
+#: packet memory — an additive read-modify-write chain, which the batch
+#: planner classifies as *accumulate* and vectorizes via prefix scan.
+_WRITE_BENCH_SOURCE = """
+    .mode absolute
+    .memory 1
+    .data 0 1
+    ADD [Packet:0], [Sram:Word7]
+    STORE [Sram:Word7], [Packet:0]
+"""
+
+
+def bench_tpp_exec_batched_write(n_batches: int = 2_000) -> Dict[str, Any]:
+    """Batched steady state on a write-bearing (accumulate-class) program.
+
+    Same harness shape as :func:`bench_tpp_exec_batched` — 32 resident
+    sections, shared context, verifier certificate installed — but the
+    program carries an additive SRAM read-modify-write, so the batch can
+    only vectorize through the write-capable lane (per-word prefix scan
+    plus epilogue commit).  Packet memory is re-seeded every batch: the
+    ADD leaves each packet holding its observed counter value, and the
+    next iteration's delta must be 1 again.  The scalar control rebuilds
+    the section and context per execution, as the per-packet pipeline
+    does, so ``speedup_vs_scalar`` is the acceptance ratio measured on
+    this machine.  ``vector_write_batches``/``batch_fallbacks`` prove
+    the write lane engaged rather than silently demoting.
+    """
+    from repro.core.batch import BatchArena, HAVE_NUMPY
+    from repro.core.memory_map import MemoryMap
+    from repro.core.verifier import verify_program
+
+    mmu = _bench_mmu()
+    tcpu = TCPU(mmu)
+    scalar = TCPU(mmu)
+    program = assemble(_WRITE_BENCH_SOURCE, hops=1)
+    result = verify_program(program, memory_map=MemoryMap.standard())
+    certificate = result.raise_on_error().certificate
+    if certificate is not None:
+        tcpu.trust(certificate)
+    sections = [program.build() for _ in range(_BATCH_SIZE)]
+    initial_memory = bytes(sections[0].memory)
+    initial_hop_or_sp = sections[0].hop_or_sp
+    n_instructions = len(sections[0].instructions)
+    ctx = ExecutionContext(metadata=PacketMetadata(),
+                           egress_port=_FakePort(), time_ns=1000)
+    ctxs = [ctx] * _BATCH_SIZE
+    arena = BatchArena(sections) if HAVE_NUMPY else None
+    # With an arena the sections' memories alias the matrix rows, so the
+    # per-batch re-seed (each packet's delta must be 1 again) is one
+    # broadcast; without numpy it is a per-section bytearray copy.
+    initial_matrix = arena.matrix.copy() if arena is not None else None
+
+    def drive() -> None:
+        for _ in range(n_batches):
+            for section in sections:
+                section.hop_or_sp = initial_hop_or_sp
+            if arena is not None:
+                arena.matrix[:] = initial_matrix
+            else:
+                for section in sections:
+                    section.memory[:] = initial_memory
+            tcpu.execute_batch(sections, ctxs, arena=arena)
+
+    drive()  # warm-up (compiles + plans the program)
+    _, elapsed = _timed(drive)
+    n_executions = n_batches * _BATCH_SIZE
+
+    scalar_n = max(1, n_executions // 8)
+
+    def drive_scalar() -> None:
+        for _ in range(scalar_n):
+            tpp = program.build()
+            scalar_ctx = ExecutionContext(metadata=PacketMetadata(),
+                                          egress_port=_FakePort(),
+                                          time_ns=1000)
+            scalar.execute(tpp, scalar_ctx)
+
+    drive_scalar()  # warm-up
+    _, scalar_elapsed = _timed(drive_scalar)
+
+    execs_per_sec = n_executions / elapsed
+    scalar_per_sec = scalar_n / scalar_elapsed
+    return {
+        "batch_size": _BATCH_SIZE,
+        "n_batches": n_batches,
+        "n_executions": n_executions,
+        "numpy_lane": HAVE_NUMPY,
+        "tpp_execs_per_sec": execs_per_sec,
+        "instructions_per_sec": execs_per_sec * n_instructions,
+        "scalar_execs_per_sec": scalar_per_sec,
+        "speedup_vs_scalar": execs_per_sec / scalar_per_sec,
+        "vector_write_batches": tcpu.vector_write_batches,
+        "batch_fallbacks": tcpu.batch_fallbacks,
+        "final_counter": mmu.peek_sram(7),
+    }
+
+
 def bench_fleet_scale(probe_bursts: int = 3,
                       flows_per_probe: int = 250,
                       duration_ns: int = 2_000_000,
@@ -553,6 +667,8 @@ def run_all(quick: bool = False, seed: int = DEFAULT_SEED) -> Dict[str, Any]:
         "tpp_exec_cached": bench_tpp_exec_cached(50_000 // scale),
         "tpp_exec_verified": bench_tpp_exec_verified(50_000 // scale),
         "tpp_exec_batched": bench_tpp_exec_batched(2_000 // scale),
+        "tpp_exec_batched_write": bench_tpp_exec_batched_write(
+            2_000 // scale),
         "fleet_scale": bench_fleet_scale(
             probe_bursts=3 if quick else 10,
             flows_per_probe=250 if quick else 1_000,

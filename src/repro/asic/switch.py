@@ -152,8 +152,11 @@ class TPPSwitch(Device):
         stats["batched_tpps"] = self.tcpu.batched_tpps
         stats["vector_batches"] = self.tcpu.vector_batches
         stats["vector_tpps"] = self.tcpu.vector_tpps
+        stats["vector_write_batches"] = self.tcpu.vector_write_batches
+        stats["vector_write_tpps"] = self.tcpu.vector_write_tpps
         stats["batch_fallbacks"] = self.tcpu.batch_fallbacks
         stats["batch_occupancy"] = dict(self.tcpu.batch_occupancy)
+        stats["batch_demotions"] = dict(self.tcpu.batch_demotions)
         return stats
 
     def emit_fastpath_summary(self) -> dict:

@@ -18,6 +18,7 @@ stamped on the packet.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
@@ -181,6 +182,22 @@ class MMU:
             return True
         return vaddr in self._batch_stable
 
+    def writer_is_batch_stable(self, vaddr: int) -> bool:
+        """Whether writes to ``vaddr`` may be reordered instruction-major
+        across the packets of one batch and committed once at the end.
+
+        Mirrors :meth:`reader_is_batch_stable` for the write-capable
+        vector lanes: scratch SRAM qualifies — a word write is a pure
+        state mutation whose sequential effect the kernel reproduces
+        exactly (prefix-scan, first-match claim or last-writer-wins per
+        the certificate's dataflow class).  Link scratch does not: the
+        target register depends on each packet's egress port, so the
+        column-commit model has no single word to reason about.  Bound
+        statistics and unmapped addresses fault on write either way and
+        stay safe-lane.
+        """
+        return is_sram(vaddr)
+
     def _to_vaddr(self, name_or_vaddr) -> int:
         if isinstance(name_or_vaddr, str):
             return self.memory_map.resolve(name_or_vaddr)
@@ -312,6 +329,11 @@ class MMU:
         """
         if isinstance(self._sram, _NumpySRAMWords):
             return True
+        if os.environ.get("REPRO_TPP_NUMPY", "1") == "0":
+            # The numpy-absent CI lane: behave exactly as if the import
+            # below had failed, so the pure-python store is what the
+            # differential suite exercises.
+            return False
         try:
             import numpy
         except ImportError:  # pragma: no cover - numpy present in CI

@@ -164,11 +164,25 @@ class TCPU:
         #: Batches / sections that ran the vectorized numpy kernel.
         self.vector_batches = 0
         self.vector_tpps = 0
+        #: The subset of vectorized batches / sections that engaged a
+        #: write-capable lane (accumulate / claim / private-scatter
+        #: SRAM dataflow classes).
+        self.vector_write_batches = 0
+        self.vector_write_tpps = 0
         #: Vectorized attempts aborted mid-kernel (a reader faulted);
         #: the batch re-ran packet-at-a-time on pristine memory.
         self.batch_fallbacks = 0
         #: Histogram of batch sizes seen: ``{occupancy: count}``.
         self.batch_occupancy: dict = {}
+        #: Why batches took the safe lane: ``{reason: count}`` over
+        #: ``uncertified`` (no plan/certificate, or guard miss),
+        #: ``cexec``, ``write_dataflow`` (writes without a vectorizable
+        #: dataflow class), ``unstable_read``, ``non_uniform`` (mixed
+        #: flags/geometry/hop counter/task ids), ``sram_protection``
+        #: (a touched word is foreign to the batch's task),
+        #: ``fault_rewind`` (mid-kernel fault; also counted in
+        #: ``batch_fallbacks``) and ``no_numpy``.
+        self.batch_demotions: dict = {}
 
     # ------------------------------------------------------------------ #
     # Certificates
@@ -435,7 +449,8 @@ class TCPU:
                     certificate=certificate)
                 entry = CompiledEntry(steps, verified_steps, certificate)
                 entry.batch_plan = build_batch_plan(
-                    tpp.instructions, tpp.mode, tpp.word_size, mmu)
+                    tpp.instructions, tpp.mode, tpp.word_size, mmu,
+                    certificate=certificate)
             else:
                 entry = CompiledEntry(steps)
             self.cache.put(key, entry)

@@ -69,6 +69,7 @@ from repro.core.isa import (
 )
 from repro.core.memory_map import MemoryMap, SRAM_BASE, is_sram, region_of
 from repro.core.racecheck import (
+    analyze_sram_dataflow,
     collect_constant_fences,
     collect_sram_accesses,
     written_byte_intervals,
@@ -207,6 +208,17 @@ class VerifiedProgram:
     #: minted before the fence model existed: the conservative
     #: may-access analysis applies to those unchanged.
     sram_fences: Tuple[Tuple[int, int, int, int], ...] = ()
+    #: Dataflow class of every written/claimed SRAM word as sorted
+    #: ``(word, class)`` pairs (:func:`repro.core.racecheck.
+    #: analyze_sram_dataflow`): ``accumulate`` (additive
+    #: read-modify-write chains, prefix-scan vectorizable), ``claim``
+    #: (CSTORE-only, first-match-wins), ``private`` (written but never
+    #: read back, last-writer-wins) or ``mixed`` (safe lane only).  The
+    #: batched engine refuses to vectorize writes unless the plan's own
+    #: analysis reproduces exactly this pinned classification.  Empty on
+    #: certificates minted before the write lanes existed — which
+    #: (conservatively) demotes their write-bearing programs.
+    sram_dataflow: Tuple[Tuple[int, str], ...] = ()
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready representation (for ``tppasm lint --json``)."""
@@ -226,6 +238,7 @@ class VerifiedProgram:
             "sram_writes": [list(p) for p in self.sram_writes],
             "sram_claims": [list(p) for p in self.sram_claims],
             "sram_fences": [list(f) for f in self.sram_fences],
+            "sram_dataflow": [list(p) for p in self.sram_dataflow],
         }
 
 
@@ -691,6 +704,8 @@ class _Checker:
         if max_hops is None:
             max_hops = capacity if capacity is not None else HOP_SCAN_LIMIT
         reads, writes, claims = collect_sram_accesses(self.instructions)
+        dataflow = analyze_sram_dataflow(
+            self.instructions, mode=self.mode, word_size=word)
         fences = collect_constant_fences(
             self.instructions, mode=self.mode, word_size=word,
             memory_len=memlen, perhop_len_bytes=self.perhop,
@@ -714,4 +729,5 @@ class _Checker:
             sram_writes=writes,
             sram_claims=claims,
             sram_fences=fences,
+            sram_dataflow=dataflow.classes,
         )

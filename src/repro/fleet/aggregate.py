@@ -26,9 +26,18 @@ both:
 from __future__ import annotations
 
 import zlib
-from typing import Dict, List, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.core.assembler import AssembledProgram
+from repro.core.memory_map import MemoryMap
 from repro.core.tcpu import DEFAULT_MAX_INSTRUCTIONS
 from repro.core.verifier import (
     VerificationError,
@@ -51,7 +60,8 @@ class BatchedAdmission:
     batch — refusing 10^5 flows costs one analysis too.
     """
 
-    def __init__(self, switches, memory_map=None,
+    def __init__(self, switches: Iterable[Any],
+                 memory_map: Optional[MemoryMap] = None,
                  max_instructions: int = DEFAULT_MAX_INSTRUCTIONS) -> None:
         self.switches = list(switches)
         self.memory_map = memory_map
@@ -125,7 +135,8 @@ class FleetProbeController:
     determinism digests.
     """
 
-    def __init__(self, sim, lanes, program: AssembledProgram,
+    def __init__(self, sim: Any, lanes: Iterable[Tuple[Any, int]],
+                 program: AssembledProgram,
                  interval_ns: int, admission: BatchedAdmission,
                  flows_per_probe: int = 1,
                  max_bursts: Optional[int] = None,
@@ -183,10 +194,10 @@ class FleetProbeController:
             endpoint.send(program, dst_mac=dst_mac, task_id=self.task_id,
                           on_response=self._recorder(lane))
 
-    def _recorder(self, lane: int):
+    def _recorder(self, lane: int) -> Callable[[Any], None]:
         records = self.records[lane]
 
-        def record(view) -> None:
+        def record(view: Any) -> None:
             self.responses_received += 1
             records.append((view.seq, int(view.fault), view.hops(),
                             zlib.crc32(bytes(view.tpp.memory))))

@@ -35,7 +35,8 @@ regardless of how many shards produced them.
 
 from __future__ import annotations
 
-from typing import List, NamedTuple, Optional
+import random
+from typing import Any, List, NamedTuple, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.net.link import Link
@@ -93,7 +94,7 @@ class BoundaryLink(Link):
     def set_impairments(self, loss_rate: float = 0.0,
                         corrupt_rate: float = 0.0,
                         duplicate_rate: float = 0.0,
-                        rng=None) -> None:
+                        rng: Optional[random.Random] = None) -> None:
         if loss_rate or corrupt_rate or duplicate_rate:
             raise ConfigurationError(
                 f"boundary link {self.name!r} cannot be impaired; "
@@ -125,7 +126,7 @@ class BoundaryIngress:
     trace, then ``device.receive``.
     """
 
-    def __init__(self, sim: Simulator, device, port_index: int,
+    def __init__(self, sim: Simulator, device: Any, port_index: int,
                  name: str = "") -> None:
         self.sim = sim
         self.device = device
@@ -172,11 +173,12 @@ class BoundaryIngress:
         device.receive(frame, self.port_index)
 
 
-def attach_boundary_port(net, gateway, dst_region: int,
+def attach_boundary_port(net: Any, gateway: Any, dst_region: int,
                          outbox: List[BoundaryMessage], rate_bps: int,
                          delay_ns: int,
                          queue_capacity_bytes: int = 512 * 1024,
-                         ingress_name: str = "") -> "tuple[Port, int, BoundaryIngress]":
+                         ingress_name: str = ""
+                         ) -> Tuple[Port, int, BoundaryIngress]:
     """Give ``gateway`` one boundary port: egress to ``dst_region``,
     ingress for whatever the driver routes here.
 

@@ -44,13 +44,19 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import time
-from typing import Dict, List, Optional
+from multiprocessing.connection import Connection
+from typing import Dict, List, Tuple, Union, cast
 
 from repro.errors import ConfigurationError
 from repro.fleet.boundary import BoundaryMessage, injection_order
 from repro.fleet.region import Region, RegionSpec, build_region
 
 TRANSPORTS = ("inline", "fork")
+
+#: What one shard's window produces: boundary messages and busy seconds.
+RunResult = Tuple[List[BoundaryMessage], float]
+#: What one shard reports at the end: per-region (digest, counters).
+FinishResult = Dict[int, Tuple[Dict[str, str], Dict[str, int]]]
 
 
 @dataclasses.dataclass
@@ -101,8 +107,19 @@ class _InlineShard:
     def __init__(self, specs: List[RegionSpec]) -> None:
         self.regions: Dict[int, Region] = {
             spec.index: build_region(spec) for spec in specs}
+        self._pending_until = 0
 
-    def run_until(self, until_ns: int):
+    # start_run/collect_run mirror the fork transport's split exchange so
+    # the driver can treat every shard uniformly; inline shards simply do
+    # the work at collect time, which serializes them exactly as the old
+    # eager form did.
+    def start_run(self, until_ns: int) -> None:
+        self._pending_until = until_ns
+
+    def collect_run(self) -> RunResult:
+        return self.run_until(self._pending_until)
+
+    def run_until(self, until_ns: int) -> RunResult:
         messages: List[BoundaryMessage] = []
         busy = 0.0
         for region in self.regions.values():
@@ -111,10 +128,11 @@ class _InlineShard:
             busy += region.busy_seconds - before
         return messages, busy
 
-    def inject(self, region_index: int, messages) -> None:
+    def inject(self, region_index: int,
+               messages: List[BoundaryMessage]) -> None:
         self.regions[region_index].inject(messages)
 
-    def finish(self):
+    def finish(self) -> FinishResult:
         return {index: (region.digest(), region.counters())
                 for index, region in self.regions.items()}
 
@@ -122,7 +140,7 @@ class _InlineShard:
         pass
 
 
-def _fork_worker_main(conn, specs: List[RegionSpec]) -> None:
+def _fork_worker_main(conn: Connection, specs: List[RegionSpec]) -> None:
     """Forked worker: build regions, then serve the command loop."""
     shard = _InlineShard(specs)
     while True:
@@ -160,21 +178,22 @@ class _ForkShard:
         self._conn.send(("run", until_ns))
         self._awaiting_run = True
 
-    def collect_run(self):
+    def collect_run(self) -> RunResult:
         assert self._awaiting_run
         self._awaiting_run = False
-        return self._conn.recv()
+        return cast(RunResult, self._conn.recv())
 
-    def run_until(self, until_ns: int):
+    def run_until(self, until_ns: int) -> RunResult:
         self.start_run(until_ns)
         return self.collect_run()
 
-    def inject(self, region_index: int, messages) -> None:
+    def inject(self, region_index: int,
+               messages: List[BoundaryMessage]) -> None:
         self._conn.send(("inject", (region_index, messages)))
 
-    def finish(self):
+    def finish(self) -> FinishResult:
         self._conn.send(("finish", None))
-        return self._conn.recv()
+        return cast(FinishResult, self._conn.recv())
 
     def close(self) -> None:
         try:
@@ -222,13 +241,13 @@ class ShardedFleet:
         #: region index -> shard index
         self.assignment = {spec.index: spec.index % self.shards
                            for spec in self.specs}
-        self._workers = None
 
-    def _spawn(self):
+    def _spawn(self) -> List[Union[_InlineShard, _ForkShard]]:
         by_shard: List[List[RegionSpec]] = [[] for _ in range(self.shards)]
         for spec in self.specs:
             by_shard[self.assignment[spec.index]].append(spec)
-        factory = _InlineShard if self.transport == "inline" else _ForkShard
+        factory = (_InlineShard if self.transport == "inline"
+                   else _ForkShard)
         return [factory(specs) for specs in by_shard]
 
     def run(self, duration_ns: int) -> FleetResult:
@@ -247,16 +266,13 @@ class ShardedFleet:
             while horizon < duration_ns:
                 horizon = min(horizon + quantum, duration_ns)
                 rounds += 1
-                # Phase 1: every shard runs its window.  With the fork
-                # transport all windows are started before any result is
-                # collected, so shards genuinely overlap.
-                if self.transport == "fork":
-                    for worker in workers:
-                        worker.start_run(horizon)
-                    results = [worker.collect_run() for worker in workers]
-                else:
-                    results = [worker.run_until(horizon)
-                               for worker in workers]
+                # Phase 1: every shard runs its window.  All windows are
+                # started before any result is collected: fork shards
+                # genuinely overlap, inline shards do the work at collect
+                # time in the same shard order as before.
+                for worker in workers:
+                    worker.start_run(horizon)
+                results = [worker.collect_run() for worker in workers]
                 modeled += max(busy for _msgs, busy in results)
                 # Phase 2: the barrier exchange, in canonical order.
                 pending: Dict[int, List[BoundaryMessage]] = {}
@@ -269,7 +285,7 @@ class ShardedFleet:
                     messages_exchanged += len(ordered)
                     workers[self.assignment[region_index]].inject(
                         region_index, ordered)
-            collected: Dict[int, tuple] = {}
+            collected: FinishResult = {}
             for worker in workers:
                 collected.update(worker.finish())
         finally:

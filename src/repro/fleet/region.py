@@ -31,7 +31,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import time
-from typing import Dict, List, Optional
+from typing import Any, Dict, List
 
 from repro import units
 from repro.core.assembler import assemble
@@ -118,7 +118,7 @@ class RegionSpec:
         return host_mac(region * self.stride + host)
 
 
-def fleet_specs(n_regions: int, **overrides) -> List[RegionSpec]:
+def fleet_specs(n_regions: int, **overrides: Any) -> List[RegionSpec]:
     """Specs for a homogeneous ring fleet (the common case)."""
     return [RegionSpec(index=r, n_regions=n_regions, **overrides)
             for r in range(n_regions)]

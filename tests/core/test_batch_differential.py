@@ -224,13 +224,33 @@ class TestLaneSelection:
             assert tcpu.vector_batches == 1
             assert tcpu.batch_fallbacks == 0
 
-    def test_writes_take_the_safe_lane(self):
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="vector lane needs numpy")
+    def test_private_scatter_write_vectorizes(self):
+        # A certified store of per-packet data to a word the program
+        # never reads back is a last-writer-wins scatter: write lane.
         results = run_batch_vs_interpreter("""
             PUSH [Switch:SwitchID]
             POP [Sram:Word0]
         """)
         for (_, _, _, tcpu), _ in results:
+            assert tcpu.vector_batches == 1
+            assert tcpu.vector_write_batches == 1
+            assert tcpu.batch_fallbacks == 0
+
+    def test_non_additive_rmw_takes_the_safe_lane(self):
+        # XOR is not an additive chain: the read-modify-write of Word0
+        # has no vectorizable dataflow class, the batch demotes.
+        results = run_batch_vs_interpreter("""
+            .mode absolute
+            .memory 1
+            LOAD [Sram:Word0], [Packet:0]
+            XOR [Packet:0], [Switch:SwitchID]
+            STORE [Sram:Word0], [Packet:0]
+        """)
+        for (_, _, _, tcpu), _ in results:
             assert tcpu.vector_batches == 0
+            if HAVE_NUMPY:
+                assert tcpu.batch_demotions.get("write_dataflow", 0) >= 1
 
     def test_unstable_readers_take_the_safe_lane(self):
         results = run_batch_vs_interpreter("PUSH [Switch:SwitchID]",
@@ -571,6 +591,296 @@ class TestNumpySRAM:
         assert mmu.peek_sram(2) == 500
 
 
+class TestWriteLanes:
+    """Write-capable vector lanes: batched ≡ interpreter with SRAM
+    mutation in flight, across all three dataflow classes."""
+
+    def test_accumulate_counter(self):
+        # The canonical per-switch counter: every packet adds its own
+        # delta to Word7 — sequential order reproduced by prefix-scan,
+        # so every packet also *observes* a distinct intermediate value.
+        def seed(mmu):
+            mmu.poke_sram(7, 100)
+
+        results = run_batch_vs_interpreter("""
+            .mode absolute
+            .memory 1
+            .data 0 1
+            ADD [Packet:0], [Sram:Word7]
+            STORE [Sram:Word7], [Packet:0]
+        """, prepare=seed)
+        for n, ((_, sections, mmu, tcpu), _) in zip(SIZES, results):
+            assert mmu.peek_sram(7) == 100 + n
+            # Packet i saw the counter after i predecessors bumped it.
+            assert [s.read_word(0) for s in sections] == \
+                [100 + i + 1 for i in range(n)]
+            if HAVE_NUMPY:
+                assert tcpu.vector_batches == 1
+                assert tcpu.vector_write_batches == 1
+                assert tcpu.vector_write_tpps == n
+
+    def test_accumulate_load_chain(self):
+        # LOAD w; ADD delta; STORE w — the read side of the chain.
+        def seed(mmu):
+            mmu.poke_sram(2, 9)
+
+        results = run_batch_vs_interpreter("""
+            .mode absolute
+            .memory 1
+            LOAD [Sram:Word2], [Packet:0]
+            ADD [Packet:0], [Switch:SwitchID]
+            STORE [Sram:Word2], [Packet:0]
+        """, prepare=seed)
+        for n, ((_, _, mmu, _), _) in zip(SIZES, results):
+            assert mmu.peek_sram(2) == 9 + 7 * n
+
+    def test_accumulate_wraps_identically(self):
+        # Start the counter near the word boundary so the prefix scan
+        # must wrap mod 2^32 exactly like the scalar packing does.
+        def seed(mmu):
+            mmu.poke_sram(1, 0xFFFFFFF0)
+
+        run_batch_vs_interpreter("""
+            .mode absolute
+            .memory 1
+            .data 0 3
+            ADD [Packet:0], [Sram:Word1]
+            STORE [Sram:Word1], [Packet:0]
+        """, prepare=seed)
+
+    def test_accumulate_oversized_control_plane_seed(self):
+        # A control-plane poke can exceed the 32-bit word; the scalar
+        # path masks at LOAD time and the kernel must agree.
+        def seed(mmu):
+            mmu.poke_sram(3, (1 << 40) | 5)
+
+        run_batch_vs_interpreter("""
+            .mode absolute
+            .memory 1
+            .data 0 2
+            ADD [Packet:0], [Sram:Word3]
+            STORE [Sram:Word3], [Packet:0]
+        """, prepare=seed)
+
+    def test_accumulate_stack_identity(self):
+        # PUSH w; POP w is a delta-zero additive chain (sp family).
+        def seed(mmu):
+            mmu.poke_sram(4, 77)
+
+        results = run_batch_vs_interpreter("""
+            PUSH [Sram:Word4]
+            POP [Sram:Word4]
+        """, prepare=seed)
+        (_, _, mmu, _), _ = results[-1]
+        assert mmu.peek_sram(4) == 77
+
+    def test_accumulate_hop_mode_multihop(self):
+        def seed(mmu):
+            mmu.poke_sram(5, 40)
+
+        run_batch_vs_interpreter("""
+            .mode hop
+            .hops 3
+            .perhop 1
+            LOAD [Sram:Word5], [Packet:Hop[0]]
+            ADD [Packet:Hop[0]], [Switch:SwitchID]
+            STORE [Sram:Word5], [Packet:Hop[0]]
+        """, hops=3, prepare=seed)
+
+    def test_accumulate_word8(self):
+        def seed(mmu):
+            mmu.poke_sram(6, 2 ** 40)
+
+        run_batch_vs_interpreter("""
+            .word 8
+            .mode absolute
+            .memory 1
+            .data 0 1
+            ADD [Packet:0], [Sram:Word6]
+            STORE [Sram:Word6], [Packet:0]
+        """, prepare=seed)
+
+    def test_claim_first_match_wins(self):
+        # Every packet offers its own id for an all-zero word: exactly
+        # the first one in arrival order may win (paper §claim).
+        def seed(mmu):
+            mmu.poke_sram(0, 0)
+
+        def stamp(section, index):
+            section.write_word(0, 0)            # cond: expect unclaimed
+            section.write_word(4, 1000 + index)  # src: my claim
+
+
+        results = run_batch_vs_interpreter("""
+            .mode absolute
+            .memory 2
+            CSTORE [Sram:Word0], [Packet:0], [Packet:1]
+        """, prepare=seed, damage=stamp)
+        for n, ((b_reports, _, mmu, tcpu), _) in zip(SIZES, results):
+            assert mmu.peek_sram(0) == 1000
+            wins = [r.switch_writes for r in b_reports[0]]
+            assert wins[0] == [(mmu.memory_map.resolve("Sram:Word0"),
+                                1000)]
+            assert all(w == [] for w in wins[1:])
+            if HAVE_NUMPY:
+                assert tcpu.vector_write_batches == 1
+
+    def test_claim_chained_wins(self):
+        # Packet i expects value i and claims i+1: sequential chaining
+        # means *every* packet wins — the exact-integer replay must not
+        # stop at the first match.
+        def stamp(section, index):
+            section.write_word(0, index)
+            section.write_word(4, index + 1)
+
+        results = run_batch_vs_interpreter("""
+            .mode absolute
+            .memory 2
+            CSTORE [Sram:Word0], [Packet:0], [Packet:1]
+        """, damage=stamp)
+        for n, ((b_reports, _, mmu, _), _) in zip(SIZES, results):
+            assert mmu.peek_sram(0) == n
+            assert all(len(r.switch_writes) == 1 for r in b_reports[0])
+
+    def test_claim_unclaimed_leaves_oversized_seed_intact(self):
+        # No packet matches: the scalar path never writes the word, so
+        # an oversized control-plane seed must survive bit-exactly.
+        def seed(mmu):
+            mmu.poke_sram(0, (1 << 50) | 3)
+
+        def stamp(section, index):
+            section.write_word(0, 1)
+            section.write_word(4, 9)
+
+        results = run_batch_vs_interpreter("""
+            .mode absolute
+            .memory 2
+            CSTORE [Sram:Word0], [Packet:0], [Packet:1]
+        """, prepare=seed, damage=stamp)
+        (_, _, mmu, _), _ = results[-1]
+        assert mmu.peek_sram(0) == (1 << 50) | 3
+
+    def test_private_scatter_last_writer_wins(self):
+        def stamp(section, index):
+            section.write_word(0, 500 + index)
+
+        results = run_batch_vs_interpreter("""
+            .mode absolute
+            .memory 1
+            STORE [Sram:Word9], [Packet:0]
+        """, damage=stamp)
+        for n, ((_, _, mmu, _), _) in zip(SIZES, results):
+            assert mmu.peek_sram(9) == 500 + n - 1
+
+    def test_two_independent_accumulators(self):
+        def seed(mmu):
+            mmu.poke_sram(0, 10)
+            mmu.poke_sram(1, 20)
+
+        results = run_batch_vs_interpreter("""
+            .mode absolute
+            .memory 2
+            .data 0 1
+            .data 1 2
+            ADD [Packet:0], [Sram:Word0]
+            STORE [Sram:Word0], [Packet:0]
+            ADD [Packet:1], [Sram:Word1]
+            STORE [Sram:Word1], [Packet:1]
+        """, prepare=seed)
+        for n, ((_, _, mmu, _), _) in zip(SIZES, results):
+            assert mmu.peek_sram(0) == 10 + n
+            assert mmu.peek_sram(1) == 20 + 2 * n
+
+    def test_accumulate_under_sram_protection(self):
+        # Uniform owner task: the write lane's protection precheck
+        # passes and the vectorized result must still be identical.
+        def prepare(mmu):
+            mmu.allocate_sram(0, 2, task_id=3)
+            mmu.enforce_sram_protection = True
+            mmu.poke_sram(1, 6)
+
+        results = run_batch_vs_interpreter("""
+            .mode absolute
+            .memory 1
+            .data 0 1
+            ADD [Packet:0], [Sram:Word1]
+            STORE [Sram:Word1], [Packet:0]
+        """, sizes=(4,), task_ids=[3, 3, 3, 3], prepare=prepare)
+        (_, _, mmu, tcpu), _ = results[0]
+        assert mmu.peek_sram(1) == 10
+        if HAVE_NUMPY:
+            assert tcpu.vector_write_batches == 1
+
+    def test_foreign_task_write_demotes_and_faults(self):
+        # Uniform *intruder* task: precheck demotes to the safe lane,
+        # which reproduces the per-packet protection faults.
+        def prepare(mmu):
+            mmu.allocate_sram(0, 2, task_id=3)
+            mmu.enforce_sram_protection = True
+
+        results = run_batch_vs_interpreter("""
+            PUSH [Switch:SwitchID]
+            POP [Sram:Word0]
+        """, sizes=(4,), task_ids=[5, 5, 5, 5], prepare=prepare)
+        (b_reports, _, _, tcpu), _ = results[0]
+        assert all(r.fault == FaultCode.SRAM_PROTECTION
+                   for r in b_reports[0])
+        assert tcpu.vector_write_batches == 0
+        if HAVE_NUMPY:
+            assert tcpu.batch_demotions.get("sram_protection", 0) == 1
+
+    def test_private_scatter_with_numpy_sram(self):
+        def prepare(mmu):
+            mmu.use_numpy_sram()
+
+        run_batch_vs_interpreter("""
+            PUSH [Queue:QueueSize]
+            POP [Sram:Word2]
+        """, prepare=prepare)
+
+    def test_accumulate_with_numpy_sram(self):
+        def prepare(mmu):
+            mmu.poke_sram(8, 3)
+            mmu.use_numpy_sram()
+
+        run_batch_vs_interpreter("""
+            .mode absolute
+            .memory 1
+            .data 0 5
+            ADD [Packet:0], [Sram:Word8]
+            STORE [Sram:Word8], [Packet:0]
+        """, prepare=prepare)
+
+
+class TestRawOperandArithmetic:
+    """The scalar path applies MIN/MAX to the *raw* operand and masks
+    afterwards; the kernel must not pre-mask (regression: it used to)."""
+
+    def _rebind(self, value):
+        def prepare(mmu):
+            mmu.bind_reader("Switch:ClockLo", lambda ctx: value,
+                            batch_stable=True)
+        return prepare
+
+    @pytest.mark.parametrize("op", ["MIN", "MAX", "ADD", "SUB", "AND",
+                                    "OR", "XOR"])
+    @pytest.mark.parametrize("raw", [-3, 2 ** 40, (1 << 32) + 6])
+    def test_out_of_range_operand(self, op, raw):
+        run_batch_vs_interpreter(f"""
+            .data 0 41
+            {op} [Packet:0], [Switch:ClockLo]
+        """, prepare=self._rebind(raw), shared_ctx=True)
+
+    @pytest.mark.parametrize("raw", [-1, 2 ** 33])
+    def test_out_of_range_operand_distinct_ctxs(self, raw):
+        # The non-shared-context element-wise path.
+        run_batch_vs_interpreter("""
+            .data 0 41
+            MIN [Packet:0], [Switch:ClockLo]
+            MAX [Packet:0], [Switch:ClockLo]
+        """, prepare=self._rebind(raw), shared_ctx=False)
+
+
 class TestRandomizedSweep:
     """Seeded fuzz across batch sizes: batched ≡ interpreter, always."""
 
@@ -610,6 +920,117 @@ class TestRandomizedSweep:
             run_batch_vs_interpreter("\n".join(lines),
                                      sizes=(1, 2, 32),
                                      hops=rng.randint(1, 2))
+
+    def test_random_write_programs_agree(self):
+        """Write-biased fuzz: every program bears at least one SRAM
+        write, sweeping all three dataflow classes plus the mixed
+        demotions, with seeded SRAM contents and per-packet data."""
+        rng = random.Random(0xACC)
+        write_templates = [
+            "STORE [Sram:Word{word}], [Packet:{slot}]",
+            "CSTORE [Sram:Word{word}], [Packet:{slot}], [Packet:{slot1}]",
+            "ADD [Packet:{slot}], [Sram:Word{word}]",
+            "LOAD [Sram:Word{word}], [Packet:{slot}]",
+            "ADD [Packet:{slot}], [Switch:SwitchID]",
+            "SUB [Packet:{slot}], [Sram:Word{word}]",
+            "XOR [Packet:{slot}], [Sram:Word{word}]",
+            "LOAD [Switch:ClockLo], [Packet:{slot}]",
+            "STORE [Sram:Word{word2}], [Packet:{slot}]",
+            "MIN [Packet:{slot}], [Queue:QueueSize]",
+        ]
+        for round_index in range(110):
+            memory_words = rng.randint(2, 6)
+            lines = [".mode absolute", f".memory {memory_words}"]
+            for w in range(memory_words):
+                if rng.random() < 0.5:
+                    lines.append(f".data {w} {rng.randint(0, 9)}")
+            n = rng.randint(1, 4)
+            has_write = False
+            for _ in range(n):
+                template = rng.choice(write_templates)
+                has_write |= template.startswith(("STORE", "CSTORE"))
+                # CSTORE's cond/src packet operands must be consecutive.
+                slot = rng.randint(0, memory_words - 2)
+                lines.append(template.format(
+                    word=rng.randint(0, 3),
+                    word2=rng.randint(0, 3),
+                    slot=slot,
+                    slot1=slot + 1,
+                ))
+            if not has_write:
+                lines.append(
+                    f"STORE [Sram:Word{rng.randint(0, 3)}], [Packet:0]")
+            # Pre-drawn so both differential sides see identical state
+            # (prepare/damage run once per side).
+            sram_seed = [rng.randint(0, 2 ** 33) for _ in range(4)]
+            base = rng.randint(0, 2 ** 32)
+
+            def seed(mmu, values=sram_seed):
+                for w, value in enumerate(values):
+                    mmu.poke_sram(w, value)
+
+            def scatter(section, index, base=base):
+                for w in range(len(section.memory) // 4):
+                    if (base >> w) & 1:
+                        section.write_word(
+                            w * 4, (base + index * 1009 + w * 131)
+                            & 0xFFFFFFFF)
+
+            run_batch_vs_interpreter(
+                "\n".join(lines), sizes=(1, 2, 32),
+                prepare=seed, damage=scatter,
+                shared_ctx=bool(round_index % 2))
+
+    def test_random_write_stack_programs_agree(self):
+        rng = random.Random(0x5Ac)
+        stack_templates = [
+            "PUSH [Sram:Word{word}]",
+            "PUSH [Switch:SwitchID]",
+            "PUSH [Queue:QueueSize]",
+            "POP [Sram:Word{word}]",
+            "POP [Sram:Word{word2}]",
+        ]
+        for _ in range(60):
+            lines = []
+            for _ in range(rng.randint(1, 4)):
+                lines.append(rng.choice(stack_templates).format(
+                    word=rng.randint(0, 2), word2=rng.randint(0, 2)))
+            lines.append(f"POP [Sram:Word{rng.randint(0, 2)}]"
+                         if not any("POP" in li for li in lines) else "NOP")
+            sram_seed = [rng.randint(0, 255) for _ in range(3)]
+
+            def seed(mmu, values=sram_seed):
+                for w, value in enumerate(values):
+                    mmu.poke_sram(w, value)
+
+            run_batch_vs_interpreter("\n".join(lines), sizes=(1, 2, 32),
+                                     prepare=seed)
+
+    def test_random_hop_write_programs_agree(self):
+        rng = random.Random(0xA0)
+        hop_templates = [
+            "LOAD [Sram:Word{word}], [Packet:Hop[{slot}]]",
+            "ADD [Packet:Hop[{slot}]], [Sram:Word{word}]",
+            "ADD [Packet:Hop[{slot}]], [Switch:SwitchID]",
+            "STORE [Sram:Word{word}], [Packet:Hop[{slot}]]",
+            "STORE [Sram:Word{word2}], [Packet:Hop[{slot}]]",
+        ]
+        for _ in range(40):
+            hops = rng.randint(1, 3)
+            perhop = rng.randint(1, 3)
+            lines = [".mode hop", f".hops {hops}", f".perhop {perhop}"]
+            for _ in range(rng.randint(1, 4)):
+                lines.append(rng.choice(hop_templates).format(
+                    slot=rng.randint(0, perhop - 1),
+                    word=rng.randint(0, 2), word2=rng.randint(0, 2)))
+            sram_seed = [rng.randint(0, 2 ** 20) for _ in range(3)]
+
+            def seed(mmu, values=sram_seed):
+                for w, value in enumerate(values):
+                    mmu.poke_sram(w, value)
+
+            run_batch_vs_interpreter("\n".join(lines), sizes=(1, 2, 32),
+                                     prepare=seed, hops=hops + 1)
 
     def test_random_hop_programs_agree(self):
         rng = random.Random(78)

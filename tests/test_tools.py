@@ -47,18 +47,26 @@ def bench_report(schema="simcore-bench/v3", scale=1.0, **overrides):
               "timestamp": 1_800_000_000.0,
               "timestamp_iso": "2027-01-15T08:00:00+00:00",
               "workloads": workloads}
-    if schema in ("simcore-bench/v4", "simcore-bench/v5"):
+    if schema in ("simcore-bench/v4", "simcore-bench/v5",
+                  "simcore-bench/v6"):
         workloads["tpp_exec_batched"] = {
             "tpp_execs_per_sec": 1.5e6 * scale,
             "instructions_per_sec": 3e6 * scale,
             "scalar_execs_per_sec": 2e5 * scale,
             "speedup_vs_scalar": 7.5}
-    if schema == "simcore-bench/v5":
+    if schema in ("simcore-bench/v5", "simcore-bench/v6"):
         workloads["fleet_scale"] = {
             "packets_per_sec_modeled": 8e4 * scale,
             "flows_per_sec_modeled": 2e5 * scale,
             "speedup_vs_one_shard": 3.0,
             "bit_identical": 1}
+    if schema == "simcore-bench/v6":
+        workloads["tpp_exec_batched_write"] = {
+            "tpp_execs_per_sec": 1e6 * scale,
+            "instructions_per_sec": 2e6 * scale,
+            "scalar_execs_per_sec": 2e5 * scale,
+            "speedup_vs_scalar": 5.0,
+            "vector_write_batches": 6000}
     if schema in ("simcore-bench/v1", "simcore-bench/v2"):
         del workloads["tpp_exec_verified"]
     if schema == "simcore-bench/v1":
@@ -108,6 +116,16 @@ class TestRunBenchValidate:
         report["workloads"]["fleet_scale"]["bit_identical"] = 0
         problems = load_run_bench().validate(report)
         assert any("bit_identical" in p for p in problems)
+
+    def test_v6_report_valid(self):
+        report = bench_report(schema="simcore-bench/v6")
+        assert load_run_bench().validate(report) == []
+
+    def test_v6_requires_write_batch_workload(self):
+        report = bench_report(schema="simcore-bench/v6")
+        del report["workloads"]["tpp_exec_batched_write"]
+        problems = load_run_bench().validate(report)
+        assert any("tpp_exec_batched_write" in p for p in problems)
 
     def test_unknown_schema_rejected(self):
         problems = load_run_bench().validate(
@@ -159,6 +177,29 @@ class TestRunBenchCompare:
         captured = capsys.readouterr()
         assert "REGRESSION" in captured.out
         assert "regressed beyond" in captured.err
+
+    def test_per_workload_noise_floor(self, tmp_path, capsys):
+        """A 15% drop on the (noisy) batched workload is inside its 20%
+        floor, while the same drop on event_core (10% floor) regresses —
+        one global tolerance cannot express both."""
+        run_bench = load_run_bench()
+        old_report = bench_report(schema="simcore-bench/v6")
+        noisy_only = bench_report(schema="simcore-bench/v6")
+        for name in ("tpp_exec_batched", "tpp_exec_batched_write"):
+            for metric in noisy_only["workloads"][name]:
+                if metric != "vector_write_batches":
+                    noisy_only["workloads"][name][metric] *= 0.85
+        old = self.write(tmp_path, "old.json", old_report)
+        new = self.write(tmp_path, "new.json", noisy_only)
+        assert run_bench.main(["--compare", old, new]) == 0
+
+        quiet_hit = bench_report(schema="simcore-bench/v6")
+        quiet_hit["workloads"]["event_core"]["events_per_sec"] *= 0.85
+        new = self.write(tmp_path, "new2.json", quiet_hit)
+        assert run_bench.main(["--compare", old, new]) == 1
+        captured = capsys.readouterr()
+        assert "event_core" in captured.err
+        assert "floor 10%" in captured.out
 
     def test_v1_baseline_skips_missing_workloads(self, tmp_path, capsys):
         """Comparing v2 against a v1 baseline skips tpp_exec_cached

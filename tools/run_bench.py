@@ -12,9 +12,9 @@ Usage::
 The JSON is the perf trajectory the ROADMAP tracks: every PR can re-run
 this and diff events/sec, packets/sec, and TPP-exec/sec against the
 committed baseline.  ``--validate`` exits non-zero on a malformed file
-(the v1 through v5 schemas are all accepted); ``--compare`` exits
-non-zero when any shared workload's primary metric regressed by more
-than 10%.
+(the v1 through v6 schemas are all accepted); ``--compare`` exits
+non-zero when any shared workload's primary metric regressed beyond
+its per-workload noise floor (``WORKLOAD_TOLERANCES``).
 """
 
 from __future__ import annotations
@@ -35,7 +35,7 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_simcore.json"
 
 SUPPORTED_SCHEMAS = ("simcore-bench/v1", "simcore-bench/v2",
                      "simcore-bench/v3", "simcore-bench/v4",
-                     "simcore-bench/v5")
+                     "simcore-bench/v5", "simcore-bench/v6")
 
 #: metric keys that must exist and be positive finite numbers, per workload.
 REQUIRED_METRICS = {
@@ -79,6 +79,14 @@ REQUIRED_METRICS_V5 = {
                     "speedup_vs_one_shard", "bit_identical"),
 }
 
+#: additional requirements introduced by the v6 schema (the
+#: write-capable vector lane; ``vector_write_batches`` is deliberately
+#: not listed — no-numpy and --no-fastpath runs legitimately report 0).
+REQUIRED_METRICS_V6 = {
+    "tpp_exec_batched_write": ("tpp_execs_per_sec", "instructions_per_sec",
+                               "scalar_execs_per_sec", "speedup_vs_scalar"),
+}
+
 #: headline metric per workload, used by ``--compare``.
 PRIMARY_METRICS = {
     "event_core": "events_per_sec",
@@ -88,11 +96,27 @@ PRIMARY_METRICS = {
     "tpp_exec_cached": "tpp_execs_per_sec",
     "tpp_exec_verified": "tpp_execs_per_sec",
     "tpp_exec_batched": "tpp_execs_per_sec",
+    "tpp_exec_batched_write": "tpp_execs_per_sec",
     "fleet_scale": "packets_per_sec_modeled",
 }
 
 #: a workload counts as regressed when new < (1 - tolerance) * old.
-REGRESSION_TOLERANCE = 0.10
+#: One global 10% proved too blunt: the batched and full-pipeline
+#: workloads have short timed regions whose best-of-3 still moves more
+#: than the long single-loop benches on a co-tenant box, so each
+#: workload carries its own measured noise floor.
+DEFAULT_REGRESSION_TOLERANCE = 0.10
+WORKLOAD_TOLERANCES = {
+    "event_core": 0.10,
+    "event_loop": 0.10,
+    "packet_forwarding": 0.15,
+    "tpp_exec": 0.10,
+    "tpp_exec_cached": 0.10,
+    "tpp_exec_verified": 0.10,
+    "tpp_exec_batched": 0.20,
+    "tpp_exec_batched_write": 0.20,
+    "fleet_scale": 0.15,
+}
 
 
 def validate(report: dict) -> list:
@@ -131,6 +155,9 @@ def validate(report: dict) -> list:
     if generation >= 5:
         for name, metrics in REQUIRED_METRICS_V5.items():
             required.setdefault(name, []).extend(metrics)
+    if generation >= 6:
+        for name, metrics in REQUIRED_METRICS_V6.items():
+            required.setdefault(name, []).extend(metrics)
     for name, metrics in required.items():
         workload = workloads.get(name)
         if not isinstance(workload, dict):
@@ -150,7 +177,8 @@ def compare(old: dict, new: dict) -> tuple:
 
     Returns ``(lines, regressions)``: human-readable rows for every
     workload the two reports share, and the subset whose primary metric
-    fell below ``(1 - REGRESSION_TOLERANCE)`` of the old value.
+    fell below ``(1 - tolerance)`` of the old value, where tolerance is
+    the workload's own noise floor from ``WORKLOAD_TOLERANCES``.
     Workloads present on only one side (e.g. ``tpp_exec_cached`` against
     a v1 baseline) are reported but never counted as regressions.
     """
@@ -164,14 +192,16 @@ def compare(old: dict, new: dict) -> tuple:
         if not old_value or not new_value:
             missing = "old" if not old_value else "new"
             if old_value or new_value:
-                lines.append(f"{name:<20} (not in {missing} report, skipped)")
+                lines.append(f"{name:<22} (not in {missing} report, skipped)")
             continue
+        tolerance = WORKLOAD_TOLERANCES.get(name,
+                                            DEFAULT_REGRESSION_TOLERANCE)
         ratio = new_value / old_value
         flag = ""
-        if ratio < 1.0 - REGRESSION_TOLERANCE:
-            flag = "  << REGRESSION"
+        if ratio < 1.0 - tolerance:
+            flag = f"  << REGRESSION (floor {tolerance:.0%})"
             regressions.append(name)
-        lines.append(f"{name:<20} {old_value:>14,.0f} -> {new_value:>14,.0f} "
+        lines.append(f"{name:<22} {old_value:>14,.0f} -> {new_value:>14,.0f} "
                      f"{metric}  ({ratio:.2f}x){flag}")
     return lines, regressions
 
@@ -211,6 +241,13 @@ def _print_summary(report: dict) -> None:
               f"({batched['speedup_vs_scalar']:.2f}x vs scalar at batch "
               f"{batched['batch_size']}, "
               f"{batched['vector_batches']} vector batches)")
+    write = wl.get("tpp_exec_batched_write")
+    if write:
+        print(f"tpp exec (batched write): "
+              f"{write['tpp_execs_per_sec']:>5,.0f} TPP-execs/s  "
+              f"({write['speedup_vs_scalar']:.2f}x vs scalar at batch "
+              f"{write['batch_size']}, "
+              f"{write['vector_write_batches']} write batches)")
     fleet = wl.get("fleet_scale")
     if fleet:
         identical = "bit-identical" if fleet["bit_identical"] else "DIVERGED"
@@ -231,8 +268,8 @@ def main(argv=None) -> int:
     parser.add_argument("--compare", type=Path, nargs=2,
                         metavar=("OLD", "NEW"),
                         help="compare two reports; exit 1 when a shared "
-                             "workload regressed by more than "
-                             f"{REGRESSION_TOLERANCE:.0%}")
+                             "workload regressed beyond its per-workload "
+                             "noise floor")
     parser.add_argument("--no-fastpath", action="store_true",
                         help="run the benchmarks through the reference "
                              "interpreter (sets REPRO_TPP_FASTPATH=0)")
@@ -250,7 +287,7 @@ def main(argv=None) -> int:
         for line in lines:
             print(line)
         if regressions:
-            print(f"regressed beyond {REGRESSION_TOLERANCE:.0%}: "
+            print(f"regressed beyond the per-workload noise floor: "
                   f"{', '.join(regressions)}", file=sys.stderr)
             return 1
         return 0
