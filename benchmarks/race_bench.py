@@ -10,7 +10,13 @@ pairs genuinely intersect), then measures:
 - ``FleetRaceTable.admit`` — incremental admission of the same 64
   programs one by one (the ``VerifierPolicy``/TCPU admission path);
 - ``summarize``            — building the per-program access summaries
-  from decoded instructions (the certificate-embedding cost).
+  from decoded instructions (the certificate-embedding cost);
+- ``check_fleet + sram``   — the same from-scratch pass with a switch
+  SRAM image bound, i.e. including the relational claim-epoch
+  fixpoint (``refine_for_switch``) over all 64 programs;
+- ``relational``           — one program's relational abstract
+  interpretation (``analyze_relations``), the per-certificate cost
+  the verifier adds.
 
 Standalone on purpose (not part of the ``BENCH_simcore.json`` schema):
 run it directly and paste the numbers into EXPERIMENTS.md E17.
@@ -24,6 +30,7 @@ import random
 import time
 from typing import Callable, List, Tuple
 
+from repro.core.assembler import assemble
 from repro.core.isa import Instruction, Opcode
 from repro.core.memory_map import SRAM_BASE
 from repro.core.racecheck import (
@@ -32,6 +39,7 @@ from repro.core.racecheck import (
     check_fleet,
     summarize_instructions,
 )
+from repro.core.relational import analyze_relations
 
 FLEET_SIZE = 64
 #: Words 0..15: small enough that most pairs share something.
@@ -105,6 +113,29 @@ def main() -> None:
                Instruction(Opcode.PUSH, SRAM_BASE + 7, 0)]
     _time("summarize (3-instr program)", 2000,
           lambda: summarize_instructions(decoded, task_id=0))
+
+    # Relational column: the claim-epoch refinement across the fleet
+    # (check_fleet with a bound SRAM image) and the per-program
+    # relational walk the verifier pays once per certificate.
+    image = {word: 0 for word in range(WORD_SPAN)}
+    bound = check_fleet(fleet, sram_values=image)
+    print(f"with sram image bound: diagnostics {bound.by_code()}")
+    _time("check_fleet + sram (64 prog)", 20,
+          lambda: check_fleet(fleet, sram_values=image))
+
+    program = assemble(
+        ".memory 2\n"
+        "LOAD [Switch:ClockLo], [Packet:0]\n"
+        "CSTORE [Sram:Word3], 0, 1\n"
+        "CEXEC [Switch:SwitchID], 0x0F, 0xF0\n"
+        "STORE [Sram:Word0], [Packet:0]")
+    _time("relational (5-instr program)", 2000,
+          lambda: analyze_relations(
+              program.instructions, mode=program.mode,
+              word_size=program.word_size,
+              memory_len=len(program.initial_memory),
+              perhop_len_bytes=program.perhop_len_bytes,
+              initial_memory=bytes(program.initial_memory), entry=0))
 
 
 if __name__ == "__main__":

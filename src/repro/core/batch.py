@@ -204,7 +204,11 @@ def execute_batch(tcpu: TCPU, sections: Sequence[TPPSection],
         demote = "no_numpy"
     elif plan is None or entry.verified_steps is None:
         demote = "uncertified"
-    elif entry.has_cexec or plan.demote_reason == "cexec":
+    elif plan.demote_reason == "cexec" or (
+            entry.has_cexec and plan.cexec_disabled_at is None):
+        # A CEXEC is a per-packet branch — unless the certificate's
+        # relational facts proved it always disables, in which case the
+        # plan lowered the live prefix and stamps the disable point.
         demote = "cexec"
     elif plan.demote_reason is not None:
         demote = plan.demote_reason
@@ -371,6 +375,18 @@ def _run_vectorized(tcpu: TCPU, entry: CompiledEntry, plan: BatchPlan,
         for op in plan.ops:
             kind = op[0]
             if kind == "nop":
+                continue
+            if kind == "cexec_dead":
+                # A relationally-dead fence: the register read happens
+                # (its faults must surface exactly as in the scalar
+                # loop) but the outcome is provably "disable" and the
+                # value is discarded.  Always the last op.
+                read = op[1]
+                if shared_ctx:
+                    read(ctx0)
+                else:
+                    for ctx in ctxs:
+                        read(ctx)
                 continue
             if kind == "push":
                 read = op[1]
@@ -582,7 +598,16 @@ def _run_vectorized(tcpu: TCPU, entry: CompiledEntry, plan: BatchPlan,
     final = cursor + 1 if hop_mode else cursor
     dirty = plan.touches_memory or hop_mode or final != h0
     n_instructions = plan.n_instructions
-    cycles = pipeline_cycles(n_instructions)
+    disabled_at = plan.cexec_disabled_at
+    if disabled_at is None:
+        n_executed = n_instructions
+        n_skipped = 0
+    else:
+        # The fence itself executes; everything after it is skipped —
+        # the exact bookkeeping of the scalar loop's disable path.
+        n_executed = disabled_at + 1
+        n_skipped = n_instructions - n_executed
+    cycles = pipeline_cycles(n_executed)
     report_cls = ExecutionReport
     new_report = report_cls.__new__
     no_fault = FaultCode.NONE
@@ -593,10 +618,10 @@ def _run_vectorized(tcpu: TCPU, entry: CompiledEntry, plan: BatchPlan,
         if dirty:
             section._wire_cache = None
         report = new_report(report_cls)
-        report.executed = n_instructions
-        report.skipped = 0
+        report.executed = n_executed
+        report.skipped = n_skipped
         report.fault = no_fault
-        report.cexec_disabled_at = None
+        report.cexec_disabled_at = disabled_at
         report.cycles = cycles
         report.switch_writes = ([] if switch_writes is None
                                 else switch_writes[index])
@@ -604,7 +629,7 @@ def _run_vectorized(tcpu: TCPU, entry: CompiledEntry, plan: BatchPlan,
 
     tcpu.verified_executions += n
     tcpu.tpps_executed += n
-    tcpu.instructions_executed += n_instructions * n
+    tcpu.instructions_executed += n_executed * n
     tcpu.vector_batches += 1
     tcpu.vector_tpps += n
     if plan.sram_words:

@@ -175,6 +175,22 @@ class BatchPlan:
     - ``("cstore_claim", word, cond_offset_bytes, vaddr)`` — the
       first-match-wins claim select
 
+    A certified program whose certificate carries a relationally-dead
+    suffix (:attr:`repro.core.verifier.VerifiedProgram.sram_relational`
+    with ``dead_suffix_at`` set — every instruction past that CEXEC is
+    provably unreachable for any in-guard execution) lowers its live
+    prefix only, with the fence itself as
+
+    - ``("cexec_dead", reader)`` — the per-packet register read of a
+      CEXEC that provably always disables (reproduces reader faults
+      bit-for-bit; the value is discarded)
+
+    and ``cexec_disabled_at`` records the fence index so the kernel
+    stamps ``executed``/``skipped``/``cexec_disabled_at`` exactly as the
+    scalar loop would.  This retires the ``"cexec"`` (and dead-write
+    ``"write_dataflow"``) demotions for programs whose only
+    non-vectorizable instructions sit behind a dead fence.
+
     ``vectorizable`` additionally requires every read to be
     *batch-stable* (:meth:`repro.core.mmu.MMU.reader_is_batch_stable`):
     side-effect-free and unchanged by the TPP executions within one
@@ -187,7 +203,8 @@ class BatchPlan:
 
     __slots__ = ("ops", "vectorizable", "writes_mmu", "stable_reads",
                  "uses_task_id", "touches_memory", "n_instructions",
-                 "demote_reason", "sram_words", "acc_words", "aff_slots")
+                 "demote_reason", "sram_words", "acc_words", "aff_slots",
+                 "cexec_disabled_at")
 
     def __init__(self, ops: Optional[Tuple[Tuple[Any, ...], ...]],
                  vectorizable: bool, writes_mmu: bool, stable_reads: bool,
@@ -196,7 +213,8 @@ class BatchPlan:
                  demote_reason: Optional[str] = None,
                  sram_words: Tuple[int, ...] = (),
                  acc_words: Tuple[int, ...] = (),
-                 aff_slots: Tuple[Tuple[str, int, int], ...] = ()) -> None:
+                 aff_slots: Tuple[Tuple[str, int, int], ...] = (),
+                 cexec_disabled_at: Optional[int] = None) -> None:
         self.ops = ops
         self.vectorizable = vectorizable
         self.writes_mmu = writes_mmu
@@ -208,6 +226,7 @@ class BatchPlan:
         self.sram_words = sram_words
         self.acc_words = acc_words
         self.aff_slots = aff_slots
+        self.cexec_disabled_at = cexec_disabled_at
 
 
 def build_batch_plan(instructions: List[Instruction],
@@ -232,11 +251,35 @@ def build_batch_plan(instructions: List[Instruction],
     ops: List[Tuple[Any, ...]] = []
     vector_ok = True
     demote_reason: Optional[str] = None
-    writes_mmu = any(i.opcode in _MMU_WRITE_OPCODES for i in instructions)
     stable = True
     uses_task_id = False
     touches_memory = False
-    roles: Tuple[Any, ...] = (None,) * len(instructions)
+    # Relationally-dead suffix: instructions past the certificate's
+    # always-false CEXEC can never execute in-guard, so they cannot
+    # demote the plan — the live prefix lowers alone, with the fence
+    # itself as a ``cexec_dead`` register read.  Only taken when the
+    # prefix is write-free: a write-bearing prefix would need its
+    # dataflow classes re-derived over the truncated program, which the
+    # certificate does not pin.
+    relational = (getattr(certificate, "sram_relational", None)
+                  if certificate is not None else None)
+    dead_at = (relational.dead_suffix_at if relational is not None
+               else None)
+    cexec_disabled_at: Optional[int] = None
+    lowered = instructions
+    if (dead_at is not None and dead_at < len(instructions)
+            and instructions[dead_at].opcode == Opcode.CEXEC
+            and not any(i.opcode in _MMU_WRITE_OPCODES
+                        for i in instructions[:dead_at])):
+        fence = instructions[dead_at]
+        if not mmu.reader_is_batch_stable(fence.addr):
+            stable = False
+        if is_sram(fence.addr) or is_link_scratch(fence.addr):
+            uses_task_id = True
+        lowered = instructions[:dead_at]
+        cexec_disabled_at = dead_at
+    writes_mmu = any(i.opcode in _MMU_WRITE_OPCODES for i in lowered)
+    roles: Tuple[Any, ...] = (None,) * len(lowered)
     acc_written: set = set()
     analysis = None
     if writes_mmu:
@@ -248,7 +291,7 @@ def build_batch_plan(instructions: List[Instruction],
             roles = analysis.roles
         else:
             analysis = None
-    for j, instruction in enumerate(instructions):
+    for j, instruction in enumerate(lowered):
         opcode = instruction.opcode
         role = roles[j]
         if opcode not in _VECTOR_OPCODES and role is None:
@@ -327,6 +370,11 @@ def build_batch_plan(instructions: List[Instruction],
         else:
             ops.append(("arith", opcode, reader, hop_relative,
                         offset_bytes))
+    if cexec_disabled_at is not None and vector_ok:
+        # The fence executes (its register read can fault per packet)
+        # and then provably disables everything after it.
+        ops.append(("cexec_dead",
+                    mmu.reader_for(instructions[cexec_disabled_at].addr)))
     sram_words: Tuple[int, ...] = ()
     acc_words: Tuple[int, ...] = ()
     aff_slots: Tuple[Tuple[str, int, int], ...] = ()
@@ -348,6 +396,7 @@ def build_batch_plan(instructions: List[Instruction],
         sram_words=sram_words,
         acc_words=acc_words,
         aff_slots=aff_slots,
+        cexec_disabled_at=cexec_disabled_at,
     )
 
 

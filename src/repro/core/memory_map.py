@@ -156,6 +156,10 @@ def _sram_descriptor(word: int) -> StatDescriptor:
                           f"global scratch SRAM word {word}")
 
 
+#: Lazily built cache behind :meth:`MemoryMap.shared_standard`.
+_SHARED_STANDARD: Optional["MemoryMap"] = None
+
+
 class MemoryMap:
     """Network-wide virtual address layout plus dynamic symbols.
 
@@ -183,6 +187,22 @@ class MemoryMap:
         memory_map.alias("Switch:ID", "Switch:SwitchID")
         memory_map.alias("Link:QueueSize", "Queue:QueueSize")
         return memory_map
+
+    @classmethod
+    def shared_standard(cls) -> "MemoryMap":
+        """A process-wide cached :meth:`standard` map, for read-only
+        name resolution.
+
+        Building the standard layout registers ~1100 descriptors, which
+        dominates any analysis that merely needs to *resolve* a handful
+        of names (the static race/relational passes run once per
+        program).  Callers must treat the result as immutable — anyone
+        who wants to ``add``/``alias`` builds their own ``standard()``.
+        """
+        global _SHARED_STANDARD
+        if _SHARED_STANDARD is None:
+            _SHARED_STANDARD = cls.standard()
+        return _SHARED_STANDARD
 
     # ------------------------------------------------------------------ #
     # Registration

@@ -104,6 +104,16 @@ from repro.core.isa import (
     SWITCH_WRITING_OPCODES,
 )
 from repro.core.memory_map import MemoryMap, SRAM_BASE, is_sram
+from repro.core.relational import (
+    FIRE_NEVER,
+    ReachTable,
+    RelationalSummary,
+    analyze_relations,
+    claim_can_fire,
+    claim_mutates,
+    reachable_values,
+    write_mutates,
+)
 from repro.core.tpp import AddressingMode, TPPSection, program_key_of
 
 #: Hop horizon used when a program declares no budget (mirrors the
@@ -171,18 +181,23 @@ class ProgramAccessSummary:
     """
 
     __slots__ = ("name", "task_id", "program_key",
-                 "reads", "writes", "claims", "fences")
+                 "reads", "writes", "claims", "fences",
+                 "relational", "word_size")
 
     def __init__(self, name: str, task_id: int, program_key: bytes,
                  reads: Dict[int, Tuple[int, ...]],
                  writes: Dict[int, Tuple[int, ...]],
                  claims: Dict[int, Tuple[int, ...]],
                  fences: Tuple[Tuple[int, int, int, int], ...] = (),
+                 relational: Optional[RelationalSummary] = None,
+                 word_size: int = 4,
                  ) -> None:
         self.name = name
         self.task_id = task_id
         self.program_key = program_key
         self.fences = tuple(sorted(fences))
+        self.relational = relational
+        self.word_size = word_size
         self.reads = self._drop_unreachable(reads)
         self.writes = self._drop_unreachable(writes)
         self.claims = self._drop_unreachable(claims)
@@ -349,7 +364,8 @@ def collect_constant_fences(instructions: Sequence[Instruction], *,
     """
     if initial_memory is None:
         return ()
-    resolver = memory_map if memory_map is not None else MemoryMap.standard()
+    resolver = (memory_map if memory_map is not None
+                else MemoryMap.shared_standard())
     stable_addrs = set()
     for name in STABLE_FENCE_REGISTERS:
         try:
@@ -427,6 +443,72 @@ def _self_contradictory(
         if expected & ~mask:
             return True
     return _exclusive_guards(guards, guards)
+
+
+def _apply_relational_statics(
+        reads: Dict[int, Tuple[int, ...]],
+        writes: Dict[int, Tuple[int, ...]],
+        claims: Dict[int, Tuple[int, ...]],
+        relational: RelationalSummary,
+) -> Tuple[Dict[int, Tuple[int, ...]], Dict[int, Tuple[int, ...]],
+           Dict[int, Tuple[int, ...]]]:
+    """Fold fleet-independent relational facts into the access maps.
+
+    These refinements hold on *every* switch, for any fleet around the
+    program, so they are applied once at summary construction:
+
+    - accesses past a relationally-false CEXEC never execute;
+    - reads whose value provably never reaches an observable cannot
+      produce divergence;
+    - stores proven to write the word's current value back are no-ops;
+    - claims that provably never fire (or that fire but store the value
+      they matched) never change the word — their old-value write-back
+      still *observes* it, so they demote to reads unless the write-back
+      itself is provably dead.
+    """
+    dead_at = relational.dead_suffix_at
+
+    def trim(table: Dict[int, Tuple[int, ...]],
+             drop: Set[int]) -> Dict[int, Tuple[int, ...]]:
+        out: Dict[int, Tuple[int, ...]] = {}
+        for word, indices in table.items():
+            live = tuple(
+                i for i in indices
+                if i not in drop and (dead_at is None or i <= dead_at))
+            if live:
+                out[word] = live
+        return out
+
+    reads = trim(reads, set(relational.dead_reads))
+    writes = trim(writes, {e.index for e in relational.writes
+                           if e.inert})
+    demoted: Set[int] = set()
+    observing: Dict[int, List[int]] = {}
+    obs_dead = set(relational.dead_claim_obs)
+    for effect in relational.claims:
+        if effect.fire == FIRE_NEVER:
+            inert_claim = True
+        else:
+            conds = (frozenset(a[1] for a in effect.conds)
+                     if effect.conds is not None and all(
+                         a[0] == "c" for a in effect.conds) else None)
+            srcs = (frozenset(a[1] for a in effect.srcs)
+                    if effect.srcs is not None and all(
+                        a[0] == "c" for a in effect.srcs) else None)
+            inert_claim = (conds is not None and srcs is not None
+                           and len(conds) == 1 and conds == srcs)
+        if inert_claim:
+            demoted.add(effect.index)
+            if effect.index not in obs_dead:
+                observing.setdefault(effect.word, []).append(
+                    effect.index)
+    if demoted:
+        claims = trim(claims, demoted)
+        reads = dict(reads)
+        for word, indices in observing.items():
+            merged = sorted(set(reads.get(word, ())) | set(indices))
+            reads[word] = tuple(merged)
+    return reads, writes, claims
 
 
 # --------------------------------------------------------------------- #
@@ -694,12 +776,16 @@ def summarize_instructions(instructions: Sequence[Instruction], *,
                            initial_memory: Optional[bytes] = None,
                            max_hops: Optional[int] = None,
                            memory_map: Optional[MemoryMap] = None,
+                           entry: Optional[int] = None,
                            ) -> ProgramAccessSummary:
     """Build a :class:`ProgramAccessSummary` from decoded instructions.
 
     ``initial_memory`` (plus the memory geometry) enables the
-    constant-fence refinement; without it the summary is the plain
-    may-access one.
+    constant-fence and relational refinements; without it the summary is
+    the plain may-access one.  ``entry`` pins the hop/SP counter
+    executions enter with at the deployment point under analysis (see
+    :func:`repro.core.relational.analyze_relations`); ``None`` keeps
+    the relational pass conservative over the whole counter interval.
     """
     if program_key is None:
         program_key = program_key_of(
@@ -713,39 +799,70 @@ def summarize_instructions(instructions: Sequence[Instruction], *,
         perhop_len_bytes=perhop_len_bytes,
         initial_memory=initial_memory, max_hops=max_hops,
         memory_map=memory_map)
+    reads_map = _index_map(reads)
+    writes_map = _index_map(writes)
+    claims_map = _index_map(claims)
+    relational: Optional[RelationalSummary] = None
+    if initial_memory is not None:
+        relational = analyze_relations(
+            instructions,
+            mode=AddressingMode.STACK if mode is None else mode,
+            word_size=word_size, memory_len=memory_len,
+            perhop_len_bytes=perhop_len_bytes,
+            initial_memory=initial_memory, entry=entry,
+            memory_map=memory_map)
+        reads_map, writes_map, claims_map = _apply_relational_statics(
+            reads_map, writes_map, claims_map, relational)
+        if relational.stable_fences:
+            fences = tuple(sorted(
+                set(fences) | set(relational.stable_fences)))
     return ProgramAccessSummary(
         name=name or f"{program_key.hex()[:12]}/t{task_id}",
         task_id=task_id,
         program_key=program_key,
-        reads=_index_map(reads),
-        writes=_index_map(writes),
-        claims=_index_map(claims),
+        reads=reads_map,
+        writes=writes_map,
+        claims=claims_map,
         fences=fences,
+        relational=relational,
+        word_size=word_size,
     )
 
 
 def summarize_section(tpp: TPPSection,
                       name: str = "") -> ProgramAccessSummary:
-    """Summary of an in-flight (wire-decoded) TPP section."""
+    """Summary of an in-flight (wire-decoded) TPP section.
+
+    The section's current hop/SP counter is the entry counter any
+    further execution of this frame uses, so the relational pass runs
+    pinned to it.
+    """
     return summarize_instructions(
         tpp.instructions, task_id=tpp.task_id, mode=tpp.mode,
         word_size=tpp.word_size, name=name,
         program_key=tpp.program_key,
         memory_len=len(tpp.memory),
         perhop_len_bytes=tpp.perhop_len_bytes,
-        initial_memory=bytes(tpp.memory))
+        initial_memory=bytes(tpp.memory),
+        entry=tpp.hop_or_sp)
 
 
 def summarize_program(program: Any, task_id: int = 0,
                       name: str = "") -> ProgramAccessSummary:
-    """Summary of an :class:`~repro.core.assembler.AssembledProgram`."""
+    """Summary of an :class:`~repro.core.assembler.AssembledProgram`.
+
+    Freshly built programs enter the network with counter ``0``
+    (``build()`` stamps ``hop_or_sp = 0``), so the relational pass is
+    pinned to entry ``0`` — the state the admission point sees.
+    """
     return summarize_instructions(
         program.instructions, task_id=task_id, mode=program.mode,
         word_size=program.word_size, name=name,
         memory_len=len(program.initial_memory),
         perhop_len_bytes=program.perhop_len_bytes,
         initial_memory=bytes(program.initial_memory),
-        max_hops=getattr(program, "hops", None))
+        max_hops=getattr(program, "hops", None),
+        entry=0)
 
 
 def summarize_certificate(certificate: Any,
@@ -756,18 +873,32 @@ def summarize_certificate(certificate: Any,
     the flat access tuples so admission layers — notably
     :meth:`repro.core.tcpu.TCPU.trust` — can race-check a program
     without ever seeing its instructions.
+
+    Certificates pin the *raw* access tuples plus the relational facts
+    separately (backward compatible either way); the fleet-independent
+    relational refinements fold in here, exactly as they do when
+    summarizing from instructions.
     """
+    reads_map = _index_map(certificate.sram_reads)
+    writes_map = _index_map(certificate.sram_writes)
+    claims_map = _index_map(certificate.sram_claims)
+    relational = getattr(certificate, "sram_relational", None)
+    if relational is not None:
+        reads_map, writes_map, claims_map = _apply_relational_statics(
+            reads_map, writes_map, claims_map, relational)
     return ProgramAccessSummary(
         name=(name or f"{certificate.program_key.hex()[:12]}"
                       f"/t{certificate.task_id}"),
         task_id=certificate.task_id,
         program_key=certificate.program_key,
-        reads=_index_map(certificate.sram_reads),
-        writes=_index_map(certificate.sram_writes),
-        claims=_index_map(certificate.sram_claims),
-        # Old certificates carry no fences: the conservative pre-fence
-        # analysis applies unchanged.
+        reads=reads_map,
+        writes=writes_map,
+        claims=claims_map,
+        # Old certificates carry no fences or relational facts: the
+        # conservative pre-fence analysis applies unchanged.
         fences=getattr(certificate, "sram_fences", ()),
+        relational=relational,
+        word_size=getattr(certificate, "word_size", 4),
     )
 
 
@@ -927,18 +1058,28 @@ def _classify_word(a: ProgramAccessSummary, b: ProgramAccessSummary,
     aw_read_b = _live_pairs(a, mutates_a, b, reads_b, fence_values)
     bw_read_a = _live_pairs(a, reads_a, b, mutates_b, fence_values)
     if aw_read_b is not None or bw_read_a is not None:
+        # Both directions may race at once (each side reads what the
+        # other writes); the diagnostic merges the involved indices of
+        # both, so ``instructions_a``/``instructions_b`` carry every
+        # offending index per program — the same per-pair shape TPP020
+        # reports.
+        merged_a: Set[int] = set()
+        merged_b: Set[int] = set()
         if aw_read_b is not None:
             writer, reader = a, b
-            indices_a, indices_b = aw_read_b
-        else:
-            writer, reader = b, a
-            indices_a, indices_b = bw_read_a
+            merged_a.update(aw_read_b[0])
+            merged_b.update(aw_read_b[1])
+        if bw_read_a is not None:
+            if aw_read_b is None:
+                writer, reader = b, a
+            merged_a.update(bw_read_a[0])
+            merged_b.update(bw_read_a[1])
         return build(
             "TPP021",
             f"read-write race: {reader.name} reads Sram:Word{word} "
             f"which {writer.name} writes — torn-read risk, value "
             f"depends on packet interleaving",
-            indices_a, indices_b)
+            tuple(sorted(merged_a)), tuple(sorted(merged_b)))
     cc = _live_pairs(a, claims_a, b, claims_b, fence_values)
     if cc is not None:
         return build(
@@ -1009,17 +1150,104 @@ class FleetRaceReport:
         }
 
 
+def _refine_summary(summary: ProgramAccessSummary,
+                    reach: ReachTable) -> ProgramAccessSummary:
+    """Apply claim-epoch facts for one switch to one summary.
+
+    Claims whose condition constant is outside the word's reachable
+    epochs can never fire on this switch: they demote to reads (the
+    old-value write-back still observes the word) or vanish when the
+    write-back itself is provably dead.  Stores of a value the word
+    always holds can never change it and drop out.  Returns the summary
+    unchanged when nothing refines.
+    """
+    relational = summary.relational
+    if relational is None:
+        return summary
+    mask = (1 << (8 * summary.word_size)) - 1
+    task = summary.task_id
+    dropped_writes: Set[int] = set()
+    for effect in relational.writes:
+        if not write_mutates(effect, task, reach, mask):
+            dropped_writes.add(effect.index)
+    dropped_claims: Set[int] = set()
+    observing: Dict[int, List[int]] = {}
+    obs_dead = set(relational.dead_claim_obs)
+    for effect in relational.claims:
+        if claim_mutates(effect, task, reach, mask):
+            continue
+        dropped_claims.add(effect.index)
+        if effect.index not in obs_dead:
+            observing.setdefault(effect.word, []).append(effect.index)
+    dropped_writes &= {i for idxs in summary.writes.values()
+                       for i in idxs}
+    dropped_claims &= {i for idxs in summary.claims.values()
+                       for i in idxs}
+    if not dropped_writes and not dropped_claims:
+        return summary
+
+    def strip(table: Dict[int, Tuple[int, ...]],
+              drop: Set[int]) -> Dict[int, Tuple[int, ...]]:
+        out: Dict[int, Tuple[int, ...]] = {}
+        for word, indices in table.items():
+            live = tuple(i for i in indices if i not in drop)
+            if live:
+                out[word] = live
+        return out
+
+    reads = dict(summary.reads)
+    for word, indices in observing.items():
+        reads[word] = tuple(sorted(
+            set(reads.get(word, ())) | set(indices)))
+    return ProgramAccessSummary(
+        name=summary.name, task_id=summary.task_id,
+        program_key=summary.program_key,
+        reads=reads,
+        writes=strip(summary.writes, dropped_writes),
+        claims=strip(summary.claims, dropped_claims),
+        fences=summary.fences,
+        relational=relational,
+        word_size=summary.word_size)
+
+
+def refine_for_switch(
+        summaries: Sequence[ProgramAccessSummary],
+        sram_values: Mapping[int, int],
+        floor: Optional[ReachTable] = None,
+) -> Tuple[List[ProgramAccessSummary], ReachTable]:
+    """Refine a fleet's summaries against one switch's SRAM image.
+
+    Runs the claim-epoch reachability fixpoint
+    (:func:`repro.core.relational.reachable_values`) over the whole
+    membership, then rewrites each summary so the pairwise
+    classification only counts accesses that can actually mutate or
+    observe on this switch.  ``floor`` seeds the fixpoint with values
+    already reachable from earlier membership states (see
+    :class:`FleetRaceTable`).
+    """
+    word_size = summaries[0].word_size if summaries else 4
+    reach = reachable_values(
+        [(s, s.relational) for s in summaries], sram_values,
+        word_size=word_size, floor=floor)
+    return [_refine_summary(s, reach) for s in summaries], reach
+
+
 def check_fleet(
         summaries: Sequence[ProgramAccessSummary],
         fence_values: Optional[Mapping[int, int]] = None,
+        sram_values: Optional[Mapping[int, int]] = None,
         ) -> FleetRaceReport:
     """From-scratch pairwise analysis over a whole fleet.
 
     The reference semantics the incremental :class:`FleetRaceTable`
     must match; diagnostics come out in a canonical order so reports
     are directly comparable.  ``fence_values`` binds stable registers
-    to one switch's values, refining every pair (see module docstring).
+    to one switch's values, refining every pair (see module docstring);
+    ``sram_values`` additionally binds the switch's initial SRAM image,
+    enabling the claim-epoch refinement (:func:`refine_for_switch`).
     """
+    if sram_values is not None and summaries:
+        summaries = refine_for_switch(summaries, sram_values)[0]
     diagnostics: List[RaceDiagnostic] = []
     pairs = 0
     for i in range(len(summaries)):
@@ -1046,18 +1274,40 @@ class FleetRaceTable:
     A table guards one deployment point.  When that point is a single
     switch (``TCPU.trust``), pass ``fence_values`` with the switch's
     stable register values so constant fences falsified there discount
-    their guarded accesses; a table spanning many switches (an edge
-    policy) leaves it unset and gets the conservative analysis.
+    their guarded accesses, and optionally ``sram_values`` with the
+    switch's SRAM image at binding time to enable the claim-epoch
+    refinement; a table spanning many switches (an edge policy) leaves
+    both unset and gets the conservative analysis.
+
+    With ``sram_values`` bound the refinement is *fleet-coupled*: an
+    admission can enlarge a word's reachable epochs and thereby revive a
+    claim an earlier pair check discounted, so the table re-checks every
+    pair one of whose refined summaries changed.  Reachability is
+    monotone over the table's whole membership **history** — a revoked
+    member's writes may persist in physical SRAM, so revocation never
+    shrinks the reachable sets (the table stays sound, merely more
+    conservative than a from-scratch pass over the survivors).
     """
 
     def __init__(self,
-                 fence_values: Optional[Mapping[int, int]] = None) -> None:
+                 fence_values: Optional[Mapping[int, int]] = None,
+                 sram_values: Optional[Mapping[int, int]] = None,
+                 ) -> None:
         #: Stable-register bindings for the switch this table guards
         #: (``None`` = unknown, conservative).
         self.fence_values: Optional[Dict[int, int]] = (
             dict(fence_values) if fence_values else None)
+        #: Initial SRAM image of the switch this table guards
+        #: (``None`` = unknown, conservative).
+        self.sram_values: Optional[Dict[int, int]] = (
+            dict(sram_values) if sram_values is not None else None)
         self._members: Dict[Tuple[bytes, int], ProgramAccessSummary] = {}
-        # (task_id, word) -> member keys touching that word.
+        # Claim-epoch view: per-member refined summaries + the monotone
+        # reachable-value table (only populated with ``sram_values``).
+        self._refined: Dict[Tuple[bytes, int], ProgramAccessSummary] = {}
+        self._reach: ReachTable = {}
+        # (task_id, word) -> member keys touching that word (unrefined
+        # words: stable under refinement changes).
         self._word_index: Dict[Tuple[int, int],
                                Set[Tuple[bytes, int]]] = {}
         # Unordered pair (sorted key tuple) -> its diagnostics.
@@ -1098,25 +1348,77 @@ class FleetRaceTable:
         if key in self._members:
             return self.diagnostics_for(key)
         self._members[key] = summary
-        rivals: Set[Tuple[bytes, int]] = set()
         for word in summary.words:
             index_key = (summary.task_id, word)
-            bucket = self._word_index.setdefault(index_key, set())
-            rivals.update(bucket)
-            bucket.add(key)
-        introduced: List[RaceDiagnostic] = []
-        for rival_key in rivals:
-            rival = self._members[rival_key]
-            self.pair_checks += 1
-            findings = check_pair(summary, rival, self.fence_values)
-            if findings:
-                self._pair_diagnostics[_pair_key(key, rival_key)] = (
-                    findings)
-                introduced.extend(findings)
+            self._word_index.setdefault(index_key, set()).add(key)
+        if self.sram_values is not None:
+            self._resync({key})
+            introduced = self.diagnostics_for(key)
+        else:
+            rivals = self._rivals_of(key)
+            introduced = []
+            for rival_key in rivals:
+                rival = self._members[rival_key]
+                self.pair_checks += 1
+                findings = check_pair(summary, rival, self.fence_values)
+                if findings:
+                    self._pair_diagnostics[_pair_key(key, rival_key)] = (
+                        findings)
+                    introduced.extend(findings)
+            introduced.sort(key=_sort_key)
         if any(d.severity == "error" for d in introduced):
             self.racy_admissions += 1
-        introduced.sort(key=_sort_key)
         return introduced
+
+    def _rivals_of(self, key: Tuple[bytes, int]
+                   ) -> Set[Tuple[bytes, int]]:
+        summary = self._members[key]
+        rivals: Set[Tuple[bytes, int]] = set()
+        for word in summary.words:
+            bucket = self._word_index.get((summary.task_id, word))
+            if bucket:
+                rivals.update(bucket)
+        rivals.discard(key)
+        return rivals
+
+    def _resync(self, seeds: Set[Tuple[bytes, int]]) -> None:
+        """Re-run the claim-epoch refinement after a membership change.
+
+        ``seeds`` are members whose pairs must be re-checked regardless
+        (the newcomer).  Any member whose *refined* summary changed —
+        the fixpoint is fleet-coupled, so an admission can revive a
+        claim elsewhere — joins them.  The previous reachable table
+        seeds the new fixpoint as a monotone floor.
+        """
+        assert self.sram_values is not None
+        keys = list(self._members)
+        refined, self._reach = refine_for_switch(
+            [self._members[k] for k in keys], self.sram_values,
+            floor=self._reach)
+        changed = set(seeds)
+        for k, view in zip(keys, refined):
+            old = self._refined.get(k)
+            if old is None or _access_fingerprint(old) != \
+                    _access_fingerprint(view):
+                changed.add(k)
+            self._refined[k] = view
+        for k in [k for k in self._refined if k not in self._members]:
+            del self._refined[k]
+        pairs_to_check: Set[Tuple[Tuple[bytes, int],
+                                  Tuple[bytes, int]]] = set()
+        for k in changed:
+            if k not in self._members:
+                continue
+            for rival_key in self._rivals_of(k):
+                pairs_to_check.add(_pair_key(k, rival_key))
+        for pair in pairs_to_check:
+            self._pair_diagnostics.pop(pair, None)
+            self.pair_checks += 1
+            findings = check_pair(self._refined[pair[0]],
+                                  self._refined[pair[1]],
+                                  self.fence_values)
+            if findings:
+                self._pair_diagnostics[pair] = findings
 
     def revoke(self, key_or_summary: Any) -> bool:
         """Retire a member (and every diagnostic naming it).
@@ -1139,6 +1441,12 @@ class FleetRaceTable:
                     del self._word_index[index_key]
         for pair in [p for p in self._pair_diagnostics if key in p]:
             del self._pair_diagnostics[pair]
+        self._refined.pop(key, None)
+        if self.sram_values is not None and self._members:
+            # The floor keeps every historically reachable value, so
+            # surviving pairs normally need no re-check; _resync still
+            # runs to keep the refined view and diagnostics coherent.
+            self._resync(set())
         return True
 
     def diagnostics(self) -> List[RaceDiagnostic]:
@@ -1171,6 +1479,13 @@ class FleetRaceTable:
             pairs_checked=n * (n - 1) // 2)
 
 
+def _access_fingerprint(summary: ProgramAccessSummary) -> Tuple:
+    """Hashable digest of the access maps a pair check consumes."""
+    return (tuple(sorted(summary.reads.items())),
+            tuple(sorted(summary.writes.items())),
+            tuple(sorted(summary.claims.items())))
+
+
 def _member_key(key_or_summary: Any) -> Tuple[bytes, int]:
     if isinstance(key_or_summary, ProgramAccessSummary):
         return key_or_summary.key
@@ -1184,3 +1499,103 @@ def _member_key(key_or_summary: Any) -> Tuple[bytes, int]:
 def _pair_key(a: Tuple[bytes, int], b: Tuple[bytes, int]
               ) -> Tuple[Tuple[bytes, int], Tuple[bytes, int]]:
     return (a, b) if a <= b else (b, a)
+
+
+# --------------------------------------------------------------------- #
+# Cross-switch divergence modeling
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class SwitchBinding:
+    """One deployment point's known state for per-switch analysis.
+
+    ``fence_values`` binds the switch's stable registers (vaddr →
+    value); ``sram_values`` binds its SRAM image at analysis time (word
+    → value).  Either may be ``None`` — that dimension stays unknown and
+    the analysis is conservative along it, exactly as in
+    :func:`check_fleet`.
+    """
+
+    name: str
+    fence_values: Optional[Mapping[int, int]] = None
+    sram_values: Optional[Mapping[int, int]] = None
+
+
+@dataclass
+class MultiSwitchRaceReport:
+    """Per-switch verdicts for one fleet admitted across many switches.
+
+    The same fleet admitted on switches with different stable-register
+    values or SRAM allocations diverges (or not) *per switch*: a fence
+    falsified on switch A may pass on switch B, and a claim epoch
+    reachable on B may be unreachable on A.  Each entry of ``switches``
+    is a full :class:`FleetRaceReport` for that binding; the fleet-wide
+    verdicts are the conjunctions.
+    """
+
+    switches: Dict[str, FleetRaceReport]
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity diagnostics on any switch."""
+        return all(report.ok for report in self.switches.values())
+
+    @property
+    def race_free(self) -> bool:
+        """Zero diagnostics on every switch: order insensitive
+        everywhere the fleet is admitted."""
+        return all(report.race_free
+                   for report in self.switches.values())
+
+    @property
+    def racy_switches(self) -> List[str]:
+        """Switch names with at least one error diagnostic."""
+        return [name for name, report in self.switches.items()
+                if not report.ok]
+
+    def format(self) -> str:
+        """Per-switch sections plus a fleet-wide verdict line."""
+        lines: List[str] = []
+        for name, report in self.switches.items():
+            lines.append(f"-- switch {name} --")
+            lines.append(report.format())
+        verdict = ("race-free" if self.race_free
+                   else "racy" if not self.ok else "shared")
+        lines.append(f"fleet-wide: {verdict} across "
+                     f"{len(self.switches)} switch(es)")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (stable key order)."""
+        return {
+            "ok": self.ok,
+            "race_free": self.race_free,
+            "racy_switches": self.racy_switches,
+            "switches": {name: report.to_dict()
+                         for name, report in self.switches.items()},
+        }
+
+
+def check_fleet_multiswitch(
+        summaries: Sequence[ProgramAccessSummary],
+        switches: Sequence[SwitchBinding],
+) -> MultiSwitchRaceReport:
+    """Analyze one fleet against every switch it is admitted on.
+
+    Equivalent to one :func:`check_fleet` per binding — each with that
+    switch's ``fence_values``/``sram_values`` — collected into a
+    :class:`MultiSwitchRaceReport`.  An empty ``switches`` sequence gets
+    the single conservative, unbound analysis under the name ``"*"``.
+    """
+    if not switches:
+        return MultiSwitchRaceReport(
+            switches={"*": check_fleet(summaries)})
+    reports: Dict[str, FleetRaceReport] = {}
+    for binding in switches:
+        if binding.name in reports:
+            raise ValueError(
+                f"duplicate switch binding name: {binding.name!r}")
+        reports[binding.name] = check_fleet(
+            summaries, fence_values=binding.fence_values,
+            sram_values=binding.sram_values)
+    return MultiSwitchRaceReport(switches=reports)

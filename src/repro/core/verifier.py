@@ -24,7 +24,14 @@ properties without executing a single instruction:
 - **CEXEC reachability**: a conditional whose operand words are provably
   constant and whose condition can never hold makes the rest of the
   program statically dead (``TPP008``); a constant-true conditional is
-  reported as ``TPP010``;
+  reported as ``TPP010``.  The interval analysis only trusts operand
+  words *no* instruction can overwrite; the relational pass
+  (:mod:`repro.core.relational`) additionally tracks the values writes
+  actually store, deciding fences the interval analysis must give up
+  on, and names each switch-state write stranded behind a
+  relationally-false fence with the ``TPP012`` info code — the fact the
+  batched engine consumes to vectorize programs whose only
+  non-vectorizable write is provably unreachable;
 - **per-hop memory-budget accounting**: bytes consumed per hop times the
   hop budget against the allocated packet memory (``TPP009``).
 
@@ -74,6 +81,10 @@ from repro.core.racecheck import (
     collect_sram_accesses,
     written_byte_intervals,
 )
+from repro.core.relational import (
+    RelationalSummary,
+    analyze_relations,
+)
 from repro.core.tcpu import DEFAULT_MAX_INSTRUCTIONS
 from repro.core.tpp import AddressingMode, TPPSection, program_key_of
 
@@ -106,6 +117,7 @@ DIAGNOSTIC_CODES: Dict[str, Tuple[str, Optional[FaultCode]]] = {
     "TPP009": ("info", None),
     "TPP010": ("info", None),
     "TPP011": ("error", None),
+    "TPP012": ("info", None),
 }
 
 
@@ -219,6 +231,16 @@ class VerifiedProgram:
     #: certificates minted before the write lanes existed — which
     #: (conservatively) demotes their write-bearing programs.
     sram_dataflow: Tuple[Tuple[int, str], ...] = ()
+    #: Relational facts (:func:`repro.core.relational.analyze_relations`
+    #: run with ``entry=None``, i.e. valid for *any* in-guard entry
+    #: counter): per-write value descriptions, claim fire conditions,
+    #: dead reads and the relationally-dead suffix.  Fleet race analysis
+    #: (:func:`repro.core.racecheck.summarize_certificate`) folds the
+    #: fleet-independent facts into the access sets and feeds the rest
+    #: to the per-switch claim-epoch fixpoint; ``None`` on certificates
+    #: minted before the relational layer existed (conservative
+    #: may-analysis applies unchanged).
+    sram_relational: Optional[RelationalSummary] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready representation (for ``tppasm lint --json``)."""
@@ -239,6 +261,8 @@ class VerifiedProgram:
             "sram_claims": [list(p) for p in self.sram_claims],
             "sram_fences": [list(f) for f in self.sram_fences],
             "sram_dataflow": [list(p) for p in self.sram_dataflow],
+            "sram_relational": (self.sram_relational.to_dict()
+                                if self.sram_relational else None),
         }
 
 
@@ -443,6 +467,17 @@ class _Checker:
         self.hop_relative = [
             (j, i.offset * self.word) for j, i in enumerate(instructions)
             if self.hop_mode and i.opcode in HOP_RELATIVE_OPCODES]
+        # Relational facts, valid for any in-guard entry counter
+        # (``entry=None``): consumed by the dead-code analysis and
+        # pinned on the certificate for the fleet race layer.
+        self.relational: Optional[RelationalSummary] = None
+        if initial_memory is not None and instructions:
+            self.relational = analyze_relations(
+                instructions, mode=mode, word_size=word_size,
+                memory_len=memory_len,
+                perhop_len_bytes=perhop_len_bytes,
+                initial_memory=initial_memory, entry=None,
+                memory_map=self.memory_map)
 
     # -- diagnostics ---------------------------------------------------- #
 
@@ -656,6 +691,7 @@ class _Checker:
             return
         written = self._written_intervals()
         word = self.word
+        reported: set = set()
         for k in cexecs:
             base = self.instructions[k].offset * word
             end = base + 2 * word
@@ -668,6 +704,7 @@ class _Checker:
             if expected & ~mask:
                 dead = len(self.instructions) - 1 - k
                 if dead > 0:
+                    reported.add(k)
                     self.diag(
                         "TPP008",
                         f"CEXEC condition can never hold (value "
@@ -676,10 +713,58 @@ class _Checker:
                         f"instruction(s) are statically dead",
                         instruction=k)
             elif mask == 0 and expected == 0:
+                reported.add(k)
                 self.diag("TPP010",
                           "CEXEC condition is constant-true (mask 0, "
                           "value 0): the conditional never disables "
                           "anything", instruction=k)
+        self._check_relational_dead(reported)
+
+    def _check_relational_dead(self, reported: set) -> None:
+        """Relational tightening of the CEXEC analysis.
+
+        The interval pass above gives up as soon as a fence operand lies
+        inside *any* written byte range; the relational walker tracks
+        the values those writes actually store, so it decides strictly
+        more fences.  A relationally-false fence yields the same
+        ``TPP008`` (when the interval pass missed it) plus one
+        ``TPP012`` info record per switch-state write stranded behind
+        it — the machine-readable fact
+        :func:`repro.core.fastpath.build_batch_plan` uses to vectorize
+        around a dead non-vectorizable write.
+        """
+        relational = self.relational
+        if relational is None:
+            return
+        for k, _, mask, expected in relational.const_cexecs:
+            if k in reported:
+                continue
+            if mask == 0 and expected == 0:
+                reported.add(k)
+                self.diag("TPP010",
+                          "CEXEC condition is relationally "
+                          "constant-true (mask 0, value 0): the "
+                          "conditional never disables anything",
+                          instruction=k)
+        dead_at = relational.dead_suffix_at
+        if dead_at is None:
+            return
+        dead = len(self.instructions) - 1 - dead_at
+        if dead > 0 and dead_at not in reported:
+            self.diag(
+                "TPP008",
+                f"CEXEC condition is relationally never true: the "
+                f"{dead} following instruction(s) are statically "
+                f"dead", instruction=dead_at)
+        for j in range(dead_at + 1, len(self.instructions)):
+            opcode = self.instructions[j].opcode
+            if opcode in SWITCH_WRITING_OPCODES:
+                self.diag(
+                    "TPP012",
+                    f"{opcode.name} is relationally unreachable "
+                    f"(behind the statically-false CEXEC at "
+                    f"instruction {dead_at}): it can never execute",
+                    instruction=j)
 
     # -- certificate ---------------------------------------------------- #
 
@@ -730,4 +815,5 @@ class _Checker:
             sram_claims=claims,
             sram_fences=fences,
             sram_dataflow=dataflow.classes,
+            sram_relational=self.relational,
         )

@@ -20,11 +20,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.net.packet import Datagram, EthernetFrame
 from repro.net.queues import DropTailQueue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.port import Port
 
 ECN_ECT = 1
 ECN_CE = 3
@@ -134,7 +137,7 @@ class REDQueueAdapter:
     configuration keeps working).
     """
 
-    def __init__(self, port, policy: REDPolicy) -> None:
+    def __init__(self, port: "Port", policy: REDPolicy) -> None:
         self.port = port
         self.policy = policy
         self._inner_enqueue = port.enqueue
@@ -153,12 +156,12 @@ class REDQueueAdapter:
         return self._inner_enqueue(frame, queue_id)
 
 
-def install_red(ports: Iterable, min_threshold_bytes: int,
+def install_red(ports: Iterable["Port"], min_threshold_bytes: int,
                 max_threshold_bytes: int, max_probability: float = 0.1,
                 weight: float = 0.2,
-                rng: Optional[random.Random] = None) -> list:
+                rng: Optional[random.Random] = None) -> List[REDQueueAdapter]:
     """Attach an independent RED policy to each port; returns adapters."""
-    adapters = []
+    adapters: List[REDQueueAdapter] = []
     for index, port in enumerate(ports):
         # Per-port streams derived deterministically so runs replay.
         policy = REDPolicy(

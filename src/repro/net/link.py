@@ -23,12 +23,13 @@ non-TPP frame is dropped at the receiver the way a bad-FCS frame would be.
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 from repro import units
 from repro.errors import ConfigurationError
 from repro.net.packet import EthernetFrame
 from repro.sim.simulator import Simulator
+from repro.sim.trace import TraceRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.net.device import Device
@@ -179,7 +180,8 @@ class Link:
             self._impair_one(pristine, imp, rng, trace)
 
     def _impair_one(self, frame: EthernetFrame, imp: "LinkImpairments",
-                    rng: random.Random, trace) -> None:
+                    rng: random.Random,
+                    trace: Optional[TraceRecorder]) -> None:
         """Loss and corruption rolls for one copy; schedules its arrival.
 
         Verdicts are *drawn* here, at transmit time — the draw order is
@@ -205,7 +207,8 @@ class Link:
         self._schedule_arrival(frame)
 
     def _corrupt(self, frame: EthernetFrame, rng: random.Random,
-                 trace) -> Optional[EthernetFrame]:
+                 trace: Optional[TraceRecorder]
+                 ) -> Optional[EthernetFrame]:
         """Damage the frame in flight; ``None`` means it was unreceivable.
 
         TPP frames get their packet memory truncated or bit-flipped —
@@ -344,7 +347,8 @@ def connect(sim: Simulator, device_a: "Device", device_b: "Device",
             rate_bps: int, delay_ns: int = 1_000,
             queue_capacity_bytes: int = 512 * 1024,
             n_queues: int = 1, scheduler: str = "fifo",
-            scheduler_weights=None) -> tuple:
+            scheduler_weights: Optional[Sequence[float]] = None,
+            ) -> Tuple["Port", "Port"]:
     """Create a full-duplex connection between two devices.
 
     Adds one new port to each device, backed by ``n_queues`` drop-tail

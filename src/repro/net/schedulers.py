@@ -15,7 +15,7 @@ A scheduler only picks *which queue* sends next; the port owns timing.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError
 from repro.net.queues import DropTailQueue
@@ -103,8 +103,12 @@ class DeficitRoundRobinScheduler:
         self._current = (self._current + 1) % len(self.weights)
 
 
+Scheduler = Union["FifoScheduler", "StrictPriorityScheduler",
+                  "DeficitRoundRobinScheduler"]
+
+
 def make_scheduler(kind: str, n_queues: int,
-                   weights: Optional[Sequence[float]] = None):
+                   weights: Optional[Sequence[float]] = None) -> Scheduler:
     """Factory used by the port: ``fifo`` / ``priority`` / ``drr``."""
     if kind == "fifo":
         if n_queues != 1:

@@ -15,7 +15,7 @@ experiments use:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import units
 from repro.errors import ConfigurationError
@@ -88,7 +88,7 @@ class Network:
     def add_switch(self, name: Optional[str] = None,
                    switch_factory: Optional[Callable[..., Device]] = None,
                    switch_id_override: Optional[int] = None,
-                   **kwargs) -> Device:
+                   **kwargs: Any) -> Device:
         """Create a TPP-capable switch (or one from ``switch_factory``).
 
         ``switch_id_override`` replaces the sequential id — experiments
@@ -117,7 +117,8 @@ class Network:
              delay_ns: int = 1_000,
              queue_capacity_bytes: int = 512 * 1024,
              n_queues: int = 1, scheduler: str = "fifo",
-             scheduler_weights=None) -> Tuple[Port, Port]:
+             scheduler_weights: Optional[Sequence[float]] = None,
+             ) -> Tuple[Port, Port]:
         """Wire a full-duplex link and record the adjacency."""
         port_a, port_b = connect(self.sim, a, b, rate_bps, delay_ns,
                                  queue_capacity_bytes, n_queues,

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import struct
 import zlib
-from typing import Tuple
+from typing import Optional, Tuple, Union
 
 from repro.core.tpp import TPPSection
 from repro.errors import WireFormatError
@@ -75,7 +75,10 @@ def encode_frame(frame: EthernetFrame) -> bytes:
     return body + fcs.to_bytes(4, "big")
 
 
-def _encode_payload(payload) -> bytes:
+Payload = Union[RawPayload, Datagram, TPPSection]
+
+
+def _encode_payload(payload: Optional[Payload]) -> bytes:
     if payload is None:
         return b""
     if isinstance(payload, RawPayload):
@@ -148,7 +151,7 @@ def decode_frame(raw: bytes) -> EthernetFrame:
                          ethertype=ethertype, payload=payload)
 
 
-def _decode_payload(ethertype: int, raw: bytes):
+def _decode_payload(ethertype: int, raw: bytes) -> Optional[Payload]:
     if ethertype == ETHERTYPE_IPV4:
         datagram, _ = decode_datagram(raw)
         return datagram

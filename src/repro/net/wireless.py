@@ -11,9 +11,13 @@ instructions that read queue sizes can sample the channel.
 from __future__ import annotations
 
 import random
+from typing import TYPE_CHECKING
 
 from repro.sim.simulator import Simulator
 from repro.sim.timers import PeriodicTimer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.port import Port
 
 
 class WirelessChannel:
@@ -60,6 +64,7 @@ class WirelessChannel:
         self.updates += 1
 
 
-def attach_wireless_channel(port, channel: WirelessChannel) -> None:
+def attach_wireless_channel(port: "Port",
+                            channel: WirelessChannel) -> None:
     """Associate a channel with a port so the ASIC stats layer can read it."""
     port.wireless_channel = channel

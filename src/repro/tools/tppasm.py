@@ -13,7 +13,13 @@ Subcommands::
     racecheck <files>   fleet-level SRAM race analysis: treat the given
                         programs as one concurrently-deployed fleet and
                         report cross-program races (TPP020-TPP023);
-                        exit 1 on races (--strict: warnings too)
+                        exit 1 on races (--strict: warnings too).
+                        --fence NAME=VALUE binds the target switch's
+                        stable registers and --sram WORD=VALUE its
+                        initial SRAM image (enabling the relational
+                        claim-epoch refinement); --switches FILE.json
+                        analyses the fleet per switch binding
+                        (cross-switch divergence modeling)
     memmap              print the network-wide memory map (Table 2's
                         namespaces with addresses and writability)
 
@@ -39,7 +45,12 @@ from repro.core.assembler import assemble
 from repro.core.disassembler import format_tpp
 from repro.core.exceptions import AssemblerError, TPPEncodingError
 from repro.core.memory_map import MemoryMap
-from repro.core.racecheck import check_fleet, summarize_program
+from repro.core.racecheck import (
+    SwitchBinding,
+    check_fleet,
+    check_fleet_multiswitch,
+    summarize_program,
+)
 from repro.core.tcpu import DEFAULT_MAX_INSTRUCTIONS
 from repro.core.tpp import TPPSection
 
@@ -52,6 +63,76 @@ def _parse_symbols(pairs: List[str]) -> dict:
             raise SystemExit(f"bad symbol {pair!r}, expected NAME=VALUE")
         symbols[name] = int(value, 0)
     return symbols
+
+
+def _parse_fences(pairs: List[str],
+                  memory_map: MemoryMap) -> Optional[dict]:
+    """``Switch:SwitchID=7``-style stable-register bindings, resolved
+    to virtual addresses."""
+    if not pairs:
+        return None
+    fences = {}
+    for pair in pairs:
+        name, _, value = pair.partition("=")
+        if not name or not value:
+            raise SystemExit(f"bad fence {pair!r}, expected NAME=VALUE")
+        try:
+            vaddr = memory_map.resolve(name)
+        except KeyError:
+            raise SystemExit(f"unknown register {name!r} in fence "
+                             f"{pair!r}")
+        fences[vaddr] = int(value, 0)
+    return fences
+
+
+def _parse_sram(pairs: List[str]) -> Optional[dict]:
+    """``WORD=VALUE`` initial-SRAM-image bindings (absolute word
+    indices)."""
+    if not pairs:
+        return None
+    sram = {}
+    for pair in pairs:
+        word, _, value = pair.partition("=")
+        if not word or not value:
+            raise SystemExit(f"bad sram binding {pair!r}, expected "
+                             f"WORD=VALUE")
+        sram[int(word, 0)] = int(value, 0)
+    return sram
+
+
+def _load_switches(path: str,
+                   memory_map: MemoryMap) -> List[SwitchBinding]:
+    """Per-switch bindings from a JSON file::
+
+        {"switches": [{"name": "tor-1",
+                       "fence_values": {"Switch:SwitchID": 7},
+                       "sram_values": {"0": 5, "1": 12}}, ...]}
+
+    ``fence_values`` keys are register names (or virtual addresses);
+    ``sram_values`` keys are absolute SRAM word indices.
+    """
+    with open(path) as handle:
+        spec = json.load(handle)
+    bindings = []
+    for entry in spec.get("switches", []):
+        fences = None
+        if entry.get("fence_values"):
+            fences = {}
+            for name, value in entry["fence_values"].items():
+                try:
+                    vaddr = memory_map.resolve(name)
+                except KeyError:
+                    vaddr = int(name, 0)
+                fences[vaddr] = int(value)
+        sram = None
+        if entry.get("sram_values"):
+            sram = {int(word, 0) if isinstance(word, str) else int(word):
+                    int(value)
+                    for word, value in entry["sram_values"].items()}
+        bindings.append(SwitchBinding(
+            name=str(entry["name"]), fence_values=fences,
+            sram_values=sram))
+    return bindings
 
 
 def _read_source(path: str) -> str:
@@ -183,11 +264,16 @@ def cmd_racecheck(args: argparse.Namespace) -> int:
     Treats every given source file as a program of the *same* task
     (``--task``) deployed concurrently, builds each program's word-level
     SRAM access summary, and runs the pairwise race pass from
-    :mod:`repro.core.racecheck`.  Exit 1 when any error-severity race
-    (TPP020/TPP022) is found, or — with ``--strict`` — when any
-    diagnostic at all survives (read-write warnings and
-    claim-coordination notes included).
+    :mod:`repro.core.racecheck`.  ``--fence``/``--sram`` bind the target
+    switch's stable registers and initial SRAM image (per-switch fence
+    and relational claim-epoch refinements); ``--switches`` analyses the
+    fleet once per binding in a JSON file and reports per switch.  Exit
+    1 when any error-severity race (TPP020/TPP022) is found on any
+    switch, or — with ``--strict`` — when any diagnostic at all
+    survives (read-write warnings and claim-coordination notes
+    included).
     """
+    memory_map = MemoryMap.standard()
     symbols = _parse_symbols(args.symbols)
     summaries = []
     for path in args.sources:
@@ -208,7 +294,27 @@ def cmd_racecheck(args: argparse.Namespace) -> int:
             return 1
         summaries.append(
             summarize_program(program, task_id=args.task, name=path))
-    report = check_fleet(summaries)
+    if args.switches:
+        try:
+            bindings = _load_switches(args.switches, memory_map)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"cannot load {args.switches}: {error}",
+                  file=sys.stderr)
+            return 1
+        multi = check_fleet_multiswitch(summaries, bindings)
+        if args.json:
+            print(json.dumps(multi.to_dict(), indent=2))
+        else:
+            print(multi.format())
+        if not multi.ok:
+            return 1
+        if args.strict and not multi.race_free:
+            return 1
+        return 0
+    report = check_fleet(
+        summaries,
+        fence_values=_parse_fences(args.fence, memory_map),
+        sram_values=_parse_sram(args.sram))
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:
@@ -324,6 +430,21 @@ def build_parser() -> argparse.ArgumentParser:
                                     "preallocate")
     racecheck_cmd.add_argument("--task", type=int, default=0,
                                help="task id the fleet runs as")
+    racecheck_cmd.add_argument("--fence", action="append",
+                               default=[], metavar="NAME=VALUE",
+                               help="bind a stable register on the "
+                                    "target switch (e.g. "
+                                    "Switch:SwitchID=7); repeatable")
+    racecheck_cmd.add_argument("--sram", action="append",
+                               default=[], metavar="WORD=VALUE",
+                               help="bind one word of the target "
+                                    "switch's initial SRAM image "
+                                    "(absolute index); repeatable")
+    racecheck_cmd.add_argument("--switches", default=None,
+                               metavar="FILE.json",
+                               help="per-switch bindings file: analyse "
+                                    "the fleet once per switch "
+                                    "(cross-switch divergence)")
     racecheck_cmd.add_argument("--strict", action="store_true",
                                help="exit 1 on warnings/info too")
     racecheck_cmd.add_argument("--json", action="store_true",

@@ -294,3 +294,53 @@ class TestCounterSurface:
         assert "demoted" in text
         assert "cexec×2" in text
         assert "fault_rewind×1" in text
+
+
+DEAD_FENCE = (".memory 2\n"
+              "LOAD [Queue:QueueSize], [Packet:0]\n"
+              "CEXEC [Switch:SwitchID], 0x0F, 0xF0\n"
+              "STORE [Sram:Word0], [Packet:0]")
+
+
+class TestDeadFenceVectorization:
+    """A statically-false CEXEC no longer costs the vector lane: the
+    certificate's relational facts let the batch engine lower only the
+    live prefix and stamp the scalar CEXEC bookkeeping."""
+
+    @needs_numpy
+    def test_dead_fence_batch_vectorizes(self):
+        tcpu, program = certified_tcpu(DEAD_FENCE, max_instructions=8)
+        mmu = tcpu.mmu
+        mmu.poke_sram(0, 0xBEEF)
+        reports, sections = run_batch(tcpu, program)
+        assert tcpu.batch_demotions == {}
+        assert tcpu.vector_batches == 1
+        for report in reports:
+            assert report.executed == 2   # LOAD + the disabling CEXEC
+            assert report.skipped == 1    # the relationally-dead STORE
+            assert report.cexec_disabled_at == 1
+        assert mmu.peek_sram(0) == 0xBEEF  # the dead STORE never ran
+
+    @needs_numpy
+    def test_live_cexec_still_demotes(self):
+        tcpu, program = certified_tcpu(
+            ".memory 2\n"
+            "LOAD [Queue:QueueSize], [Packet:0]\n"
+            "CEXEC [Switch:SwitchID], 0x0F, 0x09\n"
+            "STORE [Sram:Word0], [Packet:0]", max_instructions=8)
+        run_batch(tcpu, program)
+        assert tcpu.batch_demotions == {"cexec": 1}
+        assert tcpu.vector_batches == 0
+
+    @needs_numpy
+    def test_write_in_live_prefix_still_demotes(self):
+        # Dataflow classes are pinned over the whole program, so the
+        # prefix-only lowering is off the table once the prefix writes.
+        tcpu, program = certified_tcpu(
+            "PUSH [Switch:SwitchID]\n"
+            "POP [Sram:Word1]\n"
+            "CEXEC [Switch:SwitchID], 0x0F, 0xF0\n"
+            "PUSH [Queue:QueueSize]", max_instructions=8)
+        run_batch(tcpu, program)
+        assert tcpu.vector_batches == 0
+        assert "cexec" in tcpu.batch_demotions

@@ -1049,3 +1049,40 @@ class TestRandomizedSweep:
                     slot=rng.randint(0, perhop), word=rng.randint(0, 3)))
             run_batch_vs_interpreter("\n".join(lines), sizes=(1, 2, 32),
                                      hops=hops + 1)
+
+
+class TestDeadFenceVector:
+    """Relationally-dead CEXEC suffixes ride the vector lane; reports,
+    packet memory and switch state must stay bit-identical to the
+    interpreter, which executes the fence the long way."""
+
+    DEAD_FENCE = (".memory 2\n"
+                  "LOAD [Switch:ClockLo], [Packet:0]\n"
+                  "CEXEC [Switch:SwitchID], 0x0F, 0xF0\n"
+                  "STORE [Sram:Word0], [Packet:0]")
+
+    def test_dead_fence_agrees(self):
+        results = run_batch_vs_interpreter(self.DEAD_FENCE,
+                                           max_instructions=8)
+        if HAVE_NUMPY:
+            (_, _, _, tcpu), _ = results[-1]
+            assert tcpu.vector_batches >= 1
+            assert tcpu.batch_demotions == {}
+
+    def test_dead_fence_agrees_shared_ctx(self):
+        run_batch_vs_interpreter(self.DEAD_FENCE, max_instructions=8,
+                                 shared_ctx=True)
+
+    def test_dead_fence_on_sram_fence_register(self):
+        # The fence register itself lives in SRAM: the per-packet
+        # disabling read is task-dependent, so the lowering must keep
+        # task-id addressing while still skipping the dead suffix.
+        source = (".memory 2\n"
+                  "LOAD [Switch:ClockLo], [Packet:0]\n"
+                  "CEXEC [Sram:Word7], 0x0F, 0xF0\n"
+                  "STORE [Sram:Word0], [Packet:0]")
+        run_batch_vs_interpreter(source, max_instructions=8)
+
+    def test_dead_fence_multihop(self):
+        run_batch_vs_interpreter(self.DEAD_FENCE, max_instructions=8,
+                                 hops=3)

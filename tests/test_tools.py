@@ -522,3 +522,109 @@ class TestTppasmRacecheck:
         a = self.write(tmp_path, "a.tpp", self.WRITER_A)
         assert tppasm.main(["racecheck", a]) == 0
         assert "race-free" in capsys.readouterr().out
+
+
+class TestTppasmRacecheckBindings:
+    """Per-switch bindings: --fence/--sram refinements, --switches
+    multi-switch reports, and the per-pair index contract of the JSON
+    diagnostics."""
+
+    CLAIM_A = "CSTORE [Sram:Word0], 0, 1\n"
+    CLAIM_B = "CSTORE [Sram:Word0], 2, 3\nNOP\n"
+    WRITER = ".memory 1\nSTORE [Sram:Word0], [Packet:0]\n"
+    READER = "PUSH [Sram:Word0]\n"
+
+    def write(self, tmp_path, name, source):
+        path = tmp_path / name
+        path.write_text(source)
+        return str(path)
+
+    def test_sram_binding_discharges_dead_claims(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.tpp", self.CLAIM_A)
+        b = self.write(tmp_path, "b.tpp", self.CLAIM_B)
+        # Unbound: claim-coordinated sharing note survives --strict.
+        assert tppasm.main(["racecheck", "--strict", a, b]) == 1
+        assert "TPP023" in capsys.readouterr().out
+        # word0=5 strands both claim epochs: fully race-free.
+        assert tppasm.main(["racecheck", "--strict",
+                            "--sram", "0=5", a, b]) == 0
+        assert "race-free" in capsys.readouterr().out
+
+    def test_fence_binding_parses_register_names(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.tpp", self.WRITER)
+        b = self.write(tmp_path, "b.tpp", self.READER)
+        assert tppasm.main(["racecheck", "--fence",
+                            "Switch:SwitchID=7", a, b]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            tppasm.main(["racecheck", "--fence", "No:Such=1", a, b])
+
+    def test_bad_sram_binding_rejected(self, tmp_path):
+        a = self.write(tmp_path, "a.tpp", self.WRITER)
+        with pytest.raises(SystemExit):
+            tppasm.main(["racecheck", "--sram", "zero", a])
+
+    def test_switches_file_reports_per_switch(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.tpp", self.CLAIM_A)
+        b = self.write(tmp_path, "b.tpp", self.CLAIM_B)
+        spec = tmp_path / "switches.json"
+        spec.write_text(json.dumps({"switches": [
+            {"name": "tor-1", "sram_values": {"0": 0}},
+            {"name": "tor-2", "sram_values": {"0": 5}},
+        ]}))
+        assert tppasm.main(["racecheck", "--switches", str(spec),
+                            a, b]) == 0
+        out = capsys.readouterr().out
+        assert "-- switch tor-1 --" in out
+        assert "-- switch tor-2 --" in out
+        assert "fleet-wide:" in out
+
+    def test_switches_json_shape(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.tpp", self.CLAIM_A)
+        b = self.write(tmp_path, "b.tpp", self.CLAIM_B)
+        spec = tmp_path / "switches.json"
+        spec.write_text(json.dumps({"switches": [
+            {"name": "tor-1", "sram_values": {"0": 0}},
+            {"name": "tor-2", "sram_values": {"0": 5}},
+        ]}))
+        assert tppasm.main(["racecheck", "--json", "--switches",
+                            str(spec), a, b]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert set(blob) == {"ok", "race_free", "racy_switches",
+                             "switches"}
+        assert blob["ok"] is True
+        assert blob["race_free"] is False  # tor-1 keeps a warning
+        assert blob["switches"]["tor-2"]["race_free"] is True
+        codes = [d["code"]
+                 for d in blob["switches"]["tor-1"]["diagnostics"]]
+        assert codes == ["TPP021"]
+
+    def test_switches_strict_gates_on_any_switch(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.tpp", self.CLAIM_A)
+        b = self.write(tmp_path, "b.tpp", self.CLAIM_B)
+        spec = tmp_path / "switches.json"
+        spec.write_text(json.dumps({"switches": [
+            {"name": "tor-1", "sram_values": {"0": 0}},
+            {"name": "tor-2", "sram_values": {"0": 5}},
+        ]}))
+        assert tppasm.main(["racecheck", "--strict", "--switches",
+                            str(spec), a, b]) == 1
+
+    def test_missing_switches_file_reported(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.tpp", self.WRITER)
+        assert tppasm.main(["racecheck", "--switches",
+                            str(tmp_path / "nope.json"), a]) == 1
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_tpp021_json_indices_are_symmetric(self, tmp_path, capsys):
+        """TPP021 carries the offending indices of BOTH programs, in
+        both argument orders — the same per-pair shape TPP020 emits."""
+        writer = self.write(tmp_path, "w.tpp", self.WRITER)
+        reader = self.write(tmp_path, "r.tpp", self.READER)
+        for sources in ((writer, reader), (reader, writer)):
+            assert tppasm.main(["racecheck", "--json", *sources]) == 0
+            blob = json.loads(capsys.readouterr().out)
+            diag = blob["diagnostics"][0]
+            assert diag["code"] == "TPP021"
+            assert diag["instructions_a"], diag
+            assert diag["instructions_b"], diag
