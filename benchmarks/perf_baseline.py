@@ -30,7 +30,11 @@ Measures, on fixed-seed workloads:
 - ``fleet_scale`` — the sharded fleet driver at 1 vs 4 shards on one
   fixed ring of regions: modeled-critical-path packets/s and flows/s,
   the speedup sharding buys, and a 0/1 bit-identical flag asserting the
-  determinism fingerprints matched (v5 addition).
+  determinism fingerprints matched (v5 addition);
+- ``tpp_exec_sketch`` — batched heavy-hitter sketch updates (count-min
+  ADD/STORE rows plus a CSTORE claim) through the write-capable vector
+  lane, the telemetry subsystem's steady-state ingest rate (v7
+  addition).
 
 ``tools/run_bench.py`` drives :func:`run_all` and emits
 ``BENCH_simcore.json`` so every future PR's perf delta is visible.  The
@@ -60,7 +64,7 @@ from repro.sim.events import EventQueue
 from repro.sim.simulator import Simulator
 from repro.sim.timers import OneShotTimer
 
-SCHEMA = "simcore-bench/v6"
+SCHEMA = "simcore-bench/v7"
 DEFAULT_SEED = 20260806
 
 
@@ -608,6 +612,90 @@ def bench_tpp_exec_batched_write(n_batches: int = 2_000) -> Dict[str, Any]:
     }
 
 
+def bench_tpp_exec_sketch(n_batches: int = 2_000) -> Dict[str, Any]:
+    """Batched heavy-hitter sketch updates through the vector lane.
+
+    The telemetry subsystem's steady-state ingest: 32 copies of one
+    flow's generated update TPP (two count-min ADD/STORE rows plus a
+    CSTORE candidate claim — accumulate + claim dataflow classes, both
+    vector-eligible) drained per ``execute_batch`` with the generator's
+    own certificate installed.  Same harness shape as
+    :func:`bench_tpp_exec_batched_write`: shared context, resident
+    sections in one arena, packet memory re-seeded per batch (the ADD
+    leaves each packet holding its observed counter value), and a
+    scalar control that rebuilds section + context per execution.
+    ``vector_write_batches``/``batch_fallbacks`` prove the write lane
+    carried the sketch instead of silently demoting.
+    """
+    from repro.core.batch import BatchArena, HAVE_NUMPY
+    from repro.telemetry import HeavyHitterLayout, build_heavy_hitter_update
+
+    mmu = _bench_mmu()
+    tcpu = TCPU(mmu)
+    scalar = TCPU(mmu)
+    layout = HeavyHitterLayout(base_word=256, width=8, depth=2, n_slots=4,
+                               name="bench-hh")
+    update = build_heavy_hitter_update(layout, key=42)
+    tcpu.trust(update.certificate)
+    sections = [update.build() for _ in range(_BATCH_SIZE)]
+    initial_memory = bytes(sections[0].memory)
+    initial_hop_or_sp = sections[0].hop_or_sp
+    n_instructions = len(sections[0].instructions)
+    ctx = ExecutionContext(metadata=PacketMetadata(),
+                           egress_port=_FakePort(), time_ns=1000)
+    ctxs = [ctx] * _BATCH_SIZE
+    arena = BatchArena(sections) if HAVE_NUMPY else None
+    initial_matrix = arena.matrix.copy() if arena is not None else None
+
+    def drive() -> None:
+        for _ in range(n_batches):
+            for section in sections:
+                section.hop_or_sp = initial_hop_or_sp
+            if arena is not None:
+                arena.matrix[:] = initial_matrix
+            else:
+                for section in sections:
+                    section.memory[:] = initial_memory
+            tcpu.execute_batch(sections, ctxs, arena=arena)
+
+    drive()  # warm-up (compiles + plans the program)
+    _, elapsed = _timed(drive)
+    n_executions = n_batches * _BATCH_SIZE
+
+    scalar_n = max(1, n_executions // 8)
+
+    def drive_scalar() -> None:
+        for _ in range(scalar_n):
+            tpp = update.build()
+            scalar_ctx = ExecutionContext(metadata=PacketMetadata(),
+                                          egress_port=_FakePort(),
+                                          time_ns=1000)
+            scalar.execute(tpp, scalar_ctx)
+
+    drive_scalar()  # warm-up
+    _, scalar_elapsed = _timed(drive_scalar)
+
+    execs_per_sec = n_executions / elapsed
+    scalar_per_sec = scalar_n / scalar_elapsed
+    counter_words = update.words[:layout.depth]
+    return {
+        "batch_size": _BATCH_SIZE,
+        "n_batches": n_batches,
+        "n_executions": n_executions,
+        "numpy_lane": HAVE_NUMPY,
+        "sketch_depth": layout.depth,
+        "sketch_width": layout.width,
+        "tpp_execs_per_sec": execs_per_sec,
+        "instructions_per_sec": execs_per_sec * n_instructions,
+        "scalar_execs_per_sec": scalar_per_sec,
+        "speedup_vs_scalar": execs_per_sec / scalar_per_sec,
+        "vector_write_batches": tcpu.vector_write_batches,
+        "batch_fallbacks": tcpu.batch_fallbacks,
+        "final_row0_counter": mmu.peek_sram(counter_words[0]),
+        "claimed_key": mmu.peek_sram(update.words[-1]),
+    }
+
+
 def bench_fleet_scale(probe_bursts: int = 3,
                       flows_per_probe: int = 250,
                       duration_ns: int = 2_000_000,
@@ -669,6 +757,7 @@ def run_all(quick: bool = False, seed: int = DEFAULT_SEED) -> Dict[str, Any]:
         "tpp_exec_batched": bench_tpp_exec_batched(2_000 // scale),
         "tpp_exec_batched_write": bench_tpp_exec_batched_write(
             2_000 // scale),
+        "tpp_exec_sketch": bench_tpp_exec_sketch(2_000 // scale),
         "fleet_scale": bench_fleet_scale(
             probe_bursts=3 if quick else 10,
             flows_per_probe=250 if quick else 1_000,

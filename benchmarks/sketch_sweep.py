@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""E22: sketch accuracy versus scratch-SRAM budget (see EXPERIMENTS.md).
+
+Sweeps the count-min geometry (width x depth) and the HLL register
+count m, replaying the same seeded flow traces through the *live*
+pipeline at every point — generated update TPPs executed by a real
+TCPU against a real MMU, decoded from the resulting SRAM image — and
+reports measured error against the analytical (epsilon, delta) /
+standard-error predictions.  The point of the sweep is the trade the
+paper's scratch-SRAM budget forces: every extra word of sketch buys a
+predictable drop in error, and the table shows the measured drop
+tracking the predicted one.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/sketch_sweep.py           # full sweep
+    PYTHONPATH=src python benchmarks/sketch_sweep.py --quick   # CI smoke
+
+Always exits 0 on a completed sweep; the numbers are for the
+experiment log, not a gate (the gating accuracy properties live in
+tests/props/test_sketch_accuracy.py).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.sketch import (  # noqa: E402
+    CountMinDecoder,
+    DistinctCountDecoder,
+    image_from_mmu,
+)
+from repro.asic.metadata import PacketMetadata  # noqa: E402
+from repro.core.mmu import MMU, ExecutionContext  # noqa: E402
+from repro.core.tcpu import TCPU  # noqa: E402
+from repro.telemetry import (  # noqa: E402
+    CountMinLayout,
+    DistinctCountLayout,
+    build_count_min_update,
+    build_distinct_update,
+)
+
+SEED = 20260808
+
+CM_WIDTHS = (4, 8, 16, 32, 64)
+CM_DEPTHS = (1, 2, 3)
+HLL_MS = (4, 8, 16, 32, 64)
+
+
+class _FakeQueue:
+    occupancy_bytes = 500
+
+
+class _FakePort:
+    index = 0
+    queue = _FakeQueue()
+
+
+def _ctx() -> ExecutionContext:
+    return ExecutionContext(metadata=PacketMetadata(),
+                            egress_port=_FakePort(), time_ns=1000)
+
+
+def _tcpu() -> TCPU:
+    return TCPU(MMU(name="sketch-sweep"), max_instructions=8,
+                race_mode="off")
+
+
+def _execute(tcpu: TCPU, update) -> None:
+    report = tcpu.execute(update.build(), _ctx())
+    assert report.ok, f"sketch update faulted: {report.fault}"
+
+
+def cm_trace(seed: int, n_keys: int, max_count: int = 60) -> dict:
+    rng = random.Random(seed)
+    keys = rng.sample(range(1, 1_000_000), n_keys)
+    return {key: rng.randint(1, max_count) for key in keys}
+
+
+def sweep_count_min(n_traces: int, n_keys: int) -> list:
+    """One row per geometry: measured mean/max relative error vs eps."""
+    rows = []
+    for depth in CM_DEPTHS:
+        for width in CM_WIDTHS:
+            layout = CountMinLayout(base_word=0, width=width, depth=depth)
+            decoder = CountMinDecoder(layout)
+            errors = []
+            for trace in range(n_traces):
+                truth = cm_trace(SEED + trace, n_keys)
+                total = sum(truth.values())
+                tcpu = _tcpu()
+                for key, count in truth.items():
+                    _execute(tcpu,
+                             build_count_min_update(layout, key,
+                                                    delta=count))
+                image = image_from_mmu(tcpu.mmu, layout.words())
+                for key, exact in truth.items():
+                    estimate = decoder.raw_estimate(image, key)
+                    assert estimate >= exact
+                    errors.append((estimate - exact) / total)
+            rows.append({
+                "width": width,
+                "depth": depth,
+                "words": layout.n_words,
+                "epsilon": layout.epsilon,
+                "mean_rel_err": sum(errors) / len(errors),
+                "max_rel_err": max(errors),
+            })
+    return rows
+
+
+def sweep_distinct(n_traces: int, cardinality: int) -> list:
+    """One row per register count m: measured vs predicted rel. error."""
+    rows = []
+    for m in HLL_MS:
+        layout = DistinctCountLayout(base_word=512, m=m)
+        decoder = DistinctCountDecoder(layout)
+        errors = []
+        for trace in range(n_traces):
+            rng = random.Random(SEED + 7 * trace)
+            keys = rng.sample(range(1, 10_000_000), cardinality)
+            tcpu = _tcpu()
+            for key in keys:
+                _execute(tcpu, build_distinct_update(layout, key))
+            image = image_from_mmu(tcpu.mmu, layout.words())
+            estimate = decoder.estimate(image)
+            errors.append(abs(estimate - cardinality) / cardinality)
+        rows.append({
+            "m": m,
+            "words": layout.n_words,
+            "sigma": layout.standard_error,
+            "mean_rel_err": sum(errors) / len(errors),
+            "max_rel_err": max(errors),
+        })
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller traces (CI smoke run)")
+    args = parser.parse_args(argv)
+
+    n_traces = 2 if args.quick else 8
+    n_keys = 8 if args.quick else 24
+    cardinality = 60 if args.quick else 300
+
+    print(f"count-min accuracy vs SRAM budget "
+          f"({n_traces} traces x {n_keys} keys; error relative to N):")
+    print(f"{'depth':>5} {'width':>5} {'words':>5} {'eps':>7} "
+          f"{'mean err':>9} {'max err':>9}")
+    for row in sweep_count_min(n_traces, n_keys):
+        print(f"{row['depth']:>5} {row['width']:>5} {row['words']:>5} "
+              f"{row['epsilon']:>7.3f} {row['mean_rel_err']:>9.4f} "
+              f"{row['max_rel_err']:>9.4f}")
+
+    print(f"\ndistinct-count accuracy vs register file "
+          f"({n_traces} traces at cardinality {cardinality}):")
+    print(f"{'m':>5} {'words':>5} {'sigma':>7} "
+          f"{'mean err':>9} {'max err':>9}")
+    for row in sweep_distinct(n_traces, cardinality):
+        print(f"{row['m']:>5} {row['words']:>5} {row['sigma']:>7.3f} "
+              f"{row['mean_rel_err']:>9.4f} {row['max_rel_err']:>9.4f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

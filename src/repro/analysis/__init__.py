@@ -17,6 +17,14 @@ from repro.analysis.reporting import (
     format_table,
     reliability_report,
 )
+from repro.analysis.sketch import (
+    CountMinDecoder,
+    DistinctCountDecoder,
+    Estimate,
+    HeavyHitter,
+    HeavyHitterDecoder,
+    image_from_mmu,
+)
 
 __all__ = [
     "TimeSeries",
@@ -27,4 +35,10 @@ __all__ = [
     "fastpath_report",
     "format_table",
     "reliability_report",
+    "CountMinDecoder",
+    "DistinctCountDecoder",
+    "Estimate",
+    "HeavyHitter",
+    "HeavyHitterDecoder",
+    "image_from_mmu",
 ]

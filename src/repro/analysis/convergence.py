@@ -40,8 +40,15 @@ def jain_fairness(allocations: Sequence[float]) -> float:
     """Jain's fairness index: 1.0 means perfectly equal shares."""
     if not allocations:
         return 0.0
-    total = sum(allocations)
-    squares = sum(value * value for value in allocations)
+    # The index is scale-invariant; normalizing by the peak magnitude
+    # keeps tiny shares out of the subnormal range, where the squared
+    # terms lose enough precision to push the ratio past 1.
+    scale = max(abs(value) for value in allocations)
+    if scale == 0:
+        return 0.0
+    scaled = [value / scale for value in allocations]
+    total = sum(scaled)
+    squares = sum(value * value for value in scaled)
     if squares == 0:
         return 0.0
     return (total * total) / (len(allocations) * squares)

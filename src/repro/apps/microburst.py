@@ -18,6 +18,11 @@ Pieces:
   how the E6/E9 benchmarks score visibility granularities.
 - :class:`BurstyTrafficGenerator` — an ON/OFF cross-traffic source that
   creates genuine 100 µs-scale bursts.
+- :class:`HeavyHitterMonitor` — the per-flow upgrade of the one-counter-
+  per-queue pipeline above: a heavy-hitter sketch in the congested
+  switch's scratch SRAM, updated by certified per-flow TPPs and decoded
+  on the end host, answers *which flows* caused the burst, not just that
+  a queue filled.
 """
 
 from __future__ import annotations
@@ -261,3 +266,100 @@ class BurstyTrafficGenerator:
         self._on = False
         self.on_windows.append(Burst(self._window_start, self._sim.now_ns,
                                      peak_bytes=0.0))
+
+
+class _ControlPort:
+    """Minimal egress-port stand-in for monitor-injected TPPs."""
+
+    index = 0
+    queue = None
+
+
+class HeavyHitterMonitor:
+    """Per-flow heavy-hitter detection at one switch.
+
+    The queue-occupancy pipeline above answers *when* a micro-burst
+    happened; this monitor answers *which flows* filled the queue.  It
+    owns a :class:`~repro.telemetry.layout.HeavyHitterLayout` block of
+    the switch's scratch SRAM (registered through the memory map,
+    allocated through the MMU so TPP007 protection applies), generates
+    one certified update TPP per flow key on first sight, registers each
+    with :meth:`~repro.core.tcpu.TCPU.trust` so the fleet race table
+    models the shared counters, and decodes estimates through probe
+    TPPs plus :class:`~repro.analysis.sketch.HeavyHitterDecoder`.
+
+    ``race_mode`` defaults to ``"warn"``: updaters for keys whose
+    counters collide under the layout's hashes carry a genuine TPP020
+    write-write race (count-min *depends* on colliding increments —
+    estimates stay overestimate-only either way), so the monitor records
+    the diagnostics rather than refusing the updater.  Pass
+    ``"enforce"`` to admit only provably disjoint updater sets.
+    """
+
+    def __init__(self, mmu, layout, task_id: int = 1,
+                 race_mode: str = "warn",
+                 make_ctx=None) -> None:
+        from repro.asic.metadata import PacketMetadata
+        from repro.core.mmu import ExecutionContext
+        from repro.core.tcpu import TCPU
+
+        self.mmu = mmu
+        self.layout = layout
+        self.task_id = task_id
+        layout.register(mmu.memory_map)
+        self.region = layout.allocate(mmu, task_id)
+        # 2*depth + 1 instructions per update; probes chunk to <= 5.
+        self.tcpu = TCPU(mmu, max_instructions=max(5, 2 * layout.depth + 1),
+                         name="hh-monitor", race_mode=race_mode)
+        if make_ctx is None:
+            def make_ctx():
+                return ExecutionContext(metadata=PacketMetadata(),
+                                        egress_port=_ControlPort())
+        self._make_ctx = make_ctx
+        self._updates: Dict[int, object] = {}
+        self.packets_observed = 0
+        self.updaters_refused = 0
+
+    def updater_for(self, key: int):
+        """The certified update program for ``key`` (cached; generated
+        and admitted to the race table on first use)."""
+        from repro.telemetry.programs import build_heavy_hitter_update
+        update = self._updates.get(key)
+        if update is None:
+            update = build_heavy_hitter_update(
+                self.layout, key, task_id=self.task_id,
+                memory_map=self.mmu.memory_map)
+            if not self.tcpu.trust(update.certificate):
+                self.updaters_refused += 1
+            self._updates[key] = update
+        return update
+
+    def observe(self, key: int, packets: int = 1) -> None:
+        """Account ``packets`` arrivals of flow ``key`` (one update TPP
+        executed per packet, exactly as in-band deployment would)."""
+        update = self.updater_for(key)
+        for _ in range(packets):
+            report = self.tcpu.execute(update.build(), self._make_ctx())
+            if not report.ok:
+                raise RuntimeError(
+                    f"sketch update faulted: {report.fault.name}")
+            self.packets_observed += 1
+
+    def snapshot(self) -> Dict[int, int]:
+        """Probe-TPP snapshot of the whole sketch block."""
+        from repro.telemetry.programs import read_sketch
+        return read_sketch(self.tcpu, list(self.layout.words()),
+                           self._make_ctx, task_id=self.task_id,
+                           memory_map=self.mmu.memory_map)
+
+    def report(self, k: int = 0):
+        """Ranked heavy hitters with (ε, δ) error bounds."""
+        from repro.analysis.sketch import HeavyHitterDecoder
+        decoder = HeavyHitterDecoder(self.layout)
+        return decoder.report(self.snapshot(), k)
+
+    @property
+    def race_conflicts(self) -> int:
+        """TPP020-TPP023 diagnostics recorded while admitting updaters
+        (non-empty whenever observed keys share counter cells)."""
+        return len(self.tcpu.race_conflicts)

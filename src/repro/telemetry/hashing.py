@@ -1,0 +1,85 @@
+"""Deterministic hash families shared by sketch writers and readers.
+
+TPPs have no hash instruction — the TCPU is a 5-stage RISC pipeline
+with loads, stores and simple ALU ops (paper §3.3) — so *hash-indexed*
+sketch updates are realized the way the paper realizes every other
+computed address: the **end host** evaluates the hash and bakes the
+resulting ``Sram:WordN`` operand into the update program's bytes.  The
+decoder on the read side must therefore agree bit-for-bit with the
+generator on every hash, which is why both sides derive their functions
+from this module and nothing else.
+
+Two families live here:
+
+- :func:`row_params` / :func:`hash_index` — the classic pairwise-
+  independent ``((a*key + b) mod p) mod width`` family over the
+  Mersenne prime ``2^31 - 1``, one ``(a, b)`` pair per count-min row
+  (Carter–Wegman; the count-min (ε, δ) analysis assumes exactly this
+  independence).
+- :func:`mix32` / :func:`bucket_and_rank` — a 32-bit finalizer-style
+  mixer whose output is split into an HLL register index (low ``p``
+  bits) and the 1-based position of the first set bit of the remaining
+  ``32 - p`` bits (the "rank" a distinct-count register maximizes).
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+from typing import Tuple
+
+#: Modulus of the pairwise-independent family (Mersenne prime).
+MERSENNE_P = (1 << 31) - 1
+
+#: Default seed for layouts that do not pin their own: any fixed value
+#: works, the only requirement is that writer and reader share it.
+DEFAULT_HASH_SEED = 0x7139
+
+
+@lru_cache(maxsize=256)
+def row_params(seed: int, rows: int) -> Tuple[Tuple[int, int], ...]:
+    """``(a, b)`` per row, drawn deterministically from ``seed``.
+
+    ``a`` is never zero (a zero multiplier would collapse every key to
+    one column and void the pairwise-independence argument).
+    """
+    rng = random.Random(seed)
+    return tuple((rng.randrange(1, MERSENNE_P),
+                  rng.randrange(0, MERSENNE_P))
+                 for _ in range(rows))
+
+
+def hash_index(a: int, b: int, key: int, width: int) -> int:
+    """Column of ``key`` under one row's hash: ``((a*key+b) % p) % w``."""
+    return ((a * key + b) % MERSENNE_P) % width
+
+
+def mix32(key: int, seed: int) -> int:
+    """32-bit avalanche mix of ``key`` (murmur3-finalizer style)."""
+    x = (key + 0x9E3779B9 * (seed + 1)) & 0xFFFFFFFF
+    x ^= x >> 16
+    x = (x * 0x85EBCA6B) & 0xFFFFFFFF
+    x ^= x >> 13
+    x = (x * 0xC2B2AE35) & 0xFFFFFFFF
+    x ^= x >> 16
+    return x
+
+
+def bucket_and_rank(key: int, m: int, seed: int) -> Tuple[int, int]:
+    """HLL register index and rank for ``key``.
+
+    ``m`` must be a power of two.  The low ``log2(m)`` bits of the mixed
+    key select the register; the rank is the 1-based position of the
+    most-significant set bit among the remaining ``32 - log2(m)`` bits
+    (so an all-zero remainder ranks ``32 - log2(m) + 1``, the standard
+    convention).
+    """
+    if m <= 0 or m & (m - 1):
+        raise ValueError(f"register count must be a power of two: {m}")
+    p = m.bit_length() - 1
+    mixed = mix32(key, seed)
+    bucket = mixed & (m - 1)
+    rest = mixed >> p
+    nbits = 32 - p
+    rank = nbits - rest.bit_length() + 1
+    return bucket, rank

@@ -1051,6 +1051,197 @@ class TestRandomizedSweep:
                                      hops=hops + 1)
 
 
+class TestSketchDifferential:
+    """Generated sketch update programs through the differential rig:
+    accumulate columns vectorize, CSTORE claims vectorize, MAX-RMW
+    register updates demote — and every lane stays bit-identical to
+    the interpreter at sizes 1/2/32."""
+
+    def _hh_layout(self):
+        from repro.telemetry import HeavyHitterLayout
+        return HeavyHitterLayout(base_word=0, width=8, depth=2,
+                                 n_slots=2)
+
+    def test_count_min_update_rides_the_write_lane(self):
+        from repro.telemetry import build_count_min_update
+        layout = self._hh_layout().countmin
+        update = build_count_min_update(layout, key=42, delta=3)
+        results = run_batch_vs_interpreter(update.source)
+        for n, ((_, _, mmu, tcpu), _) in zip(SIZES, results):
+            # n packets, delta 3, one cell per row: pure accumulate.
+            assert [mmu.peek_sram(w) for w in update.words] == \
+                [3 * n] * layout.depth
+            if HAVE_NUMPY:
+                assert tcpu.vector_batches == 1
+                assert tcpu.vector_write_batches == 1
+                assert tcpu.batch_demotions == {}
+
+    def test_heavy_hitter_update_accumulate_plus_claim(self):
+        from repro.telemetry import build_heavy_hitter_update
+        layout = self._hh_layout()
+        update = build_heavy_hitter_update(layout, key=42)
+        results = run_batch_vs_interpreter(update.source)
+        slot = layout.slot_word(42)
+        for n, ((_, _, mmu, tcpu), _) in zip(SIZES, results):
+            for word in update.words[:-1]:
+                assert mmu.peek_sram(word) == n
+            # First packet claims the slot; the rest find key 42 there
+            # (CSTORE only writes on match) and leave it intact.
+            assert mmu.peek_sram(slot) == 42
+            if HAVE_NUMPY:
+                assert tcpu.vector_batches == 1
+                assert tcpu.vector_write_batches == 1
+                assert tcpu.batch_demotions == {}
+
+    def test_claimed_slot_survives_rival_batch(self):
+        # A batch of updates for a *different* key that hashes to the
+        # same slot must not displace the incumbent claim.
+        from repro.telemetry import build_heavy_hitter_update
+        layout = self._hh_layout()
+        rival = next(k for k in range(43, 512)
+                     if layout.slot_word(k) == layout.slot_word(42))
+        update = build_heavy_hitter_update(layout, key=rival)
+
+        def seed(mmu):
+            mmu.poke_sram(layout.slot_word(42), 42)
+
+        results = run_batch_vs_interpreter(update.source, prepare=seed)
+        for (_, _, mmu, _), _ in results:
+            assert mmu.peek_sram(layout.slot_word(42)) == 42
+
+    def test_distinct_update_demotes_to_safe_lane(self):
+        from repro.telemetry import (DistinctCountLayout,
+                                     build_distinct_update)
+        layout = DistinctCountLayout(base_word=32, m=8)
+        update = build_distinct_update(layout, key=5)
+        _, rank = layout.bucket_and_rank(5)
+        results = run_batch_vs_interpreter(update.source)
+        for n, ((_, _, mmu, tcpu), _) in zip(SIZES, results):
+            # Idempotent MAX: any number of packets leaves the rank.
+            assert mmu.peek_sram(update.words[0]) == rank
+            if HAVE_NUMPY:
+                assert tcpu.vector_batches == 0
+                assert tcpu.batch_demotions.get("write_dataflow", 0) >= 1
+
+    def test_mixed_key_sketch_batch_degrades_to_scalar(self):
+        # Different keys are different programs (the hash is baked into
+        # the bytes): a mixed batch is the caller-bug path and must
+        # still produce each key's own update.
+        from repro.telemetry import build_count_min_update
+        layout = self._hh_layout().countmin
+        a = build_count_min_update(layout, key=42)
+        b = build_count_min_update(layout, key=43)
+        assert a.certificate.program_key != b.certificate.program_key
+        tcpu = TCPU(make_mmu())
+        reports = tcpu.execute_batch([a.build(), b.build()],
+                                     [make_ctx(), make_ctx()])
+        assert all(r.ok for r in reports)
+        for update in (a, b):
+            for word in update.words:
+                expect = 2 if word in set(a.words) & set(b.words) else 1
+                assert tcpu.mmu.peek_sram(word) == expect
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="vector lane needs numpy")
+class TestSketchFaultRewind:
+    """A mid-batch fault during a sketch update must rewind the write
+    kernel with no partial counter increments left behind.
+
+    Task ids are uniform (mixed tasks on a write-bearing batch demote
+    before the kernel starts, reason ``non_uniform``); the fault comes
+    from a per-context reader, so the kernel genuinely starts, hits
+    the fault on packet 2, rewinds, and replays through the safe lane.
+    """
+
+    def _flaky_mmu(self):
+        mmu = MMU(name="flaky-sketch")
+        mmu.bind_reader("Switch:SwitchID", lambda ctx: 7,
+                        batch_stable=True)
+
+        def flaky(ctx):
+            if ctx.time_ns == 3:
+                raise TCPUFault(FaultCode.BAD_ADDRESS,
+                                "clock gap at t=3")
+            return 11
+
+        mmu.bind_reader("Switch:ClockLo", flaky, batch_stable=True)
+        return mmu
+
+    def test_fault_mid_sketch_write_rewinds_bit_identically(self):
+        from repro.telemetry import build_count_min_update
+        from repro.telemetry.layout import CountMinLayout
+        layout = CountMinLayout(base_word=0, width=8, depth=2)
+        update = build_count_min_update(layout, key=42)
+        # Prefix the update with the flaky read so the faulting packet
+        # dies *before* its counter writes: the rewound replay must
+        # leave exactly the three healthy packets' increments.
+        source = update.source.replace(
+            ".memory 2",
+            ".memory 3\nLOAD [Switch:ClockLo],[Packet:2]")
+        program = assemble(source)
+        certificate = certificate_for(program, 5)
+        assert certificate is not None
+
+        def ctx_at(t):
+            return ExecutionContext(metadata=PacketMetadata(),
+                                    egress_port=FakePort(), time_ns=t,
+                                    task_id=0)
+
+        sides = []
+        for batched in (True, False):
+            tcpu = TCPU(self._flaky_mmu(), compile=batched, batch=True)
+            tcpu.trust(certificate)
+            sections = [program.build() for _ in range(4)]
+            ctxs = [ctx_at(t) for t in (1, 2, 3, 4)]
+            if batched:
+                reports = tcpu.execute_batch(sections, ctxs)
+            else:
+                reports = [tcpu.execute(s, c)
+                           for s, c in zip(sections, ctxs)]
+            sides.append((reports, sections, tcpu))
+
+        (b_reports, b_sections, b_tcpu), (r_reports, r_sections,
+                                          r_tcpu) = sides
+        assert b_tcpu.batch_fallbacks == 1
+        assert b_tcpu.vector_batches == 0
+        assert b_tcpu.batch_demotions.get("fault_rewind", 0) == 1
+        assert [r.fault for r in b_reports] == [
+            FaultCode.NONE, FaultCode.NONE, FaultCode.BAD_ADDRESS,
+            FaultCode.NONE]
+        for fast, ref in zip(b_reports, r_reports):
+            assert report_tuple(fast) == report_tuple(ref)
+        for fast, ref in zip(b_sections, r_sections):
+            assert bytes(fast.memory) == bytes(ref.memory)
+            assert fast.encode() == ref.encode()
+        # No partial sketch writes from the faulted packet, and the
+        # rewound batch left the same counters as the interpreter.
+        for word in update.words:
+            assert b_tcpu.mmu.peek_sram(word) == 3
+            assert r_tcpu.mmu.peek_sram(word) == 3
+
+    def test_mixed_task_sketch_batch_demotes_before_kernel(self):
+        """The contrast case: mixed task ids on a write-bearing batch
+        must demote *before* any kernel state exists — still
+        bit-identical, counted as ``non_uniform``, not a rewind."""
+        from repro.telemetry import build_count_min_update
+        from repro.telemetry.layout import CountMinLayout
+        layout = CountMinLayout(base_word=0, width=8, depth=2)
+        update = build_count_min_update(layout, key=42)
+        program = assemble(update.source)
+        certificate = certificate_for(program, 5)
+        task_ids = [1, 1, 2, 1]
+        tcpu = TCPU(make_mmu(), compile=True, batch=True)
+        tcpu.trust(certificate)
+        sections = [program.build(task_id=t) for t in task_ids]
+        reports = tcpu.execute_batch(sections,
+                                     [make_ctx(t) for t in task_ids])
+        assert all(r.ok for r in reports)
+        assert tcpu.batch_fallbacks == 0
+        assert tcpu.batch_demotions.get("non_uniform", 0) == 1
+        for word in update.words:
+            assert tcpu.mmu.peek_sram(word) == 4
+
+
 class TestDeadFenceVector:
     """Relationally-dead CEXEC suffixes ride the vector lane; reports,
     packet memory and switch state must stay bit-identical to the

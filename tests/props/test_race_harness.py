@@ -39,6 +39,14 @@ from repro.core.memory_map import MemoryMap
 from repro.core.mmu import MMU, ExecutionContext
 from repro.core.racecheck import check_fleet, summarize_program
 from repro.core.tcpu import TCPU
+from repro.telemetry import (
+    DistinctCountLayout,
+    HeavyHitterLayout,
+    build_count_min_update,
+    build_distinct_update,
+    build_heavy_hitter_update,
+    disjoint_keys,
+)
 
 _MAP = MemoryMap.standard()
 
@@ -386,7 +394,7 @@ class TestKnownFleets:
         programs = [
             assemble((root / name).read_text(), symbols={"Target": 7})
             for name in ("queue_probe.tpp", "path_tracer.tpp",
-                         "guarded_update.tpp")]
+                         "guarded_update.tpp", "sketch_update.tpp")]
         report = analyse(programs)
         assert report.race_free
 
@@ -399,3 +407,197 @@ class TestKnownFleets:
         report = analyse(programs)
         assert not report.ok
         assert "TPP022" in report.by_code()
+
+
+# --------------------------------------------------------------------- #
+# Sketch-updater fleets: 2-6 concurrent sketch writers on one switch
+# --------------------------------------------------------------------- #
+
+#: Seeded sketch fleets in the sketch sweep.
+SKETCH_N_FLEETS = 120
+#: Seeded SRAM values stay small so CSTORE claims genuinely contend
+#: with the unclaimed sentinels the generator draws from [0, 4).
+SKETCH_SRAM_MAX = 6
+
+
+def sketch_layouts(seed):
+    """One seeded heavy-hitter layout + a small HLL register file.
+
+    The layouts share the fleet seed as their hash seed, so counter
+    placement — and therefore which updaters collide — varies per
+    fleet.  Blocks are disjoint: hh in words [0, 24), hll in [32, 36).
+    """
+    rng = random.Random(seed)
+    layout = HeavyHitterLayout(
+        base_word=0, width=rng.randint(2, 6), depth=rng.randint(1, 3),
+        n_slots=rng.randint(1, 3), seed=seed,
+        unclaimed_value=rng.randrange(0, 4))
+    hll = DistinctCountLayout(base_word=32, m=4, seed=seed)
+    return layout, hll
+
+
+def sketch_words(layout, hll):
+    return tuple(layout.words()) + tuple(hll.words())
+
+
+def build_sketch_fleet(seed):
+    """2-6 concurrent sketch programs sharing one switch's sketch SRAM.
+
+    Mixes every dataflow class the sketch subsystem generates:
+    heavy-hitter updates (accumulate rows + a CSTORE claim), bare
+    count-min updates (accumulate only), distinct-count updates (MAX
+    RMW, mixed) and LOAD-only probe readers.  Keys come from a small
+    universe so colliding counter cells — and duplicate keys — occur
+    often.
+    """
+    layout, hll = sketch_layouts(seed)
+    rng = random.Random(seed ^ 0xA5A5)
+    words = sketch_words(layout, hll)
+    programs = []
+    for _ in range(rng.randint(2, 6)):
+        kind = rng.random()
+        if kind < 0.40:
+            key = rng.choice([k for k in range(1, 9)
+                              if k != layout.unclaimed_value])
+            programs.append(build_heavy_hitter_update(
+                layout, key, delta=rng.randint(1, 3)).program)
+        elif kind < 0.65:
+            programs.append(build_count_min_update(
+                layout.countmin, rng.randrange(1, 9),
+                delta=rng.randint(1, 3)).program)
+        elif kind < 0.85:
+            programs.append(build_distinct_update(
+                hll, rng.randrange(1, 64)).program)
+        else:
+            sample = rng.sample(words, k=min(3, len(words)))
+            lines = [f".memory {len(sample)}"]
+            lines += [f"LOAD [Sram:Word{w}], [Packet:{i}]"
+                      for i, w in enumerate(sample)]
+            programs.append(assemble("\n".join(lines)))
+    return layout, hll, programs
+
+
+def make_sketch_mmu(layout, hll, rng_seed):
+    """Fresh MMU with the stable bindings + seeded *sketch* SRAM."""
+    mmu = MMU(name="sketch-race")
+    mmu.bind_reader("Switch:SwitchID", lambda ctx: 7)
+    mmu.bind_reader("Switch:NumPorts", lambda ctx: 4)
+    mmu.bind_reader("Queue:QueueSize",
+                    lambda ctx: ctx.queue.occupancy_bytes)
+    rng = random.Random(rng_seed)
+    for word in sketch_words(layout, hll):
+        mmu.poke_sram(word, rng.randrange(0, SKETCH_SRAM_MAX))
+    return mmu
+
+
+def sketch_sram_image(layout, hll, rng_seed):
+    """Mirror of :func:`make_sketch_mmu` (same seed, same draw order)."""
+    rng = random.Random(rng_seed)
+    return {word: rng.randrange(0, SKETCH_SRAM_MAX)
+            for word in sketch_words(layout, hll)}
+
+
+def run_sketch_fleet(layout, hll, programs, order, sram_seed):
+    mmu = make_sketch_mmu(layout, hll, sram_seed)
+    tcpu = TCPU(mmu, max_instructions=8, race_mode="off")
+    memories = [None] * len(programs)
+    for index in order:
+        tpp = programs[index].build(task_id=0)
+        report = tcpu.execute(tpp, make_ctx())
+        assert report.ok, f"sketch program faulted: {report.fault}"
+        memories[index] = bytes(tpp.memory)
+    sram = tuple(mmu.peek_sram(word)
+                 for word in sketch_words(layout, hll))
+    return (sram, tuple(memories))
+
+
+def check_sketch_oracle(layout, hll, programs, seed):
+    """Sketch-fleet instance of the two-direction oracle."""
+    report = analyse(programs, fence_values=BINDINGS,
+                     sram_values=sketch_sram_image(layout, hll, seed))
+    rng = random.Random(seed ^ 0x5EED)
+    outcomes = {run_sketch_fleet(layout, hll, programs, order,
+                                 sram_seed=seed)
+                for order in orders_for(len(programs), rng)}
+    diverged = len(outcomes) > 1
+    flagged = bool(report.diagnostics)
+    if diverged:
+        assert flagged, (
+            f"false negative (sketch seed {seed}): {len(outcomes)} "
+            f"distinct outcomes but no race diagnostics")
+    if report.race_free:
+        assert not diverged, (
+            f"analysis declared sketch fleet race-free (seed {seed}) "
+            f"but outcomes diverged")
+    return diverged, flagged
+
+
+class TestSketchFleets:
+    """Concurrent sketch updaters under the same two-direction oracle."""
+
+    def test_four_updater_fleet_admitted_under_enforce(self):
+        """The acceptance-criteria fleet: four heavy-hitter updaters
+        whose counter cells are provably disjoint share one switch.
+        ``enforce``-mode admission accepts all four (their claim slots
+        may be shared — CSTORE vs CSTORE is the sanctioned TPP023
+        protocol, never error severity), and the oracle agrees: any
+        order-sensitivity the interleavings expose is flagged."""
+        layout = HeavyHitterLayout(base_word=0, width=8, depth=2,
+                                   n_slots=2)
+        keys = disjoint_keys(layout, range(1, 512), 4)
+        assert len(keys) == 4
+        mmu = make_sketch_mmu(
+            layout, DistinctCountLayout(base_word=32, m=4), 0)
+        for word in layout.words():     # deploy on a pristine sketch
+            mmu.poke_sram(word, 0)
+        tcpu = TCPU(mmu, max_instructions=5, race_mode="enforce")
+        updates = [build_heavy_hitter_update(layout, key)
+                   for key in keys]
+        for update in updates:
+            assert tcpu.trust(update.certificate), update.key
+        assert tcpu.certificates_refused == 0
+        fleet = tcpu.fleet.report()
+        assert fleet.ok                  # nothing error-severity
+        codes = set(fleet.by_code())
+        assert codes <= {"TPP021", "TPP023"}, codes
+        # Oracle over the same four programs, zero false negatives.
+        hll = DistinctCountLayout(base_word=32, m=4)
+        check_sketch_oracle(layout, hll,
+                            [u.program for u in updates], seed=0)
+        # And a fifth updater whose counters collide with the fleet is
+        # refused — admission is the oracle's verdict, not a heuristic.
+        collider = next(
+            key for key in range(1, 512)
+            if key not in keys
+            and any(set(layout.countmin.words_for(key))
+                    & set(layout.countmin.words_for(k))
+                    for k in keys))
+        update = build_heavy_hitter_update(layout, collider)
+        assert not tcpu.trust(update.certificate)
+        assert tcpu.certificates_refused == 1
+
+    def test_oracle_holds_on_seeded_sketch_fleets(self):
+        stats = {"fleets": 0, "diverged": 0, "flagged": 0,
+                 "false_positive": 0}
+        for seed in range(SKETCH_N_FLEETS):
+            layout, hll, programs = build_sketch_fleet(seed)
+            diverged, flagged = check_sketch_oracle(
+                layout, hll, programs, seed)
+            stats["fleets"] += 1
+            stats["diverged"] += diverged
+            stats["flagged"] += flagged
+            stats["false_positive"] += (flagged and not diverged)
+        # Both oracle directions must be exercised.
+        assert stats["diverged"] > 10
+        assert stats["flagged"] - stats["false_positive"] > 10
+        assert stats["fleets"] - stats["flagged"] > 10  # race-free too
+        # CI regression gate against the committed baseline.
+        assert stats["fleets"] == FP_BASELINE["sketch_sweep_fleets"], (
+            stats)
+        assert (stats["false_positive"]
+                <= FP_BASELINE["sketch_max_fp_fleets"]), (
+            f"sketch-fleet FP regression: "
+            f"{stats['false_positive']} false-positive fleets exceed "
+            f"the committed baseline "
+            f"{FP_BASELINE['sketch_max_fp_fleets']} "
+            f"({FP_BASELINE_PATH})")

@@ -68,6 +68,13 @@ class TestFairnessProperties:
         index = jain_fairness(allocations)
         assert 0.0 <= index <= 1.0 + 1e-9
 
+    def test_subnormal_allocations_stay_in_unit_interval(self):
+        """Squares of tiny shares underflow into subnormals; the
+        normalized form must still keep the index at exactly 1.0 for
+        equal shares instead of drifting past it."""
+        tiny = 6.465776397029825e-161
+        assert jain_fairness([tiny, tiny]) == 1.0
+
     @given(st.floats(min_value=0.001, max_value=1e6),
            st.integers(min_value=1, max_value=20))
     def test_equal_allocations_perfect(self, value, n):

@@ -48,24 +48,32 @@ def bench_report(schema="simcore-bench/v3", scale=1.0, **overrides):
               "timestamp_iso": "2027-01-15T08:00:00+00:00",
               "workloads": workloads}
     if schema in ("simcore-bench/v4", "simcore-bench/v5",
-                  "simcore-bench/v6"):
+                  "simcore-bench/v6", "simcore-bench/v7"):
         workloads["tpp_exec_batched"] = {
             "tpp_execs_per_sec": 1.5e6 * scale,
             "instructions_per_sec": 3e6 * scale,
             "scalar_execs_per_sec": 2e5 * scale,
             "speedup_vs_scalar": 7.5}
-    if schema in ("simcore-bench/v5", "simcore-bench/v6"):
+    if schema in ("simcore-bench/v5", "simcore-bench/v6",
+                  "simcore-bench/v7"):
         workloads["fleet_scale"] = {
             "packets_per_sec_modeled": 8e4 * scale,
             "flows_per_sec_modeled": 2e5 * scale,
             "speedup_vs_one_shard": 3.0,
             "bit_identical": 1}
-    if schema == "simcore-bench/v6":
+    if schema in ("simcore-bench/v6", "simcore-bench/v7"):
         workloads["tpp_exec_batched_write"] = {
             "tpp_execs_per_sec": 1e6 * scale,
             "instructions_per_sec": 2e6 * scale,
             "scalar_execs_per_sec": 2e5 * scale,
             "speedup_vs_scalar": 5.0,
+            "vector_write_batches": 6000}
+    if schema == "simcore-bench/v7":
+        workloads["tpp_exec_sketch"] = {
+            "tpp_execs_per_sec": 9e5 * scale,
+            "instructions_per_sec": 4.5e6 * scale,
+            "scalar_execs_per_sec": 1.5e5 * scale,
+            "speedup_vs_scalar": 6.0,
             "vector_write_batches": 6000}
     if schema in ("simcore-bench/v1", "simcore-bench/v2"):
         del workloads["tpp_exec_verified"]
@@ -126,6 +134,16 @@ class TestRunBenchValidate:
         del report["workloads"]["tpp_exec_batched_write"]
         problems = load_run_bench().validate(report)
         assert any("tpp_exec_batched_write" in p for p in problems)
+
+    def test_v7_report_valid(self):
+        report = bench_report(schema="simcore-bench/v7")
+        assert load_run_bench().validate(report) == []
+
+    def test_v7_requires_sketch_workload(self):
+        report = bench_report(schema="simcore-bench/v7")
+        del report["workloads"]["tpp_exec_sketch"]
+        problems = load_run_bench().validate(report)
+        assert any("tpp_exec_sketch" in p for p in problems)
 
     def test_unknown_schema_rejected(self):
         problems = load_run_bench().validate(

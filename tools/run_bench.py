@@ -12,7 +12,7 @@ Usage::
 The JSON is the perf trajectory the ROADMAP tracks: every PR can re-run
 this and diff events/sec, packets/sec, and TPP-exec/sec against the
 committed baseline.  ``--validate`` exits non-zero on a malformed file
-(the v1 through v6 schemas are all accepted); ``--compare`` exits
+(the v1 through v7 schemas are all accepted); ``--compare`` exits
 non-zero when any shared workload's primary metric regressed beyond
 its per-workload noise floor (``WORKLOAD_TOLERANCES``).
 """
@@ -35,7 +35,8 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_simcore.json"
 
 SUPPORTED_SCHEMAS = ("simcore-bench/v1", "simcore-bench/v2",
                      "simcore-bench/v3", "simcore-bench/v4",
-                     "simcore-bench/v5", "simcore-bench/v6")
+                     "simcore-bench/v5", "simcore-bench/v6",
+                     "simcore-bench/v7")
 
 #: metric keys that must exist and be positive finite numbers, per workload.
 REQUIRED_METRICS = {
@@ -87,6 +88,14 @@ REQUIRED_METRICS_V6 = {
                                "scalar_execs_per_sec", "speedup_vs_scalar"),
 }
 
+#: additional requirements introduced by the v7 schema (sketch-update
+#: batches through the write lane; ``vector_write_batches`` is again
+#: not listed — no-numpy and --no-fastpath runs legitimately report 0).
+REQUIRED_METRICS_V7 = {
+    "tpp_exec_sketch": ("tpp_execs_per_sec", "instructions_per_sec",
+                        "scalar_execs_per_sec", "speedup_vs_scalar"),
+}
+
 #: headline metric per workload, used by ``--compare``.
 PRIMARY_METRICS = {
     "event_core": "events_per_sec",
@@ -97,6 +106,7 @@ PRIMARY_METRICS = {
     "tpp_exec_verified": "tpp_execs_per_sec",
     "tpp_exec_batched": "tpp_execs_per_sec",
     "tpp_exec_batched_write": "tpp_execs_per_sec",
+    "tpp_exec_sketch": "tpp_execs_per_sec",
     "fleet_scale": "packets_per_sec_modeled",
 }
 
@@ -115,6 +125,7 @@ WORKLOAD_TOLERANCES = {
     "tpp_exec_verified": 0.10,
     "tpp_exec_batched": 0.20,
     "tpp_exec_batched_write": 0.20,
+    "tpp_exec_sketch": 0.20,
     "fleet_scale": 0.15,
 }
 
@@ -157,6 +168,9 @@ def validate(report: dict) -> list:
             required.setdefault(name, []).extend(metrics)
     if generation >= 6:
         for name, metrics in REQUIRED_METRICS_V6.items():
+            required.setdefault(name, []).extend(metrics)
+    if generation >= 7:
+        for name, metrics in REQUIRED_METRICS_V7.items():
             required.setdefault(name, []).extend(metrics)
     for name, metrics in required.items():
         workload = workloads.get(name)
@@ -248,6 +262,13 @@ def _print_summary(report: dict) -> None:
               f"({write['speedup_vs_scalar']:.2f}x vs scalar at batch "
               f"{write['batch_size']}, "
               f"{write['vector_write_batches']} write batches)")
+    sketch = wl.get("tpp_exec_sketch")
+    if sketch:
+        print(f"tpp exec (sketch):  "
+              f"{sketch['tpp_execs_per_sec']:>11,.0f} TPP-execs/s  "
+              f"({sketch['speedup_vs_scalar']:.2f}x vs scalar at batch "
+              f"{sketch['batch_size']}, "
+              f"{sketch['vector_write_batches']} write batches)")
     fleet = wl.get("fleet_scale")
     if fleet:
         identical = "bit-identical" if fleet["bit_identical"] else "DIVERGED"
